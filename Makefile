@@ -1,0 +1,50 @@
+# privedit — build/test/evaluation entry points. Stdlib only; any Go ≥ 1.22.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# testing.B benchmarks: one per paper table/figure (bench_test.go) plus
+# package-level micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-style tables for every figure in section VII, plus the
+# functionality, ablation, and scaling experiments.
+experiments:
+	$(GO) run ./cmd/privedit-bench -exp all
+
+# Short fuzzing passes over every parser surface.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/delta/
+	$(GO) test -fuzz=FuzzTransform -fuzztime=30s ./internal/delta/
+	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=30s ./internal/blockdoc/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/stego/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/securedocs
+	$(GO) run ./examples/collab
+	$(GO) run ./examples/blocksize
+	$(GO) run ./examples/otherapps
+	$(GO) run ./cmd/privedit-attack
+
+clean:
+	$(GO) clean ./...

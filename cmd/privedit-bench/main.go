@@ -1,0 +1,139 @@
+// Command privedit-bench regenerates every table and figure from §VII of
+// "Private Editing Using Untrusted Cloud Services" (Huang & Evans, 2011)
+// against this repository's implementation.
+//
+// Usage:
+//
+//	privedit-bench -exp all            # everything, paper-scale trials
+//	privedit-bench -exp fig4           # one experiment
+//	privedit-bench -exp fig5 -trials 5 # quick run
+//
+// Experiments: fig4, fig5, fig6, fig7, fig8, func, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privedit/internal/bench"
+	"privedit/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|func|ablation|scaling|all")
+	trials := flag.Int("trials", 0, "override trial count (0 = paper-scale defaults)")
+	seed := flag.Int64("seed", 2011, "random seed")
+	flag.Parse()
+
+	cfg := bench.Config{Trials: *trials, Seed: *seed}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg bench.Config) error {
+	runners := map[string]func(bench.Config) error{
+		"fig4":     runFig4,
+		"fig5":     runFig5,
+		"fig6":     runFig6,
+		"fig7":     runFig7,
+		"fig8":     runFig8,
+		"func":     runFunc,
+		"ablation": runAblation,
+		"scaling":  runScaling,
+	}
+	if exp == "all" {
+		for _, name := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "func", "ablation", "scaling"} {
+			if err := runners[name](cfg); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return runner(cfg)
+}
+
+func runFig4(cfg bench.Config) error {
+	for _, scheme := range []core.Scheme{core.ConfidentialityIntegrity, core.ConfidentialityOnly} {
+		res, err := bench.Fig4(cfg, scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+	}
+	return nil
+}
+
+func runFig5(cfg bench.Config) error {
+	tables, err := bench.Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: macro-benchmark results (performance degradation)")
+	for _, t := range tables {
+		fmt.Print(t)
+	}
+	return nil
+}
+
+func runFig6(cfg bench.Config) error {
+	res, err := bench.Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+func runFig7(cfg bench.Config) error {
+	res, err := bench.Fig7(cfg, core.ConfidentialityOnly)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+func runFig8(cfg bench.Config) error {
+	t, err := bench.Fig8(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 8: macro-benchmark, multi-character incremental encryption")
+	fmt.Print(t)
+	return nil
+}
+
+func runFunc(cfg bench.Config) error {
+	res, err := bench.Functionality(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+func runScaling(cfg bench.Config) error {
+	res, err := bench.Scaling(cfg, core.ConfidentialityOnly)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}
+
+func runAblation(cfg bench.Config) error {
+	res, err := bench.Ablation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command privedit-edit is an interactive line-oriented editor client that
+// talks to a privedit-server through the mediating extension, so every
+// byte that leaves the process is encrypted. It plays the role of the
+// browser + extension of the paper's Figure 1.
+//
+// Start a server first:
+//
+//	privedit-server &
+//	privedit-edit -doc notes -password hunter2
+//
+// Commands:
+//
+//	:show            print the document
+//	:ins <pos> <txt> insert text at position
+//	:del <pos> <n>   delete n characters at position
+//	:save            save (first save full, then incremental deltas)
+//	:cipher          show what the server currently stores
+//	:stats           extension statistics
+//	:quit            exit
+//
+// Any other line is appended to the document.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"privedit/internal/core"
+	"privedit/internal/covert"
+	"privedit/internal/gdocs"
+	"privedit/internal/mediator"
+)
+
+func main() {
+	base := flag.String("server", "http://127.0.0.1:8747", "privedit-server URL")
+	docID := flag.String("doc", "notes", "document id")
+	password := flag.String("password", "", "per-document password (required)")
+	schemeName := flag.String("scheme", "rpc", "encryption scheme: recb (confidentiality) or rpc (confidentiality+integrity)")
+	blockChars := flag.Int("b", core.DefaultBlockChars, "characters per cipher block (1..8)")
+	mitigate := flag.Bool("mitigate", false, "enable covert-channel mitigations")
+	useStego := flag.Bool("stego", false, "store the document as word prose instead of Base32")
+	flag.Parse()
+
+	if *password == "" {
+		fmt.Fprintln(os.Stderr, "privedit-edit: -password is required (the paper's per-document password dialog)")
+		os.Exit(2)
+	}
+	scheme := core.ConfidentialityIntegrity
+	if strings.EqualFold(*schemeName, "recb") {
+		scheme = core.ConfidentialityOnly
+	}
+
+	var mit *covert.Mitigator
+	if *mitigate {
+		mit = covert.New(covert.DefaultConfig(), nil)
+	}
+	opts := core.Options{Scheme: scheme, BlockChars: *blockChars}
+	var extOpts []mediator.Option
+	if *useStego {
+		extOpts = append(extOpts, mediator.WithStego())
+	}
+	ext := mediator.New(http.DefaultTransport, mediator.StaticPassword(*password, opts), mit, extOpts...)
+	client := gdocs.NewClient(ext.Client(), *base, *docID)
+
+	// Open or create the document.
+	if err := client.Load(); err != nil {
+		if err := client.Create(); err != nil {
+			fmt.Fprintf(os.Stderr, "privedit-edit: cannot load or create %q: %v\n", *docID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("created document %q (%s, b=%d)\n", *docID, scheme, *blockChars)
+	} else {
+		fmt.Printf("loaded document %q (%d chars)\n", *docID, len(client.Text()))
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if err := execute(client, ext, line); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+		fmt.Print("> ")
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case ":quit", ":q":
+		return errQuit
+	case ":show":
+		fmt.Printf("%q (%d chars)\n", client.Text(), len(client.Text()))
+	case ":ins":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: :ins <pos> <text>")
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		text := strings.Join(fields[2:], " ")
+		return client.Insert(pos, text)
+	case ":del":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: :del <pos> <n>")
+		}
+		pos, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return err
+		}
+		return client.Delete(pos, n)
+	case ":save":
+		pending := client.PendingDelta()
+		if err := client.Save(); err != nil {
+			return err
+		}
+		fmt.Printf("saved (delta %q)\n", pending.String())
+	case ":cipher":
+		ed := ext.Editor(client.DocID())
+		if ed == nil {
+			return fmt.Errorf("no encryption state yet")
+		}
+		transport := ed.Transport()
+		fmt.Printf("server stores %d chars of ciphertext:\n%.120s...\n", len(transport), transport)
+	case ":stats":
+		fmt.Printf("%+v\n", ext.Stats())
+	default:
+		return client.Insert(len(client.Text()), line+"\n")
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command privedit-server runs the simulated Google Documents service: an
+// HTTP server speaking the 2011 update protocol the paper reverse
+// engineered (POST /Doc with docContents or delta, GET /Doc, /DocCreate,
+// plus the server-side feature endpoints). Point privedit-edit or the
+// examples at it.
+//
+// The server is the *untrusted* party: run with -observe to dump
+// everything it sees on exit, demonstrating what a curious provider learns
+// (nothing but Base32 ciphertext, when clients use the extension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"privedit/internal/gdocs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8747", "listen address")
+	observe := flag.Bool("observe", false, "record and dump all content the server sees")
+	flag.Parse()
+
+	server := gdocs.NewServer()
+	if *observe {
+		server.EnableObservation()
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(server),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt)
+	go func() {
+		<-done
+		if *observe {
+			fmt.Println("\n--- everything this untrusted server saw ---")
+			fmt.Println(server.Observed())
+		}
+		os.Exit(0)
+	}()
+
+	log.Printf("privedit-server: simulated Google Documents service on http://%s", *addr)
+	log.Printf("privedit-server: endpoints %s %s %s %s %s %s",
+		gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate, gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport)
+	if err := httpServer.ListenAndServe(); err != nil {
+		log.Fatalf("privedit-server: %v", err)
+	}
+}
+
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

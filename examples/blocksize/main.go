@@ -1,0 +1,58 @@
+// Blocksize: the §V-C trade-off in action. "The multiple-character block
+// extension enables performance tradeoffs between ciphertext size and
+// encryption time." This example sweeps b = 1..8 on a 10000-character
+// document, printing the blowup, the per-edit ciphertext traffic, and the
+// encryption time — a miniature of Figures 6 and 7.
+//
+// Run: go run ./examples/blocksize
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privedit/internal/core"
+	"privedit/internal/workload"
+)
+
+func main() {
+	gen := workload.NewGen(2011)
+	doc := gen.Document(10000)
+
+	fmt.Println("b | blowup | per-edit cdelta chars | full-encrypt time")
+	fmt.Println("--+--------+-----------------------+------------------")
+	for b := 1; b <= 8; b++ {
+		editor, err := core.NewEditor("sweep", core.Options{
+			Scheme:     core.ConfidentialityOnly,
+			BlockChars: b,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		if _, err := editor.Encrypt(doc); err != nil {
+			log.Fatal(err)
+		}
+		encTime := time.Since(start)
+
+		// Average ciphertext-delta size over a handful of sentence edits.
+		totalCDelta, edits := 0, 20
+		for i := 0; i < edits; i++ {
+			sp := gen.Edit(editor.Plaintext(), workload.SentenceReplace)
+			cd, err := editor.Splice(sp.Pos, sp.Del, sp.Ins)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalCDelta += len(cd.String())
+		}
+
+		st := editor.Stats()
+		fmt.Printf("%d | %5.2fx | %21d | %s\n", b, st.Blowup, totalCDelta/edits, encTime.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nWith one-character blocks a 500 KB Google Docs quota holds only ~18 KB")
+	fmt.Println("of text; at b=8 the same quota holds ~140 KB — the paper's motivation")
+	fmt.Println("for the IndexedSkipList (section V-C).")
+}

@@ -1,0 +1,81 @@
+// Quickstart: the privedit core library in one minute.
+//
+// An Editor is the paper's enc_scheme object: it derives a key from a
+// per-document password (K), encrypts a document into a printable
+// container (Enc), turns plaintext edits into ciphertext deltas (IncE /
+// transform_delta), and opens containers back into plaintext (Dec).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privedit/internal/core"
+	"privedit/internal/delta"
+)
+
+func main() {
+	// 1. Create encryption state for a new document. RPC mode gives both
+	// confidentiality and integrity; rECB is confidentiality-only.
+	editor, err := core.NewEditor("correct horse battery staple", core.Options{
+		Scheme:     core.ConfidentialityIntegrity,
+		BlockChars: 8, // the paper's preferred multi-character block size
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Encrypt the document. The transport string is what the untrusted
+	// server stores: printable Base32, no plaintext anywhere.
+	serverCopy, err := editor.Encrypt("Meet me at the old pier at midnight.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stores %d chars of ciphertext:\n  %.76s...\n\n", len(serverCopy), serverCopy)
+
+	// 3. Edit incrementally. The paper's delta language: "=n" retain,
+	// "+str" insert, "-n" delete. transform_delta converts the plaintext
+	// edit into a ciphertext edit the server applies blindly.
+	pd, err := delta.Parse("=11\t-12\t+the new boathouse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cd, err := editor.TransformDeltaOps(pd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plaintext delta:  %q\n", pd.String())
+	fmt.Printf("ciphertext delta: %.76q...\n\n", cd.String())
+
+	// 4. The server applies the ciphertext delta without understanding it.
+	serverCopy, err = cd.Apply(serverCopy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Anyone with the password can open the server's copy.
+	plain, err := core.Decrypt("correct horse battery staple", serverCopy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decrypted document: %q\n", plain)
+
+	// 6. The wrong password is rejected outright.
+	if _, err := core.Decrypt("password123", serverCopy); err != nil {
+		fmt.Printf("wrong password: %v\n", err)
+	}
+
+	// 7. RPC mode detects tampering: flip one ciphertext character.
+	tampered := []byte(serverCopy)
+	mid := len(tampered) / 2
+	if tampered[mid] == 'A' {
+		tampered[mid] = 'B'
+	} else {
+		tampered[mid] = 'A'
+	}
+	if _, err := core.Decrypt("correct horse battery staple", string(tampered)); err != nil {
+		fmt.Printf("tampered container: %v\n", err)
+	}
+}

@@ -1,0 +1,3 @@
+module privedit
+
+go 1.22

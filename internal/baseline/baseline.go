@@ -1,0 +1,118 @@
+// Package baseline implements the comparison points the paper measures
+// its contribution against:
+//
+//   - FullReencrypt: the CoClo approach (D'Angelo, Vitali & Zacchiroli)
+//     that the introduction singles out — "their work ... requires
+//     reencrypting and transmitting the entire document for every update."
+//     Every edit re-encrypts the whole document and ships the whole
+//     container.
+//
+//   - NaiveRealign: the strawman of §V-C — "a straightforward approach
+//     would require re-aligning and re-encrypting all subsequent blocks
+//     when a single character is inserted or deleted," i.e. incremental
+//     encryption without the IndexedSkipList: every edit re-encrypts the
+//     document from the edit point to the end.
+//
+// Both expose per-edit transmitted-bytes and in-memory state so the
+// ablation benchmarks can chart them against the real incremental editor.
+package baseline
+
+import (
+	"fmt"
+
+	"privedit/internal/core"
+)
+
+// FullReencrypt is the CoClo-style editor: whole-document re-encryption
+// and retransmission on every update.
+type FullReencrypt struct {
+	ed   *core.Editor
+	text string
+}
+
+// NewFullReencrypt builds the baseline editor.
+func NewFullReencrypt(password string, opts core.Options) (*FullReencrypt, error) {
+	ed, err := core.NewEditor(password, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &FullReencrypt{ed: ed}, nil
+}
+
+// Text returns the current plaintext.
+func (f *FullReencrypt) Text() string { return f.text }
+
+// SetText loads the document, returning the full container to transmit.
+func (f *FullReencrypt) SetText(text string) (string, error) {
+	transport, err := f.ed.Encrypt(text)
+	if err != nil {
+		return "", err
+	}
+	f.text = text
+	return transport, nil
+}
+
+// Splice performs one edit. The entire document is re-encrypted and the
+// entire container returned: that is what must cross the network.
+func (f *FullReencrypt) Splice(pos, del int, ins string) (string, error) {
+	if pos < 0 || del < 0 || pos+del > len(f.text) {
+		return "", fmt.Errorf("baseline: splice pos %d del %d in %d-char document", pos, del, len(f.text))
+	}
+	return f.SetText(f.text[:pos] + ins + f.text[pos+del:])
+}
+
+// NaiveRealign is incremental encryption without an index: blocks are kept
+// in a flat slice aligned to fixed boundaries, so an insert or delete
+// re-aligns and re-encrypts every block from the edit point to the end of
+// the document. Confidentiality-equivalent to the real editor; only the
+// update cost differs.
+type NaiveRealign struct {
+	ed   *core.Editor
+	text string
+}
+
+// NewNaiveRealign builds the strawman editor.
+func NewNaiveRealign(password string, opts core.Options) (*NaiveRealign, error) {
+	ed, err := core.NewEditor(password, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &NaiveRealign{ed: ed}, nil
+}
+
+// Text returns the current plaintext.
+func (n *NaiveRealign) Text() string { return n.text }
+
+// SetText loads the document.
+func (n *NaiveRealign) SetText(text string) (string, error) {
+	transport, err := n.ed.Encrypt(text)
+	if err != nil {
+		return "", err
+	}
+	n.text = text
+	return transport, nil
+}
+
+// Splice performs one edit, re-encrypting every character from the edit
+// point to the end (fixed block alignment shifts), and returns the number
+// of ciphertext characters that had to be retransmitted.
+func (n *NaiveRealign) Splice(pos, del int, ins string) (retransmitted int, err error) {
+	if pos < 0 || del < 0 || pos+del > len(n.text) {
+		return 0, fmt.Errorf("baseline: splice pos %d del %d in %d-char document", pos, del, len(n.text))
+	}
+	newText := n.text[:pos] + ins + n.text[pos+del:]
+	// Everything from the containing block of pos to the end is
+	// re-encrypted: simulate by splicing the suffix through the editor.
+	b := n.ed.BlockChars()
+	start := (pos / b) * b
+	suffixLen := len(n.text) - start
+	cd, err := n.ed.Splice(start, suffixLen, newText[start:])
+	if err != nil {
+		return 0, err
+	}
+	n.text = newText
+	return cd.InsertLen() + cd.DeleteLen(), nil
+}
+
+// Transport returns the strawman's current container.
+func (n *NaiveRealign) Transport() string { return n.ed.Transport() }

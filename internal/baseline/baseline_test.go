@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+)
+
+func opts(seed uint64) core.Options {
+	return core.Options{
+		Scheme:     core.ConfidentialityOnly,
+		BlockChars: 8,
+		Nonces:     crypt.NewSeededNonceSource(seed),
+	}
+}
+
+func TestFullReencryptRoundTrip(t *testing.T) {
+	f, err := NewFullReencrypt("pw", opts(1))
+	if err != nil {
+		t.Fatalf("NewFullReencrypt: %v", err)
+	}
+	transport, err := f.SetText("the whole document")
+	if err != nil {
+		t.Fatalf("SetText: %v", err)
+	}
+	got, err := core.Decrypt("pw", transport)
+	if err != nil || got != "the whole document" {
+		t.Errorf("decrypt = (%q, %v)", got, err)
+	}
+}
+
+func TestFullReencryptSplice(t *testing.T) {
+	f, err := NewFullReencrypt("pw", opts(2))
+	if err != nil {
+		t.Fatalf("NewFullReencrypt: %v", err)
+	}
+	if _, err := f.SetText("hello cruel world"); err != nil {
+		t.Fatalf("SetText: %v", err)
+	}
+	transport, err := f.Splice(6, 5, "kind")
+	if err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if f.Text() != "hello kind world" {
+		t.Errorf("Text = %q", f.Text())
+	}
+	got, err := core.Decrypt("pw", transport)
+	if err != nil || got != "hello kind world" {
+		t.Errorf("decrypt = (%q, %v)", got, err)
+	}
+	if _, err := f.Splice(100, 1, "x"); err == nil {
+		t.Error("out-of-range splice accepted")
+	}
+}
+
+func TestFullReencryptAlwaysShipsWholeDocument(t *testing.T) {
+	// The defining property of the CoClo baseline: cost is O(document),
+	// not O(edit).
+	f, err := NewFullReencrypt("pw", opts(3))
+	if err != nil {
+		t.Fatalf("NewFullReencrypt: %v", err)
+	}
+	big := strings.Repeat("0123456789", 1000)
+	if _, err := f.SetText(big); err != nil {
+		t.Fatalf("SetText: %v", err)
+	}
+	transport, err := f.Splice(5000, 0, "!")
+	if err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if len(transport) < len(big) {
+		t.Errorf("baseline shipped %d chars for a %d-char doc", len(transport), len(big))
+	}
+}
+
+func TestNaiveRealignCorrectness(t *testing.T) {
+	n, err := NewNaiveRealign("pw", opts(4))
+	if err != nil {
+		t.Fatalf("NewNaiveRealign: %v", err)
+	}
+	if _, err := n.SetText("hello cruel world"); err != nil {
+		t.Fatalf("SetText: %v", err)
+	}
+	if _, err := n.Splice(6, 5, "kind"); err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if n.Text() != "hello kind world" {
+		t.Errorf("Text = %q", n.Text())
+	}
+	got, err := core.Decrypt("pw", n.Transport())
+	if err != nil || got != "hello kind world" {
+		t.Errorf("decrypt = (%q, %v)", got, err)
+	}
+	if _, err := n.Splice(100, 1, "x"); err == nil {
+		t.Error("out-of-range splice accepted")
+	}
+}
+
+func TestNaiveRealignCostGrowsWithSuffix(t *testing.T) {
+	// An early edit must retransmit (nearly) the whole document; a late
+	// edit almost nothing. That asymmetry is exactly what the
+	// IndexedSkipList removes.
+	n, err := NewNaiveRealign("pw", opts(5))
+	if err != nil {
+		t.Fatalf("NewNaiveRealign: %v", err)
+	}
+	big := strings.Repeat("0123456789", 500)
+	if _, err := n.SetText(big); err != nil {
+		t.Fatalf("SetText: %v", err)
+	}
+	early, err := n.Splice(8, 0, "!")
+	if err != nil {
+		t.Fatalf("early splice: %v", err)
+	}
+	late, err := n.Splice(len(n.Text())-8, 0, "!")
+	if err != nil {
+		t.Fatalf("late splice: %v", err)
+	}
+	if early < 10*late {
+		t.Errorf("early edit cost %d not >> late edit cost %d", early, late)
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"privedit/internal/baseline"
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+	"privedit/internal/workload"
+)
+
+// AblationRow compares per-edit cost across approaches at one document
+// size: the incremental editor (this paper), the CoClo full-reencryption
+// baseline, and the naive realign strawman of §V-C.
+type AblationRow struct {
+	DocLen int
+
+	IncTimeUs  float64 // incremental: mean time per edit
+	IncBytes   float64 // incremental: mean ciphertext chars shipped per edit
+	FullTimeUs float64 // CoClo: whole-document re-encryption time
+	FullBytes  float64 // CoClo: whole container shipped
+	NaiveTime  float64 // realign: time per edit (us)
+	NaiveBytes float64 // realign: ciphertext chars shipped
+}
+
+// AblationResult is the design-choice ablation DESIGN.md calls out: what
+// the incremental scheme and the IndexedSkipList each buy, as a function
+// of document size.
+type AblationResult struct {
+	Scheme core.Scheme
+	Trials int
+	Rows   []AblationRow
+}
+
+// Ablation measures all three approaches on the same edit workload.
+func Ablation(cfg Config) (AblationResult, error) {
+	trials := cfg.trials(20)
+	scheme := core.ConfidentialityOnly
+	res := AblationResult{Scheme: scheme, Trials: trials}
+	opts := func(seed uint64) core.Options {
+		return core.Options{
+			Scheme:     scheme,
+			BlockChars: 8,
+			Nonces:     crypt.NewSeededNonceSource(seed),
+		}
+	}
+	for _, docLen := range []int{500, 2000, 10000, 50000} {
+		gen := workload.NewGen(cfg.Seed + int64(docLen))
+		doc := gen.Document(docLen)
+		script := gen.Script(doc, workload.InsertsAndDeletes, trials)
+
+		// Incremental (this paper).
+		ed, err := core.NewEditor("pw", opts(uint64(docLen)+1))
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if _, err := ed.Encrypt(doc); err != nil {
+			return AblationResult{}, err
+		}
+		var incTime time.Duration
+		var incBytes int
+		for _, sp := range script {
+			start := time.Now()
+			cd, err := ed.Splice(sp.Pos, sp.Del, sp.Ins)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			incTime += time.Since(start)
+			incBytes += cd.InsertLen()
+		}
+
+		// CoClo full re-encryption.
+		full, err := baseline.NewFullReencrypt("pw", opts(uint64(docLen)+2))
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if _, err := full.SetText(doc); err != nil {
+			return AblationResult{}, err
+		}
+		var fullTime time.Duration
+		var fullBytes int
+		for _, sp := range script {
+			start := time.Now()
+			transport, err := full.Splice(sp.Pos, sp.Del, sp.Ins)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			fullTime += time.Since(start)
+			fullBytes += len(transport)
+		}
+
+		// Naive realign.
+		naive, err := baseline.NewNaiveRealign("pw", opts(uint64(docLen)+3))
+		if err != nil {
+			return AblationResult{}, err
+		}
+		if _, err := naive.SetText(doc); err != nil {
+			return AblationResult{}, err
+		}
+		var naiveTime time.Duration
+		var naiveBytes int
+		for _, sp := range script {
+			start := time.Now()
+			shipped, err := naive.Splice(sp.Pos, sp.Del, sp.Ins)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			naiveTime += time.Since(start)
+			naiveBytes += shipped
+		}
+
+		n := float64(len(script))
+		res.Rows = append(res.Rows, AblationRow{
+			DocLen:     docLen,
+			IncTimeUs:  float64(incTime.Microseconds()) / n,
+			IncBytes:   float64(incBytes) / n,
+			FullTimeUs: float64(fullTime.Microseconds()) / n,
+			FullBytes:  float64(fullBytes) / n,
+			NaiveTime:  float64(naiveTime.Microseconds()) / n,
+			NaiveBytes: float64(naiveBytes) / n,
+		})
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (r AblationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation (%s, b=8, %d edits/size): per-edit cost of design choices\n", r.Scheme, r.Trials)
+	fmt.Fprintf(&b, "%-8s | %12s %12s | %12s %12s | %12s %12s\n",
+		"doc len", "inc us", "inc chars", "CoClo us", "CoClo chars", "naive us", "naive chars")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8d | %12.1f %12.0f | %12.1f %12.0f | %12.1f %12.0f\n",
+			row.DocLen, row.IncTimeUs, row.IncBytes, row.FullTimeUs, row.FullBytes, row.NaiveTime, row.NaiveBytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+// Package bespin simulates Mozilla Bespin, the on-line source-code editor
+// the paper uses as its simplest target (§III): "It simply uses HTTP PUT
+// requests to send user content back to the server stored as a file. No
+// incremental update mechanisms are found in Bespin. By wrapping the PUT
+// request with code that encrypts all user data, the server only sees
+// encrypted contents."
+//
+// The package provides the storage server (PUT/GET of whole files), a
+// client, and the encrypting extension: an http.RoundTripper that
+// re-encrypts the entire file on every save — the baseline behavior that
+// makes Google Documents' incremental protocol interesting by contrast.
+package bespin
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"privedit/internal/core"
+)
+
+// PathPrefix is the file API root, after Bespin's open server API.
+const PathPrefix = "/file/at/"
+
+// Server is the simulated Bespin backend: a file store that never
+// interprets file contents.
+type Server struct {
+	mu    sync.Mutex
+	files map[string]string
+
+	observed strings.Builder
+	observe  bool
+}
+
+// NewServer creates an empty file store.
+func NewServer() *Server {
+	return &Server{files: make(map[string]string)}
+}
+
+// EnableObservation records all content the server sees (leak detector).
+func (s *Server) EnableObservation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observe = true
+}
+
+// Observed returns everything the server has seen.
+func (s *Server) Observed() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observed.String()
+}
+
+// File returns the stored bytes of a file.
+func (s *Server) File(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	content, ok := s.files[name]
+	return content, ok
+}
+
+// ServeHTTP implements PUT (store file) and GET (fetch file).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, PathPrefix) {
+		http.Error(w, "bespin: unknown path", http.StatusNotFound)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, PathPrefix)
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		if s.observe {
+			s.observed.Write(body)
+			s.observed.WriteByte('\n')
+		}
+		s.files[name] = string(body)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		content, ok := s.File(name)
+		if !ok {
+			http.Error(w, "bespin: no such file", http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, content)
+	default:
+		http.Error(w, "bespin: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client is the Bespin editor client: whole-file save and load.
+type Client struct {
+	httpc *http.Client
+	base  string
+}
+
+// NewClient builds a client; httpc may carry the Extension as Transport.
+func NewClient(httpc *http.Client, base string) *Client {
+	return &Client{httpc: httpc, base: base}
+}
+
+// Save stores a file (HTTP PUT of the whole content).
+func (c *Client) Save(name, content string) error {
+	req, err := http.NewRequest(http.MethodPut, c.base+PathPrefix+name, strings.NewReader(content))
+	if err != nil {
+		return fmt.Errorf("bespin: build put: %w", err)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("bespin: put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("bespin: put status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Load fetches a file.
+func (c *Client) Load(name string) (string, error) {
+	resp, err := c.httpc.Get(c.base + PathPrefix + name)
+	if err != nil {
+		return "", fmt.Errorf("bespin: get: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("bespin: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("bespin: get status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+// Extension is the Bespin encrypting wrapper: every PUT body is replaced
+// by a freshly encrypted container; every GET response is decrypted. All
+// other requests are blocked.
+type Extension struct {
+	base      http.RoundTripper
+	passwords func(file string) (string, core.Options, error)
+
+	mu      sync.Mutex
+	editors map[string]*core.Editor
+}
+
+var _ http.RoundTripper = (*Extension)(nil)
+
+// NewExtension wraps base (nil for http.DefaultTransport).
+func NewExtension(base http.RoundTripper, passwords func(file string) (string, core.Options, error)) *Extension {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Extension{base: base, passwords: passwords, editors: make(map[string]*core.Editor)}
+}
+
+// Client returns an http.Client routed through the extension.
+func (e *Extension) Client() *http.Client { return &http.Client{Transport: e} }
+
+func (e *Extension) editorFor(file string) (*core.Editor, error) {
+	e.mu.Lock()
+	if ed, ok := e.editors[file]; ok {
+		e.mu.Unlock()
+		return ed, nil
+	}
+	e.mu.Unlock()
+	password, opts, err := e.passwords(file)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := core.NewEditor(password, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.editors[file]; ok {
+		return existing, nil
+	}
+	e.editors[file] = ed
+	return ed, nil
+}
+
+func blocked(req *http.Request, msg string) *http.Response {
+	return &http.Response{
+		StatusCode:    http.StatusForbidden,
+		Status:        "403 Forbidden",
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(msg)),
+		ContentLength: int64(len(msg)),
+		Request:       req,
+	}
+}
+
+// RoundTrip mediates Bespin traffic.
+func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !strings.HasPrefix(req.URL.Path, PathPrefix) {
+		return blocked(req, "privedit: request blocked by extension"), nil
+	}
+	file := strings.TrimPrefix(req.URL.Path, PathPrefix)
+	switch req.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bespin extension: read body: %w", err)
+		}
+		ed, err := e.editorFor(file)
+		if err != nil {
+			return blocked(req, "privedit: "+err.Error()), nil
+		}
+		ctxt, err := ed.Encrypt(string(body))
+		if err != nil {
+			return blocked(req, "privedit: encrypt: "+err.Error()), nil
+		}
+		clone := req.Clone(req.Context())
+		clone.Body = io.NopCloser(strings.NewReader(ctxt))
+		clone.ContentLength = int64(len(ctxt))
+		return e.base.RoundTrip(clone)
+	case http.MethodGet:
+		resp, err := e.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp, nil
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bespin extension: read response: %w", err)
+		}
+		password, _, err := e.passwords(file)
+		if err != nil {
+			return blocked(req, "privedit: "+err.Error()), nil
+		}
+		ed, err := core.Open(password, string(raw), nil)
+		if err != nil {
+			return blocked(req, "privedit: open: "+err.Error()), nil
+		}
+		e.mu.Lock()
+		e.editors[file] = ed
+		e.mu.Unlock()
+		plain := ed.Plaintext()
+		resp.Body = io.NopCloser(strings.NewReader(plain))
+		resp.ContentLength = int64(len(plain))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default:
+		return blocked(req, "privedit: request blocked by extension"), nil
+	}
+}

@@ -1,0 +1,158 @@
+package bespin
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+)
+
+func pwProvider(seed uint64) func(string) (string, core.Options, error) {
+	return func(string) (string, core.Options, error) {
+		return "code-pw", core.Options{
+			Scheme:     core.ConfidentialityOnly,
+			BlockChars: 8,
+			Nonces:     crypt.NewSeededNonceSource(seed),
+		}, nil
+	}
+}
+
+func newHarness(t *testing.T) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	s := NewServer()
+	s.EnableObservation()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	ext := NewExtension(ts.Client().Transport, pwProvider(42))
+	return s, ts, NewClient(ext.Client(), ts.URL)
+}
+
+const sourceCode = "func secretAlgorithm() int {\n\treturn 42 // proprietary\n}\n"
+
+func TestPlainServerStoresFiles(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.Client(), ts.URL)
+	if err := c.Save("main.go", sourceCode); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := c.Load("main.go")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got != sourceCode {
+		t.Errorf("Load = %q", got)
+	}
+	if _, err := c.Load("missing.go"); err == nil {
+		t.Error("Load of missing file accepted")
+	}
+}
+
+func TestServerRejectsOtherMethods(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+PathPrefix+"x", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status = %d", resp.StatusCode)
+	}
+}
+
+func TestEncryptedSaveAndLoad(t *testing.T) {
+	server, _, client := newHarness(t)
+	if err := client.Save("secret.go", sourceCode); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Server sees only ciphertext.
+	stored, ok := server.File("secret.go")
+	if !ok {
+		t.Fatal("file not stored")
+	}
+	if strings.Contains(stored, "secretAlgorithm") || strings.Contains(stored, "proprietary") {
+		t.Error("plaintext stored on server")
+	}
+	if strings.Contains(server.Observed(), "secretAlgorithm") {
+		t.Error("plaintext observed by server")
+	}
+	// Client reads back plaintext through the extension.
+	got, err := client.Load("secret.go")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got != sourceCode {
+		t.Errorf("Load = %q", got)
+	}
+}
+
+func TestWholeFileReencryptedEachSave(t *testing.T) {
+	// The paper notes Bespin has no incremental updates: each save is a
+	// full encryption, so the stored ciphertext changes completely.
+	server, _, client := newHarness(t)
+	if err := client.Save("f.go", sourceCode); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	v1, _ := server.File("f.go")
+	if err := client.Save("f.go", sourceCode+"// edited\n"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	v2, _ := server.File("f.go")
+	if v1 == v2 {
+		t.Error("ciphertext unchanged across saves")
+	}
+	got, err := client.Load("f.go")
+	if err != nil || got != sourceCode+"// edited\n" {
+		t.Errorf("Load = (%q, %v)", got, err)
+	}
+}
+
+func TestUnknownRequestsBlocked(t *testing.T) {
+	_, ts, _ := newHarness(t)
+	ext := NewExtension(ts.Client().Transport, pwProvider(43))
+	resp, err := ext.Client().Get(ts.URL + "/admin/exfiltrate")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("unknown request status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestCrossExtensionLoadWithPassword(t *testing.T) {
+	_, ts, client := newHarness(t)
+	if err := client.Save("shared.go", sourceCode); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	ext2 := NewExtension(ts.Client().Transport, pwProvider(99))
+	c2 := NewClient(ext2.Client(), ts.URL)
+	got, err := c2.Load("shared.go")
+	if err != nil {
+		t.Fatalf("Load via second extension: %v", err)
+	}
+	if got != sourceCode {
+		t.Errorf("Load = %q", got)
+	}
+}
+
+func TestWrongPasswordBlocked(t *testing.T) {
+	_, ts, client := newHarness(t)
+	if err := client.Save("locked.go", sourceCode); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	wrong := NewExtension(ts.Client().Transport, func(string) (string, core.Options, error) {
+		return "bad-pw", core.Options{Nonces: crypt.NewSeededNonceSource(1)}, nil
+	})
+	c2 := NewClient(wrong.Client(), ts.URL)
+	if _, err := c2.Load("locked.go"); err == nil {
+		t.Error("wrong password load accepted")
+	}
+}

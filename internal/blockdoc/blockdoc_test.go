@@ -1,0 +1,318 @@
+package blockdoc_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/crypt"
+	"privedit/internal/recb"
+	"privedit/internal/rpcmode"
+)
+
+func testSalt() [blockdoc.SaltLen]byte {
+	var s [blockdoc.SaltLen]byte
+	for i := range s {
+		s[i] = byte(i + 1)
+	}
+	return s
+}
+
+func testKC() [blockdoc.KeyCheckLen]byte {
+	var k [blockdoc.KeyCheckLen]byte
+	for i := range k {
+		k[i] = byte(0x90 + i)
+	}
+	return k
+}
+
+func testKey() []byte {
+	k := make([]byte, crypt.KeySize)
+	for i := range k {
+		k[i] = byte(0x40 + i)
+	}
+	return k
+}
+
+// codecs returns a fresh codec of each scheme, deterministically seeded.
+func codecs(t testing.TB, seed uint64) map[string]blockdoc.Codec {
+	t.Helper()
+	r, err := recb.New(testKey(), crypt.NewSeededNonceSource(seed))
+	if err != nil {
+		t.Fatalf("recb.New: %v", err)
+	}
+	p, err := rpcmode.New(testKey(), crypt.NewSeededNonceSource(seed+1))
+	if err != nil {
+		t.Fatalf("rpcmode.New: %v", err)
+	}
+	return map[string]blockdoc.Codec{"rECB": r, "RPC": p}
+}
+
+func TestNewRejectsBadBlockSize(t *testing.T) {
+	for name, c := range codecs(t, 1) {
+		for _, b := range []int{0, -1, 9, 100} {
+			if _, err := blockdoc.New(c, b, testSalt(), testKC()); err == nil {
+				t.Errorf("%s: New accepted block size %d", name, b)
+			}
+		}
+	}
+}
+
+func TestRoundTripAllBlockSizes(t *testing.T) {
+	text := "The quick brown fox jumps over the lazy dog. 0123456789!"
+	for name, _ := range codecs(t, 2) {
+		for b := 1; b <= 8; b++ {
+			c := codecs(t, uint64(b))[name]
+			doc, err := blockdoc.New(c, b, testSalt(), testKC())
+			if err != nil {
+				t.Fatalf("%s b=%d: New: %v", name, b, err)
+			}
+			if err := doc.LoadPlaintext(text); err != nil {
+				t.Fatalf("%s b=%d: LoadPlaintext: %v", name, b, err)
+			}
+			if got := doc.Plaintext(); got != text {
+				t.Fatalf("%s b=%d: Plaintext = %q", name, b, got)
+			}
+			wantBlocks := (len(text) + b - 1) / b
+			if doc.Blocks() != wantBlocks {
+				t.Errorf("%s b=%d: %d blocks, want %d", name, b, doc.Blocks(), wantBlocks)
+			}
+			// Reopen from transport with a fresh codec.
+			c2 := codecs(t, uint64(b)+100)[name]
+			doc2, err := blockdoc.New(c2, b, testSalt(), testKC())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := doc2.LoadTransport(doc.Transport()); err != nil {
+				t.Fatalf("%s b=%d: LoadTransport: %v", name, b, err)
+			}
+			if got := doc2.Plaintext(); got != text {
+				t.Fatalf("%s b=%d: reopened plaintext = %q", name, b, got)
+			}
+			if doc2.Transport() != doc.Transport() {
+				t.Errorf("%s b=%d: reopened transport differs", name, b)
+			}
+		}
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	for name, c := range codecs(t, 3) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		if doc.Len() != 0 || doc.Blocks() != 0 || doc.Plaintext() != "" {
+			t.Errorf("%s: empty doc Len=%d Blocks=%d", name, doc.Len(), doc.Blocks())
+		}
+		tr := doc.Transport()
+		if len(tr) != doc.TransportLen() {
+			t.Errorf("%s: TransportLen %d, actual %d", name, doc.TransportLen(), len(tr))
+		}
+		c2 := codecs(t, 4)[name]
+		doc2, err := blockdoc.New(c2, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc2.LoadTransport(tr); err != nil {
+			t.Fatalf("%s: LoadTransport of empty doc: %v", name, err)
+		}
+		if doc2.Plaintext() != "" {
+			t.Errorf("%s: reopened empty doc nonempty", name)
+		}
+	}
+}
+
+func TestTransportLenMatches(t *testing.T) {
+	for name, c := range codecs(t, 5) {
+		doc, err := blockdoc.New(c, 4, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext(strings.Repeat("x", 123)); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		if got := len(doc.Transport()); got != doc.TransportLen() {
+			t.Errorf("%s: TransportLen() = %d, len(Transport()) = %d", name, doc.TransportLen(), got)
+		}
+	}
+}
+
+func TestTransportIsPrintableBase32(t *testing.T) {
+	for name, c := range codecs(t, 6) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("secret content \x00\xff binary ok"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		for _, ch := range doc.Transport() {
+			ok := (ch >= 'A' && ch <= 'Z') || (ch >= '2' && ch <= '7')
+			if !ok {
+				t.Fatalf("%s: transport contains %q", name, ch)
+			}
+		}
+	}
+}
+
+func TestPeekHeader(t *testing.T) {
+	for name, c := range codecs(t, 7) {
+		doc, err := blockdoc.New(c, 5, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("peek me"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		h, err := blockdoc.PeekHeader(doc.Transport())
+		if err != nil {
+			t.Fatalf("%s: PeekHeader: %v", name, err)
+		}
+		if h.SchemeID != c.ID() {
+			t.Errorf("%s: scheme id %d, want %d", name, h.SchemeID, c.ID())
+		}
+		if h.BlockChars != 5 {
+			t.Errorf("%s: block chars %d, want 5", name, h.BlockChars)
+		}
+		if h.Salt != testSalt() {
+			t.Errorf("%s: salt mismatch", name)
+		}
+	}
+}
+
+func TestPeekHeaderErrors(t *testing.T) {
+	if _, err := blockdoc.PeekHeader("short"); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("short transport = %v, want ErrCorrupt", err)
+	}
+	if _, err := blockdoc.PeekHeader(strings.Repeat("!", 64)); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("invalid base32 = %v, want ErrCorrupt", err)
+	}
+	// Valid Base32, wrong magic.
+	bad := crypt.EncodeTransport([]byte(strings.Repeat("Z", 40)))
+	if _, err := blockdoc.PeekHeader(bad); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("bad magic = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadTransportSchemeMismatch(t *testing.T) {
+	cs := codecs(t, 8)
+	recbDoc, err := blockdoc.New(cs["rECB"], 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := recbDoc.LoadPlaintext("hello"); err != nil {
+		t.Fatalf("LoadPlaintext: %v", err)
+	}
+	rpcDoc, err := blockdoc.New(cs["RPC"], 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rpcDoc.LoadTransport(recbDoc.Transport()); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("cross-scheme load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadTransportBlockSizeMismatch(t *testing.T) {
+	cs := codecs(t, 9)
+	doc4, err := blockdoc.New(cs["rECB"], 4, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := doc4.LoadPlaintext("hello"); err != nil {
+		t.Fatalf("LoadPlaintext: %v", err)
+	}
+	doc8, err := blockdoc.New(codecs(t, 10)["rECB"], 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := doc8.LoadTransport(doc4.Transport()); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("block-size-mismatch load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadTransportTruncatedBody(t *testing.T) {
+	for name, c := range codecs(t, 11) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("0123456789abcdef0123456789"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		tr := doc.Transport()
+		// Chop a few characters off the end: body no longer whole records
+		// (or the trailer is mangled).
+		c2 := codecs(t, 12)[name]
+		doc2, err := blockdoc.New(c2, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc2.LoadTransport(tr[:len(tr)-3]); err == nil {
+			t.Errorf("%s: truncated transport accepted", name)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := codecs(t, 13)["rECB"]
+	doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	text := strings.Repeat("a", 80) // exactly 10 full blocks
+	if err := doc.LoadPlaintext(text); err != nil {
+		t.Fatalf("LoadPlaintext: %v", err)
+	}
+	s := doc.Stats()
+	if s.Blocks != 10 || s.PlainLen != 80 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.AvgFill != 8.0 {
+		t.Errorf("AvgFill = %f, want 8", s.AvgFill)
+	}
+	if s.Blowup <= 1 {
+		t.Errorf("Blowup = %f, want > 1", s.Blowup)
+	}
+	if s.Scheme != "rECB" || s.BlockChars != 8 {
+		t.Errorf("Stats identity = %+v", s)
+	}
+}
+
+func TestSelfCheck(t *testing.T) {
+	for name, c := range codecs(t, 14) {
+		doc, err := blockdoc.New(c, 3, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("self check content here"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		if err := doc.SelfCheck(); err != nil {
+			t.Errorf("%s: SelfCheck: %v", name, err)
+		}
+	}
+}
+
+func TestDistinctCiphertextsForSamePlaintext(t *testing.T) {
+	// Randomized encryption: loading the same plaintext twice must give
+	// different transports (fresh nonces), yet both decrypt identically.
+	for name, c := range codecs(t, 15) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("same plaintext"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		t1 := doc.Transport()
+		if err := doc.LoadPlaintext("same plaintext"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		t2 := doc.Transport()
+		if t1 == t2 {
+			t.Errorf("%s: identical transports for repeated encryption", name)
+		}
+	}
+}

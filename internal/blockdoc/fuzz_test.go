@@ -1,0 +1,59 @@
+package blockdoc_test
+
+import (
+	"testing"
+
+	"privedit/internal/blockdoc"
+)
+
+// FuzzLoadTransport throws arbitrary strings at the container parser: it
+// must either load cleanly or fail with an error — never panic, never
+// produce a document whose re-serialization differs from its input.
+func FuzzLoadTransport(f *testing.F) {
+	// Seed with genuine containers of both schemes and mutations thereof.
+	for name, c := range codecs(f, 900) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			f.Fatalf("%s: New: %v", name, err)
+		}
+		if err := doc.LoadPlaintext("seed corpus document"); err != nil {
+			f.Fatalf("%s: LoadPlaintext: %v", name, err)
+		}
+		tr := doc.Transport()
+		f.Add(tr)
+		f.Add(tr[:len(tr)-1])
+		f.Add(tr + "A")
+		f.Add("X" + tr[1:])
+	}
+	f.Add("")
+	f.Add("AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+
+	f.Fuzz(func(t *testing.T, transport string) {
+		for name, c := range codecs(t, 901) {
+			doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+			if err != nil {
+				t.Fatalf("%s: New: %v", name, err)
+			}
+			if err := doc.LoadTransport(transport); err != nil {
+				continue // rejected: fine
+			}
+			// Accepted: the document must round-trip.
+			if doc.Transport() != transport {
+				t.Fatalf("%s: accepted container does not round-trip", name)
+			}
+			if err := doc.SelfCheck(); err != nil {
+				t.Fatalf("%s: accepted container fails self check: %v", name, err)
+			}
+		}
+	})
+}
+
+// FuzzPeekHeader must never panic on arbitrary input.
+func FuzzPeekHeader(f *testing.F) {
+	f.Add("")
+	f.Add("KBLEKRBRA")
+	f.Add("!!!!not base32 at all!!!! but quite long, certainly over forty")
+	f.Fuzz(func(t *testing.T, transport string) {
+		_, _ = blockdoc.PeekHeader(transport)
+	})
+}

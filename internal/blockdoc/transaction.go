@@ -1,0 +1,290 @@
+package blockdoc
+
+import (
+	"fmt"
+	"strings"
+
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+)
+
+// rangeEdit records that source blocks [srcLo, srcHi) were replaced by the
+// blocks currently occupying ordinals [curLo, curLo+curCnt). Ranges are
+// kept sorted and non-overlapping; because delta operations move strictly
+// left to right, only the most recent range can ever be touched again.
+type rangeEdit struct {
+	srcLo, srcHi  int
+	curLo, curCnt int
+}
+
+// tx accumulates the effects of one plaintext delta (a sequence of splices)
+// so a single well-formed ciphertext delta can be emitted at commit.
+type tx struct {
+	doc            *Document
+	srcCount       int // blocks when the transaction began
+	edits          []rangeEdit
+	prefixChanged  bool
+	trailerChanged bool
+}
+
+// TransformDelta applies a plaintext delta to the encrypted document and
+// returns the corresponding ciphertext delta: the paper's transform_delta
+// (§V-B, Figure 2). The returned delta transforms the document's previous
+// transport string into its new one; the server applies it blindly.
+func (d *Document) TransformDelta(pd delta.Delta) (delta.Delta, error) {
+	if err := pd.Validate(d.Len()); err != nil {
+		return nil, fmt.Errorf("blockdoc: plaintext delta: %w", err)
+	}
+	t := &tx{doc: d, srcCount: d.list.Len()}
+	cursor := 0
+	for _, op := range pd {
+		switch op.Kind {
+		case delta.Retain:
+			cursor += op.N
+		case delta.Insert:
+			if err := t.splice(cursor, 0, op.Str); err != nil {
+				return nil, err
+			}
+			cursor += len(op.Str)
+		case delta.Delete:
+			if err := t.splice(cursor, op.N, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t.commit()
+}
+
+// Splice performs a single edit — delete del characters at pos, then
+// insert ins there — and returns the ciphertext delta for it.
+func (d *Document) Splice(pos, del int, ins string) (delta.Delta, error) {
+	return d.TransformDelta(delta.Delta{
+		delta.RetainOp(pos),
+		delta.DeleteOp(del),
+		delta.InsertOp(ins),
+	})
+}
+
+// splice replaces del characters at plaintext position pos with ins,
+// updating the block index incrementally and recording the affected block
+// ranges for commit.
+func (t *tx) splice(pos, del int, ins string) error {
+	d := t.doc
+	n := d.Len()
+	if pos < 0 || del < 0 || pos+del > n {
+		return fmt.Errorf("%w: splice pos %d del %d in document of %d chars", ErrRange, pos, del, n)
+	}
+	if del == 0 && ins == "" {
+		return nil
+	}
+
+	// Determine the current block range [curA, curB) to replace and the
+	// partial characters that survive from the boundary blocks.
+	var curA, curB int
+	var prefixPart, suffixPart []byte
+	switch {
+	case n == 0 || pos == n:
+		// Appending (or filling an empty document): no blocks touched.
+		curA, curB = d.list.Len(), d.list.Len()
+	default:
+		first, err := d.list.FindPrimary(pos)
+		if err != nil {
+			return err
+		}
+		if del == 0 && first.Offset == 0 {
+			// Pure insertion on a block boundary: splice in new blocks
+			// without rewriting the right block.
+			curA, curB = first.Ordinal, first.Ordinal
+		} else {
+			curA = first.Ordinal
+			prefixPart = first.Value.Chars[:first.Offset]
+			if del == 0 {
+				curB = first.Ordinal + 1
+				suffixPart = first.Value.Chars[first.Offset:]
+			} else {
+				last, err := d.list.FindPrimary(pos + del - 1)
+				if err != nil {
+					return err
+				}
+				curB = last.Ordinal + 1
+				suffixPart = last.Value.Chars[last.Offset+1:]
+			}
+		}
+	}
+
+	newText := make([]byte, 0, len(prefixPart)+len(ins)+len(suffixPart))
+	newText = append(newText, prefixPart...)
+	newText = append(newText, ins...)
+	newText = append(newText, suffixPart...)
+	chunks := d.chunk(newText)
+
+	// Collect and remove the replaced blocks.
+	removed := make([]*Block, 0, curB-curA)
+	_ = d.list.Each(curA, func(ord int, blk *Block, _, _ int) bool {
+		if ord >= curB {
+			return false
+		}
+		removed = append(removed, blk)
+		return true
+	})
+	for range removed {
+		if _, _, _, err := d.list.DeleteAt(curA); err != nil {
+			return err
+		}
+	}
+
+	// Identify surviving neighbors.
+	var left, right *Block
+	if curA > 0 {
+		pos, err := d.list.FindOrdinal(curA - 1)
+		if err != nil {
+			return err
+		}
+		left = pos.Value
+	}
+	if curA < d.list.Len() {
+		pos, err := d.list.FindOrdinal(curA)
+		if err != nil {
+			return err
+		}
+		right = pos.Value
+	}
+
+	added, newLeftRecord, newPrefix, newTrailer, err := d.codec.Splice(left, removed, chunks, right)
+	if err != nil {
+		return fmt.Errorf("blockdoc: codec splice: %w", err)
+	}
+	leftRewritten := false
+	if newLeftRecord != nil && left != nil {
+		left.Record = newLeftRecord
+		leftRewritten = true
+	}
+	for i, blk := range added {
+		if err := d.list.InsertAt(curA+i, blk, len(blk.Chars), d.recordChars); err != nil {
+			return err
+		}
+	}
+	if newPrefix != nil {
+		d.schemePrefix = newPrefix
+		t.prefixChanged = true
+	}
+	if newTrailer != nil {
+		d.trailer = newTrailer
+		t.trailerChanged = true
+	}
+
+	t.record(curA, curB, len(added), leftRewritten)
+	return nil
+}
+
+// record merges the replacement of current ordinals [curA, curB) (with
+// addedCnt new blocks, optionally extended one block left for a rewritten
+// neighbor) into the transaction's range edits.
+func (t *tx) record(curA, curB, addedCnt int, leftRewritten bool) {
+	effA := curA
+	if leftRewritten {
+		effA = curA - 1
+	}
+
+	if len(t.edits) > 0 {
+		last := &t.edits[len(t.edits)-1]
+		lastEnd := last.curLo + last.curCnt
+		if effA <= lastEnd {
+			// Overlaps or touches the previous range: merge.
+			mergedLo := last.curLo
+			srcLo := last.srcLo
+			if effA < last.curLo {
+				// Left-neighbor rewrite stepped one block before the
+				// previous range; that block is the source block just
+				// before it.
+				mergedLo = effA
+				srcLo = last.srcLo - (last.curLo - effA)
+			}
+			srcHi := last.srcHi
+			mergedOldEnd := lastEnd
+			if curB > lastEnd {
+				srcHi += curB - lastEnd
+				mergedOldEnd = curB
+			}
+			last.srcLo = srcLo
+			last.srcHi = srcHi
+			last.curLo = mergedLo
+			last.curCnt = (mergedOldEnd - mergedLo) - (curB - curA) + addedCnt
+			return
+		}
+	}
+
+	// Disjoint new range: translate current ordinals to source ordinals by
+	// undoing the shifts of all earlier replacements (all to the left).
+	shift := 0
+	for _, e := range t.edits {
+		shift += (e.srcHi - e.srcLo) - e.curCnt
+	}
+	cnt := addedCnt
+	if leftRewritten {
+		cnt++
+	}
+	t.edits = append(t.edits, rangeEdit{
+		srcLo:  effA + shift,
+		srcHi:  curB + shift,
+		curLo:  effA,
+		curCnt: cnt,
+	})
+}
+
+// commit emits the ciphertext delta describing every change the
+// transaction made, against the transport string as it was when the
+// transaction began.
+func (t *tx) commit() (delta.Delta, error) {
+	d := t.doc
+	var out delta.Delta
+
+	// Prefix region.
+	if t.prefixChanged {
+		prefixRaw := append(d.header.encode(), d.schemePrefix...)
+		out = append(out, delta.DeleteOp(d.prefixChars), delta.InsertOp(crypt.EncodeTransport(prefixRaw)))
+	} else {
+		out = append(out, delta.RetainOp(d.prefixChars))
+	}
+
+	// Record regions.
+	prevSrc := 0
+	for _, e := range t.edits {
+		if e.srcLo > prevSrc {
+			out = append(out, delta.RetainOp((e.srcLo-prevSrc)*d.recordChars))
+		}
+		if e.srcHi > e.srcLo {
+			out = append(out, delta.DeleteOp((e.srcHi-e.srcLo)*d.recordChars))
+		}
+		if e.curCnt > 0 {
+			var b strings.Builder
+			b.Grow(e.curCnt * d.recordChars)
+			count := 0
+			if err := d.list.Each(e.curLo, func(_ int, blk *Block, _, _ int) bool {
+				if count >= e.curCnt {
+					return false
+				}
+				b.WriteString(crypt.EncodeTransport(blk.Record))
+				count++
+				return true
+			}); err != nil {
+				return nil, err
+			}
+			if count != e.curCnt {
+				return nil, fmt.Errorf("%w: range edit expected %d blocks, found %d", ErrCorrupt, e.curCnt, count)
+			}
+			out = append(out, delta.InsertOp(b.String()))
+		}
+		prevSrc = e.srcHi
+	}
+
+	// Trailer region.
+	if t.trailerChanged && d.trailerChars > 0 {
+		if t.srcCount > prevSrc {
+			out = append(out, delta.RetainOp((t.srcCount-prevSrc)*d.recordChars))
+		}
+		out = append(out, delta.DeleteOp(d.trailerChars), delta.InsertOp(crypt.EncodeTransport(d.trailer)))
+	}
+
+	return out.Normalize(), nil
+}

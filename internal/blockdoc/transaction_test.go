@@ -1,0 +1,329 @@
+package blockdoc_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/delta"
+)
+
+// checkEdit applies a plaintext delta through TransformDelta and verifies
+// the three-way agreement at the heart of the scheme:
+//
+//  1. the in-memory plaintext equals the delta applied to the old plaintext;
+//  2. the ciphertext delta, applied to the old transport string (as the
+//     server would), yields exactly the document's new transport string;
+//  3. the new transport still decrypts (and, for RPC, verifies) back to
+//     the same plaintext.
+func checkEdit(t *testing.T, doc *blockdoc.Document, pd delta.Delta) {
+	t.Helper()
+	oldPlain := doc.Plaintext()
+	oldTransport := doc.Transport()
+
+	cd, err := doc.TransformDelta(pd)
+	if err != nil {
+		t.Fatalf("TransformDelta(%q): %v", pd.String(), err)
+	}
+	wantPlain, err := pd.Apply(oldPlain)
+	if err != nil {
+		t.Fatalf("reference apply: %v", err)
+	}
+	if got := doc.Plaintext(); got != wantPlain {
+		t.Fatalf("plaintext after edit = %q, want %q (delta %q)", got, wantPlain, pd.String())
+	}
+	serverSide, err := cd.Apply(oldTransport)
+	if err != nil {
+		t.Fatalf("server-side cdelta apply (%q): %v", cd.String(), err)
+	}
+	if serverSide != doc.Transport() {
+		t.Fatalf("server transport diverged after delta %q\n cdelta %.80q...", pd.String(), cd.String())
+	}
+	if err := doc.SelfCheck(); err != nil {
+		t.Fatalf("SelfCheck after delta %q: %v", pd.String(), err)
+	}
+}
+
+func TestSpliceBasicOperations(t *testing.T) {
+	base := "abcdefghijklmnopqrstuvwxyz"
+	edits := []delta.Delta{
+		{delta.RetainOp(2), delta.DeleteOp(5)}, // paper example shape
+		{delta.RetainOp(2), delta.DeleteOp(3), delta.InsertOp("uv"), delta.RetainOp(2), delta.InsertOp("w")},
+		{delta.InsertOp("front ")},
+		{delta.RetainOp(26), delta.InsertOp(" back")},
+		{delta.RetainOp(13), delta.InsertOp("MIDDLE")},
+		{delta.DeleteOp(26)},
+		{delta.RetainOp(1), delta.DeleteOp(24)},
+		{delta.RetainOp(25), delta.DeleteOp(1)},
+		{delta.DeleteOp(1), delta.InsertOp("A")},
+	}
+	for name := range codecs(t, 20) {
+		for b := 1; b <= 8; b += 7 { // b = 1 and b = 8
+			for i, pd := range edits {
+				c := codecs(t, uint64(100+i))[name]
+				doc, err := blockdoc.New(c, b, testSalt(), testKC())
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := doc.LoadPlaintext(base); err != nil {
+					t.Fatalf("LoadPlaintext: %v", err)
+				}
+				checkEdit(t, doc, pd)
+			}
+		}
+	}
+}
+
+func TestSpliceOnEmptyDocument(t *testing.T) {
+	for name, c := range codecs(t, 21) {
+		doc, err := blockdoc.New(c, 4, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		checkEdit(t, doc, delta.Delta{delta.InsertOp("hello world")})
+		// Then delete everything again.
+		checkEdit(t, doc, delta.Delta{delta.DeleteOp(11)})
+		if doc.Len() != 0 || doc.Blocks() != 0 {
+			t.Errorf("%s: doc not empty after delete-all", name)
+		}
+		// And refill.
+		checkEdit(t, doc, delta.Delta{delta.InsertOp("again")})
+	}
+}
+
+func TestSpliceRangeErrors(t *testing.T) {
+	for name, c := range codecs(t, 22) {
+		doc, err := blockdoc.New(c, 4, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("0123456789"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		bad := []delta.Delta{
+			{delta.RetainOp(11)},
+			{delta.DeleteOp(11)},
+			{delta.RetainOp(5), delta.DeleteOp(6)},
+		}
+		for _, pd := range bad {
+			if _, err := doc.TransformDelta(pd); err == nil {
+				t.Errorf("%s: TransformDelta(%q) accepted out-of-range delta", name, pd.String())
+			}
+		}
+		// Document must be unchanged after a rejected delta.
+		if doc.Plaintext() != "0123456789" {
+			t.Errorf("%s: document mutated by rejected delta", name)
+		}
+	}
+}
+
+func TestSpliceSingleEditAPI(t *testing.T) {
+	for name, c := range codecs(t, 23) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("hello cruel world"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		old := doc.Transport()
+		cd, err := doc.Splice(6, 5, "kind")
+		if err != nil {
+			t.Fatalf("%s: Splice: %v", name, err)
+		}
+		if doc.Plaintext() != "hello kind world" {
+			t.Errorf("%s: Splice result %q", name, doc.Plaintext())
+		}
+		applied, err := cd.Apply(old)
+		if err != nil || applied != doc.Transport() {
+			t.Errorf("%s: Splice cdelta does not reproduce transport (%v)", name, err)
+		}
+	}
+}
+
+func TestMultiOpDeltasTouchingAdjacentBlocks(t *testing.T) {
+	// Deltas engineered so consecutive splices hit the same or adjacent
+	// blocks, exercising the range-merge logic (including RPC's left
+	// neighbor rewrite stepping back into the previous range).
+	base := strings.Repeat("0123456789", 10)
+	deltas := []delta.Delta{
+		{delta.RetainOp(10), delta.InsertOp("A"), delta.InsertOp("B"), delta.InsertOp("C")},
+		{delta.RetainOp(10), delta.InsertOp("A"), delta.DeleteOp(5), delta.InsertOp("B")},
+		{delta.RetainOp(8), delta.DeleteOp(2), delta.InsertOp("xx"), delta.DeleteOp(2), delta.InsertOp("yy")},
+		{delta.DeleteOp(4), delta.InsertOp("a"), delta.DeleteOp(4), delta.InsertOp("b"), delta.DeleteOp(4)},
+		{delta.RetainOp(50), delta.InsertOp("one"), delta.RetainOp(1), delta.InsertOp("two"), delta.RetainOp(1), delta.InsertOp("three")},
+		{delta.InsertOp("x"), delta.RetainOp(99), delta.InsertOp("y"), delta.DeleteOp(1)},
+		{delta.RetainOp(16), delta.DeleteOp(1), delta.InsertOp("q"), delta.RetainOp(0), delta.DeleteOp(1)},
+	}
+	for name := range codecs(t, 24) {
+		for b := 1; b <= 8; b++ {
+			for i, pd := range deltas {
+				c := codecs(t, uint64(300+10*b+i))[name]
+				doc, err := blockdoc.New(c, b, testSalt(), testKC())
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := doc.LoadPlaintext(base); err != nil {
+					t.Fatalf("LoadPlaintext: %v", err)
+				}
+				checkEdit(t, doc, pd)
+			}
+		}
+	}
+}
+
+// randomDelta builds a random valid delta for a document of length n.
+func randomDelta(rng *rand.Rand, n int) delta.Delta {
+	var d delta.Delta
+	cursor := 0
+	ops := 1 + rng.Intn(6)
+	alphabet := "abcdefghijklmnopqrstuvwxyz ABCDEFGH"
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert
+			m := 1 + rng.Intn(12)
+			var sb strings.Builder
+			for j := 0; j < m; j++ {
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+			d = append(d, delta.InsertOp(sb.String()))
+		case 2: // delete
+			if cursor < n {
+				m := 1 + rng.Intn(n-cursor)
+				if m > 20 {
+					m = 20
+				}
+				d = append(d, delta.DeleteOp(m))
+				cursor += m
+			}
+		default: // retain
+			if cursor < n {
+				m := 1 + rng.Intn(n-cursor)
+				d = append(d, delta.RetainOp(m))
+				cursor += m
+			}
+		}
+	}
+	return d
+}
+
+func TestRandomEditSequencesProperty(t *testing.T) {
+	// The central property test: hundreds of random deltas against both
+	// codecs and several block sizes, with the server-side transport
+	// replayed from the emitted ciphertext deltas after every step.
+	for name := range codecs(t, 25) {
+		for _, b := range []int{1, 3, 8} {
+			t.Run(name+"/b="+string(rune('0'+b)), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(1000 + b)))
+				c := codecs(t, uint64(500+b))[name]
+				doc, err := blockdoc.New(c, b, testSalt(), testKC())
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := doc.LoadPlaintext("initial document content, moderately sized."); err != nil {
+					t.Fatalf("LoadPlaintext: %v", err)
+				}
+				serverTransport := doc.Transport()
+				plain := doc.Plaintext()
+				const steps = 120
+				for step := 0; step < steps; step++ {
+					pd := randomDelta(rng, doc.Len()).Normalize()
+					if pd.IsNoop() {
+						continue
+					}
+					cd, err := doc.TransformDelta(pd)
+					if err != nil {
+						t.Fatalf("step %d: TransformDelta(%q): %v", step, pd.String(), err)
+					}
+					plain, err = pd.Apply(plain)
+					if err != nil {
+						t.Fatalf("step %d: reference apply: %v", step, err)
+					}
+					serverTransport, err = cd.Apply(serverTransport)
+					if err != nil {
+						t.Fatalf("step %d: server apply: %v", step, err)
+					}
+					if doc.Plaintext() != plain {
+						t.Fatalf("step %d: plaintext diverged", step)
+					}
+					if serverTransport != doc.Transport() {
+						t.Fatalf("step %d: server transport diverged (delta %q)", step, pd.String())
+					}
+				}
+				// Final: a fresh client opens the server's copy.
+				c2 := codecs(t, uint64(900+b))[name]
+				doc2, err := blockdoc.New(c2, b, testSalt(), testKC())
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if err := doc2.LoadTransport(serverTransport); err != nil {
+					t.Fatalf("final LoadTransport: %v", err)
+				}
+				if doc2.Plaintext() != plain {
+					t.Fatal("fresh client sees different plaintext")
+				}
+			})
+		}
+	}
+}
+
+func TestIncrementalTouchesFewRecords(t *testing.T) {
+	// The point of incremental encryption: a small edit in a large
+	// document must produce a ciphertext delta that rewrites only a few
+	// records, not the whole transport.
+	for name, c := range codecs(t, 26) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		text := strings.Repeat("lorem ipsum dolor sit amet, consectetur ", 250) // 10000 chars
+		if err := doc.LoadPlaintext(text); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		transportLen := doc.TransportLen()
+		cd, err := doc.Splice(5000, 3, "XYZ")
+		if err != nil {
+			t.Fatalf("Splice: %v", err)
+		}
+		touched := cd.InsertLen() + cd.DeleteLen()
+		// Generous bound: a handful of records plus prefix/trailer.
+		if touched > transportLen/20 {
+			t.Errorf("%s: small edit touched %d of %d transport chars", name, touched, transportLen)
+		}
+	}
+}
+
+func TestNoopDeltaProducesNoopCDelta(t *testing.T) {
+	for name, c := range codecs(t, 27) {
+		doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := doc.LoadPlaintext("steady state"); err != nil {
+			t.Fatalf("LoadPlaintext: %v", err)
+		}
+		cd, err := doc.TransformDelta(delta.Delta{delta.RetainOp(6)})
+		if err != nil {
+			t.Fatalf("TransformDelta: %v", err)
+		}
+		if !cd.IsNoop() {
+			t.Errorf("%s: no-op delta produced cdelta %q", name, cd.String())
+		}
+	}
+}
+
+func TestTransformDeltaRejectsInvalid(t *testing.T) {
+	c := codecs(t, 28)["rECB"]
+	doc, err := blockdoc.New(c, 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := doc.LoadPlaintext("short"); err != nil {
+		t.Fatalf("LoadPlaintext: %v", err)
+	}
+	if _, err := doc.TransformDelta(delta.Delta{delta.RetainOp(100)}); !errors.Is(err, delta.ErrRange) {
+		t.Errorf("oversized retain = %v, want delta.ErrRange", err)
+	}
+}

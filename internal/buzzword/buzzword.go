@@ -1,0 +1,297 @@
+// Package buzzword simulates Adobe Buzzword as described in §III: "On
+// every update, the client sends back the whole document content as a XML
+// file encapsulated in a HTTP POST request. By encrypting the text
+// embedded in <textRun> tags, we keep submitted document content secure."
+//
+// The document model is a list of styled text runs. The extension
+// encrypts only the character data inside each <textRun> element, leaving
+// the XML structure (styling, layout) intact so the service keeps
+// functioning on the markup it actually needs.
+package buzzword
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"privedit/internal/core"
+)
+
+// PathDoc is the document endpoint.
+const PathDoc = "/buzzword/doc"
+
+// TextRun is one styled run of document text.
+type TextRun struct {
+	XMLName xml.Name `xml:"textRun"`
+	Style   string   `xml:"style,attr,omitempty"`
+	Text    string   `xml:",chardata"`
+}
+
+// Document is the XML document the client posts on every update.
+type Document struct {
+	XMLName xml.Name  `xml:"doc"`
+	ID      string    `xml:"id,attr"`
+	Runs    []TextRun `xml:"textRun"`
+}
+
+// Marshal serializes the document.
+func (d Document) Marshal() (string, error) {
+	out, err := xml.Marshal(d)
+	if err != nil {
+		return "", fmt.Errorf("buzzword: marshal: %w", err)
+	}
+	return string(out), nil
+}
+
+// ParseDocument decodes a document.
+func ParseDocument(raw string) (Document, error) {
+	var d Document
+	if err := xml.Unmarshal([]byte(raw), &d); err != nil {
+		return Document{}, fmt.Errorf("buzzword: unmarshal: %w", err)
+	}
+	return d, nil
+}
+
+// Text returns the concatenated run text.
+func (d Document) Text() string {
+	var b strings.Builder
+	for _, r := range d.Runs {
+		b.WriteString(r.Text)
+	}
+	return b.String()
+}
+
+// Server is the simulated Buzzword backend: it stores the posted XML and
+// serves it back, never interpreting run text.
+type Server struct {
+	mu   sync.Mutex
+	docs map[string]string
+
+	observed strings.Builder
+	observe  bool
+}
+
+// NewServer creates an empty store.
+func NewServer() *Server { return &Server{docs: make(map[string]string)} }
+
+// EnableObservation records all content the server sees.
+func (s *Server) EnableObservation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observe = true
+}
+
+// Observed returns everything the server has seen.
+func (s *Server) Observed() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observed.String()
+}
+
+// Doc returns the stored XML for id.
+func (s *Server) Doc(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.docs[id]
+	return raw, ok
+}
+
+// ServeHTTP implements POST (store whole document XML) and GET (fetch).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != PathDoc {
+		http.Error(w, "buzzword: unknown path", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		doc, err := ParseDocument(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		if s.observe {
+			s.observed.Write(body)
+			s.observed.WriteByte('\n')
+		}
+		s.docs[doc.ID] = string(body)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		raw, ok := s.Doc(r.URL.Query().Get("id"))
+		if !ok {
+			http.Error(w, "buzzword: no such document", http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, raw)
+	default:
+		http.Error(w, "buzzword: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client posts whole documents and fetches them back.
+type Client struct {
+	httpc *http.Client
+	base  string
+}
+
+// NewClient builds a client; httpc may carry the Extension as Transport.
+func NewClient(httpc *http.Client, base string) *Client {
+	return &Client{httpc: httpc, base: base}
+}
+
+// Save posts the whole document.
+func (c *Client) Save(doc Document) error {
+	raw, err := doc.Marshal()
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Post(c.base+PathDoc, "application/xml", strings.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("buzzword: post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("buzzword: post status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Load fetches and parses a document.
+func (c *Client) Load(id string) (Document, error) {
+	resp, err := c.httpc.Get(c.base + PathDoc + "?id=" + id)
+	if err != nil {
+		return Document{}, fmt.Errorf("buzzword: get: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Document{}, fmt.Errorf("buzzword: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Document{}, fmt.Errorf("buzzword: get status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return ParseDocument(string(body))
+}
+
+// Extension encrypts the character data of every <textRun> on the way out
+// and decrypts it on the way in, leaving markup intact. Each run is its
+// own container (runs are independently styled and reflowed by the app).
+type Extension struct {
+	base     http.RoundTripper
+	password func(docID string) (string, core.Options, error)
+}
+
+var _ http.RoundTripper = (*Extension)(nil)
+
+// NewExtension wraps base (nil for http.DefaultTransport).
+func NewExtension(base http.RoundTripper, password func(docID string) (string, core.Options, error)) *Extension {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Extension{base: base, password: password}
+}
+
+// Client returns an http.Client routed through the extension.
+func (e *Extension) Client() *http.Client { return &http.Client{Transport: e} }
+
+func (e *Extension) transformDoc(raw string, encrypt bool) (string, error) {
+	doc, err := ParseDocument(raw)
+	if err != nil {
+		return "", err
+	}
+	password, opts, err := e.password(doc.ID)
+	if err != nil {
+		return "", err
+	}
+	for i := range doc.Runs {
+		if encrypt {
+			ed, err := core.NewEditor(password, opts)
+			if err != nil {
+				return "", err
+			}
+			ctxt, err := ed.Encrypt(doc.Runs[i].Text)
+			if err != nil {
+				return "", err
+			}
+			doc.Runs[i].Text = ctxt
+		} else {
+			plain, err := core.Decrypt(password, doc.Runs[i].Text)
+			if err != nil {
+				return "", err
+			}
+			doc.Runs[i].Text = plain
+		}
+	}
+	return doc.Marshal()
+}
+
+// RoundTrip mediates Buzzword traffic.
+func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Path != PathDoc {
+		return blockedResp(req, "privedit: request blocked by extension"), nil
+	}
+	switch req.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("buzzword extension: read body: %w", err)
+		}
+		enc, err := e.transformDoc(string(body), true)
+		if err != nil {
+			return blockedResp(req, "privedit: "+err.Error()), nil
+		}
+		clone := req.Clone(req.Context())
+		clone.Body = io.NopCloser(strings.NewReader(enc))
+		clone.ContentLength = int64(len(enc))
+		return e.base.RoundTrip(clone)
+	case http.MethodGet:
+		resp, err := e.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp, nil
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("buzzword extension: read response: %w", err)
+		}
+		plain, err := e.transformDoc(string(raw), false)
+		if err != nil {
+			return blockedResp(req, "privedit: "+err.Error()), nil
+		}
+		resp.Body = io.NopCloser(strings.NewReader(plain))
+		resp.ContentLength = int64(len(plain))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	default:
+		return blockedResp(req, "privedit: request blocked by extension"), nil
+	}
+}
+
+func blockedResp(req *http.Request, msg string) *http.Response {
+	return &http.Response{
+		StatusCode:    http.StatusForbidden,
+		Status:        "403 Forbidden",
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(msg))),
+		ContentLength: int64(len(msg)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,191 @@
+package buzzword
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+)
+
+func pw(seed uint64) func(string) (string, core.Options, error) {
+	return func(string) (string, core.Options, error) {
+		return "doc-pw", core.Options{
+			Scheme:     core.ConfidentialityOnly,
+			BlockChars: 8,
+			Nonces:     crypt.NewSeededNonceSource(seed),
+		}, nil
+	}
+}
+
+func sampleDoc() Document {
+	return Document{
+		ID: "memo-1",
+		Runs: []TextRun{
+			{Style: "bold", Text: "Quarterly results are catastrophic."},
+			{Style: "normal", Text: " Do not tell the shareholders yet."},
+		},
+	}
+}
+
+func TestDocumentMarshalRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	raw, err := d.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := ParseDocument(raw)
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	if got.ID != d.ID || len(got.Runs) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Runs[0].Text != d.Runs[0].Text || got.Runs[1].Style != "normal" {
+		t.Errorf("runs = %+v", got.Runs)
+	}
+	if got.Text() != d.Text() {
+		t.Errorf("Text = %q", got.Text())
+	}
+}
+
+func TestParseDocumentErrors(t *testing.T) {
+	if _, err := ParseDocument("<unclosed"); err == nil {
+		t.Error("bad XML accepted")
+	}
+}
+
+func TestPlainServer(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.Client(), ts.URL)
+	if err := c.Save(sampleDoc()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := c.Load("memo-1")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Text() != sampleDoc().Text() {
+		t.Errorf("Load text = %q", got.Text())
+	}
+	if _, err := c.Load("missing"); err == nil {
+		t.Error("missing doc accepted")
+	}
+}
+
+func TestEncryptedRunsHideTextKeepMarkup(t *testing.T) {
+	s := NewServer()
+	s.EnableObservation()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	ext := NewExtension(ts.Client().Transport, pw(7))
+	c := NewClient(ext.Client(), ts.URL)
+
+	if err := c.Save(sampleDoc()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw, ok := s.Doc("memo-1")
+	if !ok {
+		t.Fatal("doc not stored")
+	}
+	// Markup survives; text does not.
+	if !strings.Contains(raw, "<textRun") || !strings.Contains(raw, `style="bold"`) {
+		t.Errorf("markup lost: %q", raw)
+	}
+	for _, leak := range []string{"catastrophic", "shareholders", "Quarterly"} {
+		if strings.Contains(raw, leak) {
+			t.Errorf("plaintext %q stored on server", leak)
+		}
+		if strings.Contains(s.Observed(), leak) {
+			t.Errorf("plaintext %q observed by server", leak)
+		}
+	}
+	// Decrypting load restores the text.
+	got, err := c.Load("memo-1")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Text() != sampleDoc().Text() {
+		t.Errorf("decrypted text = %q", got.Text())
+	}
+	if got.Runs[0].Style != "bold" {
+		t.Errorf("style lost: %+v", got.Runs[0])
+	}
+}
+
+func TestPerRunEncryption(t *testing.T) {
+	// Each run is an independent container: same text in two runs must
+	// yield different ciphertexts (randomized encryption).
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	ext := NewExtension(ts.Client().Transport, pw(8))
+	c := NewClient(ext.Client(), ts.URL)
+	doc := Document{ID: "d", Runs: []TextRun{{Text: "same text"}, {Text: "same text"}}}
+	if err := c.Save(doc); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw, _ := s.Doc("d")
+	stored, err := ParseDocument(raw)
+	if err != nil {
+		t.Fatalf("parse stored: %v", err)
+	}
+	if stored.Runs[0].Text == stored.Runs[1].Text {
+		t.Error("identical runs encrypt identically")
+	}
+}
+
+func TestUnknownRequestsBlocked(t *testing.T) {
+	ts := httptest.NewServer(NewServer())
+	defer ts.Close()
+	ext := NewExtension(ts.Client().Transport, pw(9))
+	resp, err := ext.Client().Get(ts.URL + "/buzzword/admin")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestWrongPasswordFailsLoad(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	ext := NewExtension(ts.Client().Transport, pw(10))
+	c := NewClient(ext.Client(), ts.URL)
+	if err := c.Save(sampleDoc()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	wrong := NewExtension(ts.Client().Transport, func(string) (string, core.Options, error) {
+		return "other", core.Options{Nonces: crypt.NewSeededNonceSource(2)}, nil
+	})
+	c2 := NewClient(wrong.Client(), ts.URL)
+	if _, err := c2.Load("memo-1"); err == nil {
+		t.Error("wrong-password load accepted")
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	ext := NewExtension(ts.Client().Transport, pw(11))
+	c := NewClient(ext.Client(), ts.URL)
+	doc := Document{ID: "e", Runs: []TextRun{{Text: ""}, {Text: "x"}}}
+	if err := c.Save(doc); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := c.Load("e")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Text() != "x" {
+		t.Errorf("text = %q", got.Text())
+	}
+}

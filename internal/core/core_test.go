@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+)
+
+func testOpts(scheme Scheme, seed uint64) Options {
+	return Options{
+		Scheme:     scheme,
+		BlockChars: 8,
+		Nonces:     crypt.NewSeededNonceSource(seed),
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if ConfidentialityOnly.String() != "rECB" || ConfidentialityIntegrity.String() != "RPC" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() != "Scheme(9)" {
+		t.Error("unknown scheme name wrong")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("secret", testOpts(scheme, 1))
+		if err != nil {
+			t.Fatalf("%v: NewEditor: %v", scheme, err)
+		}
+		text := "my confidential tax documents"
+		transport, err := ed.Encrypt(text)
+		if err != nil {
+			t.Fatalf("%v: Encrypt: %v", scheme, err)
+		}
+		if strings.Contains(transport, text) {
+			t.Fatalf("%v: plaintext visible in transport", scheme)
+		}
+		got, err := Decrypt("secret", transport)
+		if err != nil {
+			t.Fatalf("%v: Decrypt: %v", scheme, err)
+		}
+		if got != text {
+			t.Errorf("%v: Decrypt = %q", scheme, got)
+		}
+	}
+}
+
+func TestWrongPasswordRejected(t *testing.T) {
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("right horse battery staple", testOpts(scheme, 2))
+		if err != nil {
+			t.Fatalf("NewEditor: %v", err)
+		}
+		transport, err := ed.Encrypt("private")
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		if _, err := Decrypt("wrong password", transport); !errors.Is(err, ErrWrongPassword) {
+			t.Errorf("%v: wrong password = %v, want ErrWrongPassword", scheme, err)
+		}
+	}
+}
+
+func TestOpenPreservesSchemeAndBlockSize(t *testing.T) {
+	opts := Options{Scheme: ConfidentialityOnly, BlockChars: 3, Nonces: crypt.NewSeededNonceSource(3)}
+	ed, err := NewEditor("pw", opts)
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	transport, err := ed.Encrypt("twelve chars")
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	ed2, err := Open("pw", transport, crypt.NewSeededNonceSource(4))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if ed2.Scheme() != ConfidentialityOnly {
+		t.Errorf("scheme = %v", ed2.Scheme())
+	}
+	if ed2.BlockChars() != 3 {
+		t.Errorf("block chars = %d", ed2.BlockChars())
+	}
+	if ed2.Plaintext() != "twelve chars" {
+		t.Errorf("plaintext = %q", ed2.Plaintext())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	ed, err := NewEditor("pw", Options{})
+	if err != nil {
+		t.Fatalf("NewEditor with defaults: %v", err)
+	}
+	if ed.Scheme() != ConfidentialityIntegrity {
+		t.Errorf("default scheme = %v, want RPC", ed.Scheme())
+	}
+	if ed.BlockChars() != DefaultBlockChars {
+		t.Errorf("default block chars = %d", ed.BlockChars())
+	}
+}
+
+func TestBadSchemeRejected(t *testing.T) {
+	if _, err := NewEditor("pw", Options{Scheme: Scheme(42), BlockChars: 8, Nonces: crypt.NewSeededNonceSource(1)}); !errors.Is(err, ErrBadScheme) {
+		t.Errorf("bad scheme = %v, want ErrBadScheme", err)
+	}
+}
+
+func TestOpenGarbageRejected(t *testing.T) {
+	if _, err := Open("pw", "definitely not a container", nil); !errors.Is(err, blockdoc.ErrCorrupt) {
+		t.Errorf("garbage open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTransformDeltaWireProtocol(t *testing.T) {
+	// The exact flow of Figure 2: the extension sees a delta string in the
+	// outgoing request, transforms it, and the server applies the result.
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("pw", testOpts(scheme, 5))
+		if err != nil {
+			t.Fatalf("NewEditor: %v", err)
+		}
+		serverCopy, err := ed.Encrypt("abcdefg")
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		// Paper example: "=2 -3 +uv =2 +w" turns "abcdefg" into "abuvfgw".
+		cwire, err := ed.TransformDelta("=2\t-3\t+uv\t=2\t+w")
+		if err != nil {
+			t.Fatalf("TransformDelta: %v", err)
+		}
+		cd, err := delta.Parse(cwire)
+		if err != nil {
+			t.Fatalf("Parse cdelta: %v", err)
+		}
+		serverCopy, err = cd.Apply(serverCopy)
+		if err != nil {
+			t.Fatalf("server apply: %v", err)
+		}
+		if ed.Plaintext() != "abuvfgw" {
+			t.Errorf("%v: plaintext = %q", scheme, ed.Plaintext())
+		}
+		got, err := Decrypt("pw", serverCopy)
+		if err != nil {
+			t.Fatalf("%v: decrypt server copy: %v", scheme, err)
+		}
+		if got != "abuvfgw" {
+			t.Errorf("%v: server copy decrypts to %q", scheme, got)
+		}
+	}
+}
+
+func TestTransformDeltaRejectsBadWire(t *testing.T) {
+	ed, err := NewEditor("pw", testOpts(ConfidentialityIntegrity, 6))
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	if _, err := ed.TransformDelta("*bogus"); !errors.Is(err, delta.ErrSyntax) {
+		t.Errorf("bad wire = %v, want ErrSyntax", err)
+	}
+	if _, err := ed.TransformDelta("=999"); err == nil {
+		t.Error("out-of-range delta accepted")
+	}
+}
+
+func TestSessionAcrossReopen(t *testing.T) {
+	// Edit, close, reopen with the password, keep editing: state must
+	// survive purely through the server-held transport string.
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("pw", testOpts(scheme, 7))
+		if err != nil {
+			t.Fatalf("NewEditor: %v", err)
+		}
+		server, err := ed.Encrypt("session one content")
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		cd, err := ed.Splice(8, 3, "two")
+		if err != nil {
+			t.Fatalf("Splice: %v", err)
+		}
+		server, err = cd.Apply(server)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+
+		ed2, err := Open("pw", server, crypt.NewSeededNonceSource(8))
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if ed2.Plaintext() != "session two content" {
+			t.Fatalf("reopened plaintext = %q", ed2.Plaintext())
+		}
+		cd2, err := ed2.Splice(19, 0, " extended")
+		if err != nil {
+			t.Fatalf("Splice after reopen: %v", err)
+		}
+		server, err = cd2.Apply(server)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		got, err := Decrypt("pw", server)
+		if err != nil {
+			t.Fatalf("final decrypt: %v", err)
+		}
+		if got != "session two content extended" {
+			t.Errorf("final = %q", got)
+		}
+	}
+}
+
+func TestKeySeparationBetweenSchemes(t *testing.T) {
+	// The same password and salt must yield different keys for rECB and
+	// RPC (Subkey labels), so a container can never be mis-decrypted
+	// under the other scheme even if headers were forged.
+	edA, err := NewEditor("pw", testOpts(ConfidentialityOnly, 9))
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	trA, err := edA.Encrypt("same text")
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	edB, err := NewEditor("pw", testOpts(ConfidentialityIntegrity, 9))
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	trB, err := edB.Encrypt("same text")
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if trA == trB {
+		t.Error("rECB and RPC containers identical")
+	}
+}
+
+func TestRandomizedSessionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("pw", testOpts(scheme, 10))
+		if err != nil {
+			t.Fatalf("NewEditor: %v", err)
+		}
+		plain := "seed text for the randomized editing session"
+		server, err := ed.Encrypt(plain)
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		for step := 0; step < 60; step++ {
+			pos := rng.Intn(len(plain) + 1)
+			del := 0
+			if pos < len(plain) {
+				del = rng.Intn(min(len(plain)-pos, 10) + 1)
+			}
+			ins := ""
+			if rng.Intn(3) > 0 {
+				ins = strings.Repeat(string(rune('a'+rng.Intn(26))), 1+rng.Intn(6))
+			}
+			cd, err := ed.Splice(pos, del, ins)
+			if err != nil {
+				t.Fatalf("step %d: Splice: %v", step, err)
+			}
+			plain = plain[:pos] + ins + plain[pos+del:]
+			server, err = cd.Apply(server)
+			if err != nil {
+				t.Fatalf("step %d: apply: %v", step, err)
+			}
+			if ed.Plaintext() != plain {
+				t.Fatalf("step %d: editor diverged", step)
+			}
+		}
+		got, err := Decrypt("pw", server)
+		if err != nil {
+			t.Fatalf("final decrypt: %v", err)
+		}
+		if got != plain {
+			t.Error("server copy diverged from reference")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+)
+
+// A complete private-editing round trip: encrypt, edit incrementally,
+// decrypt — with the server-side state driven purely by what the editor
+// emits.
+func Example() {
+	editor, err := core.NewEditor("per-document password", core.Options{
+		Scheme:     core.ConfidentialityIntegrity,
+		BlockChars: 8,
+		Nonces:     crypt.NewSeededNonceSource(1), // deterministic for the example
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Enc: the untrusted server stores this container.
+	serverCopy, err := editor.Encrypt("meet at the pier")
+	if err != nil {
+		panic(err)
+	}
+
+	// IncE: a plaintext edit becomes a ciphertext delta.
+	pd, _ := delta.Parse("=12\t-4\t+boathouse")
+	cd, err := editor.TransformDeltaOps(pd)
+	if err != nil {
+		panic(err)
+	}
+	serverCopy, err = cd.Apply(serverCopy) // the server's only job
+	if err != nil {
+		panic(err)
+	}
+
+	// Dec: anyone with the password reads the result.
+	plain, err := core.Decrypt("per-document password", serverCopy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plain)
+
+	_, err = core.Decrypt("wrong password", serverCopy)
+	fmt.Println(err)
+	// Output:
+	// meet at the boathouse
+	// core: wrong password
+}

@@ -1,0 +1,112 @@
+// Package covert implements the §VI-B countermeasures against a malicious
+// client application that tries to leak document contents to the server
+// through covert channels:
+//
+//   - Delta canonicalization: "maintaining each group of delta updates and
+//     merging them into a canonical form before sending an update to the
+//     server, or ... using trusted code to compute the delta values from
+//     the two versions of the document directly." We do the strong form:
+//     the canonical delta is re-derived with Myers diff from the before and
+//     after document states, so no information can ride on the client's
+//     choice among equivalent op sequences.
+//
+//   - Random message padding: "randomly pad the content (without affecting
+//     the correctness of the content) before encryption", decorrelating
+//     message length from edit size.
+//
+//   - Random delay: "add random delays (without noticeably disrupting the
+//     user experience since the updates are asynchronous) to every
+//     outgoing update request", disrupting the timing channel.
+package covert
+
+import (
+	"strings"
+	"time"
+
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+	"privedit/internal/diff"
+)
+
+// Config selects which mitigations a Mitigator applies.
+type Config struct {
+	// CanonicalizeDeltas re-derives every outgoing delta from the
+	// document states, destroying op-sequence covert channels.
+	CanonicalizeDeltas bool
+	// PadQuantum, when positive, pads outgoing update messages up to a
+	// random multiple of this many characters (via content the server
+	// ignores), hiding the exact update size.
+	PadQuantum int
+	// MaxDelay, when positive, adds a uniform random delay in
+	// [0, MaxDelay) before each outgoing update, disturbing the timing
+	// channel.
+	MaxDelay time.Duration
+}
+
+// DefaultConfig enables all three mitigations with moderate parameters.
+func DefaultConfig() Config {
+	return Config{
+		CanonicalizeDeltas: true,
+		PadQuantum:         64,
+		MaxDelay:           250 * time.Millisecond,
+	}
+}
+
+// Mitigator applies the configured countermeasures. Randomness comes from
+// a crypt.NonceSource so tests and benchmarks stay reproducible.
+type Mitigator struct {
+	cfg    Config
+	nonces crypt.NonceSource
+	sleep  func(time.Duration) // test hook; defaults to time.Sleep
+}
+
+// New builds a Mitigator. nonces may be nil for the secure default source.
+func New(cfg Config, nonces crypt.NonceSource) *Mitigator {
+	if nonces == nil {
+		nonces = crypt.CryptoNonceSource{}
+	}
+	return &Mitigator{cfg: cfg, nonces: nonces, sleep: time.Sleep}
+}
+
+// Config returns the active configuration.
+func (m *Mitigator) Config() Config { return m.cfg }
+
+// CanonicalDelta returns the canonical form of d against the document
+// state oldDoc: the minimal delta with the same effect. A malicious
+// client's redundant op sequences (e.g. the paper's Ord(q) insert/delete
+// encoding) collapse to the same canonical delta as an honest edit.
+func (m *Mitigator) CanonicalDelta(oldDoc string, d delta.Delta) (delta.Delta, error) {
+	if !m.cfg.CanonicalizeDeltas {
+		return d, nil
+	}
+	newDoc, err := d.Apply(oldDoc)
+	if err != nil {
+		return nil, err
+	}
+	return diff.Diff(oldDoc, newDoc), nil
+}
+
+// PadFor returns filler text sized so that payloadLen plus the filler
+// reaches a randomly chosen multiple of the pad quantum. The filler goes
+// into a request field the server ignores, so content correctness is
+// unaffected.
+func (m *Mitigator) PadFor(payloadLen int) string {
+	q := m.cfg.PadQuantum
+	if q <= 0 {
+		return ""
+	}
+	// Round up to the next quantum, then add 0..3 extra quanta at random
+	// so equal-size updates do not always produce equal-size messages.
+	target := (payloadLen/q + 1 + int(m.nonces.Nonce64()%4)) * q
+	return strings.Repeat("A", target-payloadLen)
+}
+
+// Delay sleeps for a uniform random duration in [0, MaxDelay).
+func (m *Mitigator) Delay() time.Duration {
+	if m.cfg.MaxDelay <= 0 {
+		return 0
+	}
+	d := time.Duration(m.nonces.Nonce64() % uint64(m.cfg.MaxDelay))
+	m.sleep(d)
+	return d
+}

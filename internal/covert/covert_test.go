@@ -1,0 +1,172 @@
+package covert
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+)
+
+func TestCanonicalDeltaCollapsesFragmentation(t *testing.T) {
+	m := New(Config{CanonicalizeDeltas: true}, crypt.NewSeededNonceSource(1))
+	doc := "the quick brown fox"
+	// 11 one-char inserts: op count encodes a covert value.
+	var mal delta.Delta
+	for _, ch := range "hello cover" {
+		mal = append(mal, delta.InsertOp(string(ch)))
+	}
+	got, err := m.CanonicalDelta(doc, mal)
+	if err != nil {
+		t.Fatalf("CanonicalDelta: %v", err)
+	}
+	if len(got) > 2 {
+		t.Errorf("canonical delta has %d ops (%q), want <= 2", len(got), got.String())
+	}
+	want, err := mal.Apply(doc)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	out, err := got.Apply(doc)
+	if err != nil || out != want {
+		t.Errorf("canonical delta changes semantics: %q vs %q", out, want)
+	}
+}
+
+func TestCanonicalDeltaEquivalentSequencesConverge(t *testing.T) {
+	// Two different op sequences with the same effect must canonicalize
+	// to the same delta: the covert channel carries zero bits.
+	m := New(Config{CanonicalizeDeltas: true}, crypt.NewSeededNonceSource(2))
+	doc := "abcdefghij"
+	d1 := delta.Delta{delta.RetainOp(3), delta.InsertOp("XY")}
+	d2 := delta.Delta{delta.RetainOp(1), delta.RetainOp(2), delta.InsertOp("X"), delta.InsertOp("Y"), delta.RetainOp(7)}
+	c1, err := m.CanonicalDelta(doc, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.CanonicalDelta(doc, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Errorf("equivalent deltas canonicalize differently: %q vs %q", c1.String(), c2.String())
+	}
+}
+
+func TestCanonicalDeltaInsertThenDeleteTrick(t *testing.T) {
+	// The paper's extreme example: junk edits that cancel out must
+	// canonicalize to the pure real edit. Model: insert junk at the
+	// cursor, then delete the following original chars and reinsert them.
+	m := New(Config{CanonicalizeDeltas: true}, crypt.NewSeededNonceSource(3))
+	doc := "abcdefghij"
+	mal := delta.Delta{
+		delta.InsertOp("q"),     // the real edit
+		delta.DeleteOp(5),       // covert: delete "abcde"
+		delta.InsertOp("abcde"), // ...and put it right back
+	}
+	got, err := m.CanonicalDelta(doc, mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := delta.Delta{delta.InsertOp("q")}
+	if got.String() != want.String() {
+		t.Errorf("canonical = %q, want %q", got.String(), want.String())
+	}
+}
+
+func TestCanonicalDeltaDisabled(t *testing.T) {
+	m := New(Config{}, crypt.NewSeededNonceSource(4))
+	d := delta.Delta{delta.InsertOp("a"), delta.InsertOp("b")}
+	got, err := m.CanonicalDelta("doc", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != d.String() {
+		t.Error("disabled canonicalization modified the delta")
+	}
+}
+
+func TestCanonicalDeltaInvalid(t *testing.T) {
+	m := New(Config{CanonicalizeDeltas: true}, crypt.NewSeededNonceSource(5))
+	if _, err := m.CanonicalDelta("ab", delta.Delta{delta.RetainOp(10)}); err == nil {
+		t.Error("invalid delta accepted")
+	}
+}
+
+func TestPadForQuantizesLength(t *testing.T) {
+	m := New(Config{PadQuantum: 64}, crypt.NewSeededNonceSource(6))
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		pad := m.PadFor(n)
+		total := n + len(pad)
+		if total%64 != 0 {
+			t.Errorf("PadFor(%d): total %d not a multiple of 64", n, total)
+		}
+		if len(pad) == 0 {
+			t.Errorf("PadFor(%d) returned no padding", n)
+		}
+	}
+}
+
+func TestPadForRandomizes(t *testing.T) {
+	m := New(Config{PadQuantum: 32}, crypt.NewSeededNonceSource(7))
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[len(m.PadFor(100))] = true
+	}
+	if len(seen) < 2 {
+		t.Error("padding length never varies; size channel not disturbed")
+	}
+}
+
+func TestPadForDisabled(t *testing.T) {
+	m := New(Config{}, crypt.NewSeededNonceSource(8))
+	if m.PadFor(100) != "" {
+		t.Error("disabled padding produced output")
+	}
+}
+
+func TestDelayBoundedAndRandom(t *testing.T) {
+	var slept []time.Duration
+	m := New(Config{MaxDelay: time.Second}, crypt.NewSeededNonceSource(9))
+	m.sleep = func(d time.Duration) { slept = append(slept, d) }
+	for i := 0; i < 100; i++ {
+		d := m.Delay()
+		if d < 0 || d >= time.Second {
+			t.Fatalf("delay %v outside [0, 1s)", d)
+		}
+	}
+	if len(slept) != 100 {
+		t.Fatalf("sleep called %d times", len(slept))
+	}
+	distinct := map[time.Duration]bool{}
+	for _, d := range slept {
+		distinct[d] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("only %d distinct delays in 100 draws", len(distinct))
+	}
+}
+
+func TestDelayDisabled(t *testing.T) {
+	m := New(Config{}, crypt.NewSeededNonceSource(10))
+	m.sleep = func(time.Duration) { t.Error("slept with delays disabled") }
+	if d := m.Delay(); d != 0 {
+		t.Errorf("disabled delay = %v", d)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.CanonicalizeDeltas || cfg.PadQuantum <= 0 || cfg.MaxDelay <= 0 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestPaddingIsInert(t *testing.T) {
+	m := New(Config{PadQuantum: 16}, crypt.NewSeededNonceSource(11))
+	pad := m.PadFor(5)
+	if strings.Trim(pad, "A") != "" {
+		t.Errorf("padding contains unexpected bytes: %q", pad)
+	}
+}

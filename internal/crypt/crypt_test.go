@@ -1,0 +1,237 @@
+package crypt
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) []byte {
+	key := make([]byte, KeySize)
+	for i := range key {
+		key[i] = b + byte(i)
+	}
+	return key
+}
+
+func TestNewPRPRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 24, 32} {
+		if _, err := NewPRP(make([]byte, n)); err == nil {
+			t.Errorf("NewPRP accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestPRPRoundTrip(t *testing.T) {
+	p, err := NewPRP(testKey(1))
+	if err != nil {
+		t.Fatalf("NewPRP: %v", err)
+	}
+	src := []byte("0123456789abcdef")
+	enc := make([]byte, BlockSize)
+	dec := make([]byte, BlockSize)
+	if err := p.Encrypt(enc, src); err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Equal(enc, src) {
+		t.Error("ciphertext equals plaintext")
+	}
+	if err := p.Decrypt(dec, enc); err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Errorf("round trip = %q, want %q", dec, src)
+	}
+}
+
+func TestPRPInPlace(t *testing.T) {
+	p, err := NewPRP(testKey(2))
+	if err != nil {
+		t.Fatalf("NewPRP: %v", err)
+	}
+	buf := []byte("aliasing test ok")
+	orig := append([]byte(nil), buf...)
+	if err := p.Encrypt(buf, buf); err != nil {
+		t.Fatalf("Encrypt in place: %v", err)
+	}
+	if err := p.Decrypt(buf, buf); err != nil {
+		t.Fatalf("Decrypt in place: %v", err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Errorf("in-place round trip = %q, want %q", buf, orig)
+	}
+}
+
+func TestPRPRejectsWrongBlockSize(t *testing.T) {
+	p, err := NewPRP(testKey(3))
+	if err != nil {
+		t.Fatalf("NewPRP: %v", err)
+	}
+	good := make([]byte, BlockSize)
+	bad := make([]byte, BlockSize-1)
+	if err := p.Encrypt(good, bad); err == nil {
+		t.Error("Encrypt accepted short src")
+	}
+	if err := p.Encrypt(bad, good); err == nil {
+		t.Error("Encrypt accepted short dst")
+	}
+	if err := p.Decrypt(good, bad); err == nil {
+		t.Error("Decrypt accepted short src")
+	}
+	if err := p.Decrypt(bad, good); err == nil {
+		t.Error("Decrypt accepted short dst")
+	}
+}
+
+func TestPRPMatchesAES(t *testing.T) {
+	// The narrow PRP must be exactly AES-128: verify against crypto/aes.
+	key := testKey(9)
+	p, err := NewPRP(key)
+	if err != nil {
+		t.Fatalf("NewPRP: %v", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatalf("aes.NewCipher: %v", err)
+	}
+	src := []byte("reference vector")
+	want := make([]byte, BlockSize)
+	got := make([]byte, BlockSize)
+	block.Encrypt(want, src)
+	if err := p.Encrypt(got, src); err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("PRP output %x, want AES output %x", got, want)
+	}
+}
+
+func TestWidePRPRoundTripQuick(t *testing.T) {
+	w, err := NewWidePRP(testKey(4))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	f := func(block [WideBlockSize]byte) bool {
+		enc := make([]byte, WideBlockSize)
+		dec := make([]byte, WideBlockSize)
+		if err := w.Encrypt(enc, block[:]); err != nil {
+			return false
+		}
+		if err := w.Decrypt(dec, enc); err != nil {
+			return false
+		}
+		return bytes.Equal(dec, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("wide PRP round trip: %v", err)
+	}
+}
+
+func TestWidePRPIsPermutation(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (injectivity sample).
+	w, err := NewWidePRP(testKey(5))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	seen := make(map[string]string)
+	in := make([]byte, WideBlockSize)
+	out := make([]byte, WideBlockSize)
+	for i := 0; i < 1000; i++ {
+		PutUint64(in, uint64(i))
+		if err := w.Encrypt(out, in); err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		if prev, dup := seen[string(out)]; dup {
+			t.Fatalf("collision: inputs %x and %x both map to %x", prev, in, out)
+		}
+		seen[string(out)] = string(in)
+	}
+}
+
+func TestWidePRPDiffersAcrossKeys(t *testing.T) {
+	w1, err := NewWidePRP(testKey(6))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	w2, err := NewWidePRP(testKey(7))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	in := make([]byte, WideBlockSize)
+	o1 := make([]byte, WideBlockSize)
+	o2 := make([]byte, WideBlockSize)
+	if err := w1.Encrypt(o1, in); err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if err := w2.Encrypt(o2, in); err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Equal(o1, o2) {
+		t.Error("different keys produced identical wide-block ciphertext")
+	}
+}
+
+func TestWidePRPInPlace(t *testing.T) {
+	w, err := NewWidePRP(testKey(8))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	buf := bytes.Repeat([]byte{0xA5}, WideBlockSize)
+	orig := append([]byte(nil), buf...)
+	if err := w.Encrypt(buf, buf); err != nil {
+		t.Fatalf("Encrypt in place: %v", err)
+	}
+	if err := w.Decrypt(buf, buf); err != nil {
+		t.Fatalf("Decrypt in place: %v", err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Error("in-place wide round trip mismatch")
+	}
+}
+
+func TestWidePRPRejectsWrongSize(t *testing.T) {
+	w, err := NewWidePRP(testKey(8))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	good := make([]byte, WideBlockSize)
+	for _, n := range []int{0, 16, 31, 33} {
+		bad := make([]byte, n)
+		if err := w.Encrypt(good, bad); err == nil {
+			t.Errorf("Encrypt accepted %d-byte src", n)
+		}
+		if err := w.Decrypt(bad, good); err == nil {
+			t.Errorf("Decrypt accepted %d-byte dst", n)
+		}
+	}
+}
+
+func TestNewWidePRPRejectsBadKey(t *testing.T) {
+	if _, err := NewWidePRP(make([]byte, 8)); err == nil {
+		t.Error("NewWidePRP accepted 8-byte key")
+	}
+}
+
+func TestXORBytes(t *testing.T) {
+	dst := []byte{0xFF, 0x00, 0xAA}
+	src := []byte{0x0F, 0xF0}
+	n := XORBytes(dst, src)
+	if n != 2 {
+		t.Errorf("XORBytes processed %d bytes, want 2", n)
+	}
+	want := []byte{0xF0, 0xF0, 0xAA}
+	if !bytes.Equal(dst, want) {
+		t.Errorf("XORBytes result %x, want %x", dst, want)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	var b [8]byte
+	for _, v := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		PutUint64(b[:], v)
+		if got := Uint64(b[:]); got != v {
+			t.Errorf("Uint64(PutUint64(%d)) = %d", v, got)
+		}
+	}
+}

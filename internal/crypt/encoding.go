@@ -1,0 +1,40 @@
+package crypt
+
+import (
+	"encoding/base32"
+	"fmt"
+)
+
+// transportEncoding is the Base32 alphabet used for ciphertext transport.
+// The 2011 extension Base32-encoded ciphertext before substituting it into
+// the docContents / delta fields so the server stores printable text that
+// survives URL-encoding untouched.
+var transportEncoding = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// EncodeTransport encodes raw ciphertext bytes into the printable Base32
+// form stored by the server.
+func EncodeTransport(raw []byte) string {
+	return transportEncoding.EncodeToString(raw)
+}
+
+// DecodeTransport decodes the printable Base32 form back to raw bytes.
+// Only canonical encodings are accepted: a final symbol with nonzero
+// padding bits decodes leniently in encoding/base32 but would not
+// re-serialize to the same text, which breaks the invariant that a stored
+// container equals the re-serialization of its parse.
+func DecodeTransport(s string) ([]byte, error) {
+	raw, err := transportEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: decode transport text: %w", err)
+	}
+	if transportEncoding.EncodeToString(raw) != s {
+		return nil, fmt.Errorf("crypt: decode transport text: non-canonical encoding")
+	}
+	return raw, nil
+}
+
+// TransportLen reports the number of printable characters needed to carry
+// rawLen ciphertext bytes (the 8/5 Base32 expansion, unpadded).
+func TransportLen(rawLen int) int {
+	return (rawLen*8 + 4) / 5
+}

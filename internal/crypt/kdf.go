@@ -1,0 +1,64 @@
+package crypt
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DefaultPBKDF2Iterations is the iteration count used when deriving
+// document keys from user passwords. The 2011 prototype ran inside a
+// browser; we keep the count modest so macro-benchmarks measure editing,
+// not key setup.
+const DefaultPBKDF2Iterations = 4096
+
+// PBKDF2 derives keyLen bytes from password and salt using
+// PBKDF2-HMAC-SHA256 (RFC 2898). Implemented here because the module is
+// restricted to the standard library.
+func PBKDF2(password, salt []byte, iterations, keyLen int) []byte {
+	if iterations < 1 {
+		iterations = 1
+	}
+	prf := hmac.New(sha256.New, password)
+	hashLen := prf.Size()
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+
+	out := make([]byte, 0, numBlocks*hashLen)
+	var blockIndex [4]byte
+	u := make([]byte, 0, hashLen)
+	t := make([]byte, hashLen)
+	for block := 1; block <= numBlocks; block++ {
+		prf.Reset()
+		prf.Write(salt)
+		binary.BigEndian.PutUint32(blockIndex[:], uint32(block))
+		prf.Write(blockIndex[:])
+		u = prf.Sum(u[:0])
+		copy(t, u)
+		for i := 1; i < iterations; i++ {
+			prf.Reset()
+			prf.Write(u)
+			u = prf.Sum(u[:0])
+			for j := range t {
+				t[j] ^= u[j]
+			}
+		}
+		out = append(out, t...)
+	}
+	return out[:keyLen]
+}
+
+// DeriveDocumentKey derives the per-document AES key from a user password
+// and a per-document salt (the prototype prompted for a per-document
+// password when a document was created or opened).
+func DeriveDocumentKey(password string, salt []byte) []byte {
+	return PBKDF2([]byte(password), salt, DefaultPBKDF2Iterations, KeySize)
+}
+
+// Subkey derives an independent labeled subkey from a master key, so the
+// confidentiality and integrity schemes never share key material.
+func Subkey(master []byte, label string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(label))
+	sum := mac.Sum(nil)
+	return sum[:KeySize]
+}

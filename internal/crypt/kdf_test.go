@@ -1,0 +1,88 @@
+package crypt
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// RFC 7914 §11 / draft-josefsson-scrypt test vector for PBKDF2-HMAC-SHA256.
+func TestPBKDF2KnownVector(t *testing.T) {
+	got := PBKDF2([]byte("passwd"), []byte("salt"), 1, 64)
+	want, err := hex.DecodeString(
+		"55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc" +
+			"49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783")
+	if err != nil {
+		t.Fatalf("decode vector: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("PBKDF2 vector mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestPBKDF2SecondKnownVector(t *testing.T) {
+	got := PBKDF2([]byte("Password"), []byte("NaCl"), 80000, 64)
+	want, err := hex.DecodeString(
+		"4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56" +
+			"a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d")
+	if err != nil {
+		t.Fatalf("decode vector: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("PBKDF2 vector mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestPBKDF2Deterministic(t *testing.T) {
+	a := PBKDF2([]byte("pw"), []byte("salt"), 100, KeySize)
+	b := PBKDF2([]byte("pw"), []byte("salt"), 100, KeySize)
+	if !bytes.Equal(a, b) {
+		t.Error("PBKDF2 not deterministic")
+	}
+}
+
+func TestPBKDF2SaltSeparation(t *testing.T) {
+	a := PBKDF2([]byte("pw"), []byte("salt-a"), 100, KeySize)
+	b := PBKDF2([]byte("pw"), []byte("salt-b"), 100, KeySize)
+	if bytes.Equal(a, b) {
+		t.Error("different salts produced the same key")
+	}
+}
+
+func TestPBKDF2PasswordSeparation(t *testing.T) {
+	a := PBKDF2([]byte("pw-a"), []byte("salt"), 100, KeySize)
+	b := PBKDF2([]byte("pw-b"), []byte("salt"), 100, KeySize)
+	if bytes.Equal(a, b) {
+		t.Error("different passwords produced the same key")
+	}
+}
+
+func TestPBKDF2MinIterationsClamped(t *testing.T) {
+	a := PBKDF2([]byte("pw"), []byte("salt"), 0, KeySize)
+	b := PBKDF2([]byte("pw"), []byte("salt"), 1, KeySize)
+	if !bytes.Equal(a, b) {
+		t.Error("iterations<1 not clamped to 1")
+	}
+}
+
+func TestDeriveDocumentKeyLength(t *testing.T) {
+	key := DeriveDocumentKey("hunter2", []byte("doc-salt"))
+	if len(key) != KeySize {
+		t.Errorf("derived key length %d, want %d", len(key), KeySize)
+	}
+}
+
+func TestSubkeySeparation(t *testing.T) {
+	master := testKey(11)
+	conf := Subkey(master, "confidentiality")
+	integ := Subkey(master, "integrity")
+	if bytes.Equal(conf, integ) {
+		t.Error("labels produced identical subkeys")
+	}
+	if len(conf) != KeySize || len(integ) != KeySize {
+		t.Errorf("subkey lengths %d/%d, want %d", len(conf), len(integ), KeySize)
+	}
+	if bytes.Equal(conf, Subkey(testKey(12), "confidentiality")) {
+		t.Error("different masters produced identical subkeys")
+	}
+}

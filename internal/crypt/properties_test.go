@@ -1,0 +1,106 @@
+package crypt
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// popcountDiff counts differing bits between two equal-length slices.
+func popcountDiff(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// TestWidePRPAvalanche checks the diffusion of the 4-round Luby-Rackoff
+// construction: flipping any single input bit must flip close to half of
+// the 256 output bits on average. A broken Feistel (too few rounds, or a
+// round function that ignores half the state) fails this immediately.
+func TestWidePRPAvalanche(t *testing.T) {
+	w, err := NewWidePRP(testKey(21))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	base := make([]byte, WideBlockSize)
+	for i := range base {
+		base[i] = byte(i * 11)
+	}
+	ref := make([]byte, WideBlockSize)
+	if err := w.Encrypt(ref, base); err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+
+	total, samples := 0, 0
+	out := make([]byte, WideBlockSize)
+	mutated := make([]byte, WideBlockSize)
+	for bit := 0; bit < WideBlockSize*8; bit += 7 { // sample every 7th bit
+		copy(mutated, base)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if err := w.Encrypt(out, mutated); err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		d := popcountDiff(ref, out)
+		if d < 64 || d > 192 {
+			t.Errorf("bit %d: only %d/256 output bits changed", bit, d)
+		}
+		total += d
+		samples++
+	}
+	mean := float64(total) / float64(samples)
+	if math.Abs(mean-128) > 12 {
+		t.Errorf("mean avalanche %f bits, want ~128", mean)
+	}
+}
+
+// TestWidePRPDecryptAvalanche is the same property for the inverse
+// permutation (a CCA adversary queries that direction).
+func TestWidePRPDecryptAvalanche(t *testing.T) {
+	w, err := NewWidePRP(testKey(22))
+	if err != nil {
+		t.Fatalf("NewWidePRP: %v", err)
+	}
+	base := make([]byte, WideBlockSize)
+	ref := make([]byte, WideBlockSize)
+	if err := w.Decrypt(ref, base); err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	out := make([]byte, WideBlockSize)
+	mutated := make([]byte, WideBlockSize)
+	total, samples := 0, 0
+	for bit := 0; bit < WideBlockSize*8; bit += 13 {
+		copy(mutated, base)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if err := w.Decrypt(out, mutated); err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		total += popcountDiff(ref, out)
+		samples++
+	}
+	mean := float64(total) / float64(samples)
+	if math.Abs(mean-128) > 14 {
+		t.Errorf("mean inverse avalanche %f bits, want ~128", mean)
+	}
+}
+
+// TestNonceHighLowBitsUsed guards against a degenerate nonce source that
+// only varies part of the word (which would shrink the 2^64 search space
+// the paper's security argument relies on).
+func TestNonceHighLowBitsUsed(t *testing.T) {
+	var orAll, andAll uint64 = 0, ^uint64(0)
+	var src CryptoNonceSource
+	for i := 0; i < 256; i++ {
+		n := src.Nonce64()
+		orAll |= n
+		andAll &= n
+	}
+	// After 256 draws every bit position should have seen both values.
+	if orAll != ^uint64(0) {
+		t.Errorf("some bit never set across 256 nonces: or=%064b", orAll)
+	}
+	if andAll != 0 {
+		t.Errorf("some bit always set across 256 nonces: and=%064b", andAll)
+	}
+}

@@ -1,0 +1,328 @@
+// Package delta implements the incremental-update language Google
+// Documents used in 2011 (Huang & Evans §IV-A). A delta is a sequence of
+// operations, separated by tabs, applied left-to-right with an imaginary
+// cursor that starts at position 0:
+//
+//	=num  move the cursor forward num characters (retain)
+//	+str  insert str at the cursor, cursor advances past the insertion
+//	-num  delete num characters starting at the cursor
+//
+// Content after the last operation is implicitly retained. The paper's
+// examples: "=2\t-5" turns "abcdefg" into "ab"; "=2\t-3\t+uv\t=2\t+w"
+// turns "abcdefg" into "abuvfgw".
+//
+// Documents are treated as byte strings: the paper's encryption packs
+// 8-bit characters into cipher blocks, and the 2011 service's delta counts
+// were character positions in the same sense.
+//
+// Insert payloads escape tab as `\t` and backslash as `\\` so that payload
+// bytes can never be confused with the operation separator.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind identifies a delta operation.
+type OpKind int
+
+// Operation kinds. Start at 1 so the zero Op is invalid rather than a
+// silent retain.
+const (
+	Retain OpKind = iota + 1 // =num
+	Insert                   // +str
+	Delete                   // -num
+)
+
+// String returns the operation kind's protocol sigil.
+func (k OpKind) String() string {
+	switch k {
+	case Retain:
+		return "="
+	case Insert:
+		return "+"
+	case Delete:
+		return "-"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single delta operation.
+type Op struct {
+	Kind OpKind
+	N    int    // count for Retain and Delete
+	Str  string // payload for Insert
+}
+
+// RetainOp constructs a retain of n characters.
+func RetainOp(n int) Op { return Op{Kind: Retain, N: n} }
+
+// InsertOp constructs an insertion of s.
+func InsertOp(s string) Op { return Op{Kind: Insert, Str: s} }
+
+// DeleteOp constructs a deletion of n characters.
+func DeleteOp(n int) Op { return Op{Kind: Delete, N: n} }
+
+// Delta is an ordered sequence of operations.
+type Delta []Op
+
+// Parse errors.
+var (
+	ErrSyntax = errors.New("delta: syntax error")
+	ErrRange  = errors.New("delta: operation exceeds document bounds")
+)
+
+func escapePayload(s string) string {
+	if !strings.ContainsAny(s, "\\\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapePayload(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("%w: dangling escape", ErrSyntax)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			return "", fmt.Errorf("%w: unknown escape \\%c", ErrSyntax, s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Parse decodes the tab-separated wire form into a Delta. The empty string
+// parses to an empty (no-op) delta.
+func Parse(s string) (Delta, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "\t")
+	d := make(Delta, 0, len(parts))
+	for _, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty operation", ErrSyntax)
+		}
+		switch part[0] {
+		case '=', '-':
+			n, err := strconv.Atoi(part[1:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad count %q: %v", ErrSyntax, part, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("%w: negative count %q", ErrSyntax, part)
+			}
+			kind := Retain
+			if part[0] == '-' {
+				kind = Delete
+			}
+			d = append(d, Op{Kind: kind, N: n})
+		case '+':
+			payload, err := unescapePayload(part[1:])
+			if err != nil {
+				return nil, err
+			}
+			d = append(d, Op{Kind: Insert, Str: payload})
+		default:
+			return nil, fmt.Errorf("%w: unknown operation %q", ErrSyntax, part)
+		}
+	}
+	return d, nil
+}
+
+// String encodes the delta in its tab-separated wire form.
+func (d Delta) String() string {
+	var b strings.Builder
+	for i, op := range d {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		switch op.Kind {
+		case Retain:
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(op.N))
+		case Insert:
+			b.WriteByte('+')
+			b.WriteString(escapePayload(op.Str))
+		case Delete:
+			b.WriteByte('-')
+			b.WriteString(strconv.Itoa(op.N))
+		}
+	}
+	return b.String()
+}
+
+// Apply transforms doc by the delta, returning the new document. It fails
+// with ErrRange if a retain or delete runs past the end of the document.
+func (d Delta) Apply(doc string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(doc) + d.InsertLen())
+	cursor := 0
+	for i, op := range d {
+		switch op.Kind {
+		case Retain:
+			if cursor+op.N > len(doc) {
+				return "", fmt.Errorf("%w: retain %d at cursor %d, document length %d", ErrRange, op.N, cursor, len(doc))
+			}
+			b.WriteString(doc[cursor : cursor+op.N])
+			cursor += op.N
+		case Insert:
+			b.WriteString(op.Str)
+		case Delete:
+			if cursor+op.N > len(doc) {
+				return "", fmt.Errorf("%w: delete %d at cursor %d, document length %d", ErrRange, op.N, cursor, len(doc))
+			}
+			cursor += op.N
+		default:
+			return "", fmt.Errorf("%w: invalid op %d at index %d", ErrSyntax, op.Kind, i)
+		}
+	}
+	b.WriteString(doc[cursor:])
+	return b.String(), nil
+}
+
+// BaseLen returns the number of source-document characters the delta
+// consumes (retains plus deletes). Apply requires BaseLen() <= len(doc).
+func (d Delta) BaseLen() int {
+	n := 0
+	for _, op := range d {
+		if op.Kind == Retain || op.Kind == Delete {
+			n += op.N
+		}
+	}
+	return n
+}
+
+// InsertLen returns the total number of inserted characters.
+func (d Delta) InsertLen() int {
+	n := 0
+	for _, op := range d {
+		if op.Kind == Insert {
+			n += len(op.Str)
+		}
+	}
+	return n
+}
+
+// DeleteLen returns the total number of deleted characters.
+func (d Delta) DeleteLen() int {
+	n := 0
+	for _, op := range d {
+		if op.Kind == Delete {
+			n += op.N
+		}
+	}
+	return n
+}
+
+// IsNoop reports whether the delta leaves every document unchanged.
+func (d Delta) IsNoop() bool {
+	for _, op := range d {
+		switch op.Kind {
+		case Insert:
+			if len(op.Str) > 0 {
+				return false
+			}
+		case Delete:
+			if op.N > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Normalize returns an equivalent delta with zero-length operations
+// removed, adjacent operations of the same kind merged, and trailing
+// retains dropped (trailing content is implicitly retained). Normalize is
+// the first line of defense against the covert channel of §VI-B, where a
+// malicious client encodes information in redundant op sequences; full
+// canonicalization (re-deriving the delta from document states) lives in
+// the covert package.
+func (d Delta) Normalize() Delta {
+	out := make(Delta, 0, len(d))
+	for _, op := range d {
+		switch op.Kind {
+		case Retain, Delete:
+			if op.N == 0 {
+				continue
+			}
+		case Insert:
+			if op.Str == "" {
+				continue
+			}
+		default:
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Kind == op.Kind {
+			if op.Kind == Insert {
+				out[n-1].Str += op.Str
+			} else {
+				out[n-1].N += op.N
+			}
+			continue
+		}
+		out = append(out, op)
+	}
+	for len(out) > 0 && out[len(out)-1].Kind == Retain {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Validate checks that the delta can be applied to a document of length
+// docLen without running out of bounds.
+func (d Delta) Validate(docLen int) error {
+	cursor := 0
+	for _, op := range d {
+		switch op.Kind {
+		case Retain, Delete:
+			if op.N < 0 {
+				return fmt.Errorf("%w: negative count", ErrSyntax)
+			}
+			cursor += op.N
+			if cursor > docLen {
+				return fmt.Errorf("%w: cursor %d past document length %d", ErrRange, cursor, docLen)
+			}
+		case Insert:
+			// Inserts do not consume source characters.
+		default:
+			return fmt.Errorf("%w: invalid op kind %d", ErrSyntax, op.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package delta
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExamples(t *testing.T) {
+	// Both worked examples from §IV-A of the paper.
+	tests := []struct {
+		name string
+		wire string
+		doc  string
+		want string
+	}{
+		{"truncate", "=2\t-5", "abcdefg", "ab"},
+		{"mixed", "=2\t-3\t+uv\t=2\t+w", "abcdefg", "abuvfgw"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(tc.wire)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.wire, err)
+			}
+			got, err := d.Apply(tc.doc)
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("Apply(%q, %q) = %q, want %q", tc.wire, tc.doc, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSerializeRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gen := func() Delta {
+		n := rng.Intn(8)
+		d := make(Delta, 0, n)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				d = append(d, RetainOp(rng.Intn(100)))
+			case 1:
+				// Payloads include tabs, backslashes, unicode bytes.
+				chars := []string{"a", "\t", "\\", "é", "=", "+", "-", " ", "\n"}
+				var b strings.Builder
+				for j := rng.Intn(6); j >= 0; j-- {
+					b.WriteString(chars[rng.Intn(len(chars))])
+				}
+				d = append(d, InsertOp(b.String()))
+			default:
+				d = append(d, DeleteOp(rng.Intn(100)))
+			}
+		}
+		return d
+	}
+	for trial := 0; trial < 500; trial++ {
+		d := gen()
+		got, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", d.String(), err)
+		}
+		if got.String() != d.String() {
+			t.Fatalf("round trip %q -> %q", d.String(), got.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"=",        // missing count
+		"-",        // missing count
+		"=x",       // non-numeric
+		"=-3",      // negative
+		"-1\t",     // trailing empty op
+		"\t=1",     // leading empty op
+		"*5",       // unknown sigil
+		"+a\\q",    // unknown escape
+		"+ab\\",    // dangling escape
+		"=1\t\t=2", // empty middle op
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) = %v, want ErrSyntax", s, err)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	d, err := Parse("")
+	if err != nil {
+		t.Fatalf("Parse(\"\"): %v", err)
+	}
+	if len(d) != 0 || !d.IsNoop() {
+		t.Errorf("empty parse = %v", d)
+	}
+	got, err := d.Apply("unchanged")
+	if err != nil || got != "unchanged" {
+		t.Errorf("no-op apply = (%q, %v)", got, err)
+	}
+}
+
+func TestApplyRangeErrors(t *testing.T) {
+	for _, wire := range []string{"=8", "-8", "=4\t-4", "=4\t+x\t=4"} {
+		d, err := Parse(wire)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", wire, err)
+		}
+		if _, err := d.Apply("1234567"); !errors.Is(err, ErrRange) {
+			t.Errorf("Apply(%q) on 7-char doc = %v, want ErrRange", wire, err)
+		}
+		if err := d.Validate(7); !errors.Is(err, ErrRange) {
+			t.Errorf("Validate(%q, 7) = %v, want ErrRange", wire, err)
+		}
+		if err := d.Validate(8); err != nil {
+			t.Errorf("Validate(%q, 8) = %v, want nil", wire, err)
+		}
+	}
+}
+
+func TestApplyInvalidOp(t *testing.T) {
+	d := Delta{{Kind: 0, N: 1}}
+	if _, err := d.Apply("abc"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("Apply with zero op = %v, want ErrSyntax", err)
+	}
+	if err := d.Validate(3); !errors.Is(err, ErrSyntax) {
+		t.Errorf("Validate with zero op = %v, want ErrSyntax", err)
+	}
+}
+
+func TestLengths(t *testing.T) {
+	d, err := Parse("=3\t+hello\t-2\t=1\t+x")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := d.BaseLen(); got != 6 {
+		t.Errorf("BaseLen = %d, want 6", got)
+	}
+	if got := d.InsertLen(); got != 6 {
+		t.Errorf("InsertLen = %d, want 6", got)
+	}
+	if got := d.DeleteLen(); got != 2 {
+		t.Errorf("DeleteLen = %d, want 2", got)
+	}
+}
+
+func TestNormalizeMergesAndDrops(t *testing.T) {
+	d := Delta{
+		RetainOp(2), RetainOp(0), RetainOp(3),
+		InsertOp("ab"), InsertOp(""), InsertOp("cd"),
+		DeleteOp(1), DeleteOp(2),
+		RetainOp(4), RetainOp(1), // trailing retains dropped
+	}
+	got := d.Normalize()
+	want := Delta{RetainOp(5), InsertOp("abcd"), DeleteOp(3)}
+	if got.String() != want.String() {
+		t.Errorf("Normalize = %q, want %q", got.String(), want.String())
+	}
+}
+
+func TestNormalizeCollapsesCovertPadding(t *testing.T) {
+	// The §VI-B covert example: Ord(q) single-char inserts, Ord(q)
+	// deletes, then the real insert. Normalize merges the runs so the op
+	// *count* no longer encodes Ord(q); full semantic canonicalization is
+	// exercised in the covert package.
+	var d Delta
+	const ord = 17
+	for i := 0; i < ord; i++ {
+		d = append(d, InsertOp("z"))
+	}
+	for i := 0; i < ord; i++ {
+		d = append(d, DeleteOp(1))
+	}
+	d = append(d, InsertOp("q"))
+	got := d.Normalize()
+	if len(got) != 3 {
+		t.Errorf("Normalize left %d ops (%q), want 3", len(got), got.String())
+	}
+}
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	doc := strings.Repeat("abcdefghij", 20)
+	for trial := 0; trial < 300; trial++ {
+		var d Delta
+		cursor := 0
+		for len(d) < 10 && cursor < len(doc) {
+			switch rng.Intn(3) {
+			case 0:
+				n := rng.Intn(len(doc) - cursor + 1)
+				d = append(d, RetainOp(n))
+				cursor += n
+			case 1:
+				d = append(d, InsertOp(strings.Repeat("x", rng.Intn(5))))
+			default:
+				n := rng.Intn(len(doc) - cursor + 1)
+				d = append(d, DeleteOp(n))
+				cursor += n
+			}
+		}
+		want, err := d.Apply(doc)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		got, err := d.Normalize().Apply(doc)
+		if err != nil {
+			t.Fatalf("Apply normalized: %v", err)
+		}
+		if got != want {
+			t.Fatalf("Normalize changed semantics:\n delta %q\n norm  %q", d.String(), d.Normalize().String())
+		}
+	}
+}
+
+func TestNormalizeAllNoopBecomesNil(t *testing.T) {
+	d := Delta{RetainOp(5), InsertOp(""), DeleteOp(0)}
+	if got := d.Normalize(); got != nil {
+		t.Errorf("Normalize = %v, want nil", got)
+	}
+}
+
+func TestIsNoop(t *testing.T) {
+	cases := []struct {
+		d    Delta
+		want bool
+	}{
+		{nil, true},
+		{Delta{RetainOp(10)}, true},
+		{Delta{InsertOp("")}, true},
+		{Delta{DeleteOp(0)}, true},
+		{Delta{InsertOp("x")}, false},
+		{Delta{DeleteOp(1)}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.d.IsNoop(); got != tc.want {
+			t.Errorf("case %d: IsNoop = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestEscapingInsertPayloads(t *testing.T) {
+	d := Delta{InsertOp("a\tb\\c")}
+	wire := d.String()
+	if strings.Count(wire, "\t") != 0 {
+		t.Errorf("wire form %q leaks a raw tab", wire)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", wire, err)
+	}
+	if got[0].Str != "a\tb\\c" {
+		t.Errorf("payload round trip = %q", got[0].Str)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Retain.String() != "=" || Insert.String() != "+" || Delete.String() != "-" {
+		t.Error("OpKind sigils wrong")
+	}
+	if OpKind(0).String() != "OpKind(0)" {
+		t.Errorf("zero kind = %q", OpKind(0).String())
+	}
+}
+
+func TestApplyQuickAgainstSplice(t *testing.T) {
+	// Property: a simple replace delta (=k, -m, +s) equals Go slicing.
+	f := func(doc string, k, m uint8, s string) bool {
+		kk := int(k) % (len(doc) + 1)
+		mm := int(m) % (len(doc) - kk + 1)
+		d := Delta{RetainOp(kk), DeleteOp(mm), InsertOp(s)}
+		got, err := d.Apply(doc)
+		if err != nil {
+			return false
+		}
+		want := doc[:kk] + s + doc[kk+mm:]
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("splice property: %v", err)
+	}
+}

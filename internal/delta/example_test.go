@@ -1,0 +1,46 @@
+package delta_test
+
+import (
+	"fmt"
+
+	"privedit/internal/delta"
+)
+
+// The paper's worked example from §IV-A.
+func ExampleDelta_Apply() {
+	d, err := delta.Parse("=2\t-3\t+uv\t=2\t+w")
+	if err != nil {
+		panic(err)
+	}
+	out, err := d.Apply("abcdefg")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output: abuvfgw
+}
+
+func ExampleDelta_Normalize() {
+	d := delta.Delta{
+		delta.InsertOp("he"),
+		delta.InsertOp("llo"),
+		delta.RetainOp(0),
+		delta.RetainOp(7),
+	}
+	fmt.Printf("%q\n", d.Normalize().String())
+	// Output: "+hello"
+}
+
+// Two users edit the same base concurrently; Transform merges them.
+func ExampleTransform() {
+	doc := "HEAD middle TAIL"
+	mine := delta.Delta{delta.RetainOp(12), delta.DeleteOp(4), delta.InsertOp("BACK")}
+	theirs := delta.Delta{delta.DeleteOp(4), delta.InsertOp("FRONT")}
+
+	merged, err := delta.Merge(doc, mine, theirs, false)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(merged)
+	// Output: FRONT middle BACK
+}

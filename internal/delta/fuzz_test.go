@@ -1,0 +1,91 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that anything it accepts
+// round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "=2\t-5", "=2\t-3\t+uv\t=2\t+w", "+hello", "-0", "=0",
+		"+a\\tb", "+a\\\\b", "=999999999999999999999", "*junk", "+\t+",
+		"=1\t=1\t=1", "+" + strings.Repeat("x", 1000),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, wire string) {
+		d, err := Parse(wire)
+		if err != nil {
+			return
+		}
+		re, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", wire, d.String(), err)
+		}
+		if re.String() != d.String() {
+			t.Fatalf("unstable round trip: %q -> %q", d.String(), re.String())
+		}
+	})
+}
+
+// FuzzApply checks that Apply never panics and respects bounds: success
+// implies BaseLen fits the document and the output length is consistent.
+func FuzzApply(f *testing.F) {
+	f.Add("=2\t-3\t+uv\t=2\t+w", "abcdefg")
+	f.Add("-1", "")
+	f.Add("+x", "")
+	f.Add("=5", "12345")
+	f.Fuzz(func(t *testing.T, wire, doc string) {
+		d, err := Parse(wire)
+		if err != nil {
+			return
+		}
+		out, err := d.Apply(doc)
+		if err != nil {
+			return
+		}
+		if d.BaseLen() > len(doc) {
+			t.Fatalf("apply succeeded with BaseLen %d > doc %d", d.BaseLen(), len(doc))
+		}
+		wantLen := len(doc) - d.DeleteLen() + d.InsertLen()
+		if len(out) != wantLen {
+			t.Fatalf("output length %d, want %d", len(out), wantLen)
+		}
+		// Normalized form must agree.
+		out2, err := d.Normalize().Apply(doc)
+		if err != nil || out2 != out {
+			t.Fatalf("normalized apply diverged: %v", err)
+		}
+	})
+}
+
+// FuzzTransform checks that Transform never panics and that TP1 holds for
+// any pair of valid concurrent deltas the fuzzer finds.
+func FuzzTransform(f *testing.F) {
+	f.Add("=1\t+X", "=1\t+Y", "ab")
+	f.Add("-3", "+zz\t-1", "abc")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, wireA, wireB, doc string) {
+		a, err := Parse(wireA)
+		if err != nil || a.Validate(len(doc)) != nil {
+			return
+		}
+		b, err := Parse(wireB)
+		if err != nil || b.Validate(len(doc)) != nil {
+			return
+		}
+		left, err := Merge(doc, a, b, false)
+		if err != nil {
+			t.Fatalf("merge left: %v", err)
+		}
+		right, err := Merge(doc, b, a, true)
+		if err != nil {
+			t.Fatalf("merge right: %v", err)
+		}
+		if left != right {
+			t.Fatalf("TP1 violated: %q vs %q (a=%q b=%q doc=%q)", left, right, wireA, wireB, doc)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package delta
+
+import "fmt"
+
+// Transform rewrites delta a so that it applies *after* delta b, where a
+// and b were produced concurrently against the same base document of
+// length docLen: the inclusion transformation of operational
+// transformation, specialized to the retain/insert/delete delta language.
+//
+//	Apply(Apply(doc, b), Transform(a, b, len(doc), aFirst))
+//
+// yields the merge of both edits. Characters deleted by both sides are
+// deleted once; text inserted by b is retained by the transformed a; when
+// both sides insert at the same position, aFirst chooses whose text comes
+// first, and flipping it on the mirrored call makes the two merge orders
+// converge (the TP1 property, verified in tests).
+//
+// This is the machinery a SPORC-style collaborative editor builds on; here
+// it powers the gdocs client's conflict recovery (Sync).
+func Transform(a, b Delta, docLen int, aFirst bool) (Delta, error) {
+	if err := a.Validate(docLen); err != nil {
+		return nil, fmt.Errorf("delta: transform: a: %w", err)
+	}
+	if err := b.Validate(docLen); err != nil {
+		return nil, fmt.Errorf("delta: transform: b: %w", err)
+	}
+
+	sa := newOpStream(a, docLen)
+	sb := newOpStream(b, docLen)
+	var out Delta
+	for {
+		aOp, aOk := sa.peek()
+		bOp, bOk := sb.peek()
+		if !aOk && !bOk {
+			break
+		}
+
+		// Insertions consume no base characters, so order them first.
+		if aOk && aOp.Kind == Insert && (aFirst || !bOk || bOp.Kind != Insert) {
+			out = append(out, InsertOp(aOp.Str))
+			sa.next()
+			continue
+		}
+		if bOk && bOp.Kind == Insert {
+			// b inserted text the transformed a must skip over.
+			out = append(out, RetainOp(len(bOp.Str)))
+			sb.next()
+			continue
+		}
+		if aOk && aOp.Kind == Insert {
+			out = append(out, InsertOp(aOp.Str))
+			sa.next()
+			continue
+		}
+
+		// Both sides now face retain/delete over the same base character
+		// range (the streams pad implicit trailing retains).
+		if !aOk || !bOk {
+			break
+		}
+		n := aOp.N
+		if bOp.N < n {
+			n = bOp.N
+		}
+		switch {
+		case aOp.Kind == Retain && bOp.Kind == Retain:
+			out = append(out, RetainOp(n))
+		case aOp.Kind == Retain && bOp.Kind == Delete:
+			// b already deleted these characters: nothing to retain.
+		case aOp.Kind == Delete && bOp.Kind == Retain:
+			out = append(out, DeleteOp(n))
+		case aOp.Kind == Delete && bOp.Kind == Delete:
+			// Both deleted: the characters are already gone.
+		}
+		sa.consume(n)
+		sb.consume(n)
+	}
+	return out.Normalize(), nil
+}
+
+// Merge applies two concurrent deltas to doc, b first, then a transformed
+// over b: the convenience form of Transform used by conflict recovery.
+func Merge(doc string, a, b Delta, aFirst bool) (string, error) {
+	afterB, err := b.Apply(doc)
+	if err != nil {
+		return "", err
+	}
+	at, err := Transform(a, b, len(doc), aFirst)
+	if err != nil {
+		return "", err
+	}
+	return at.Apply(afterB)
+}
+
+// opStream iterates a delta's operations with partial consumption of
+// retain/delete counts, padding an implicit trailing retain so both
+// streams of a transform cover the whole base document.
+type opStream struct {
+	ops  Delta
+	idx  int
+	used int // consumed count of the current retain/delete op
+}
+
+func newOpStream(d Delta, docLen int) *opStream {
+	padded := make(Delta, 0, len(d)+1)
+	padded = append(padded, d...)
+	if rest := docLen - d.BaseLen(); rest > 0 {
+		padded = append(padded, RetainOp(rest))
+	}
+	return &opStream{ops: padded}
+}
+
+// peek returns the current (partially consumed) operation.
+func (s *opStream) peek() (Op, bool) {
+	for s.idx < len(s.ops) {
+		op := s.ops[s.idx]
+		switch op.Kind {
+		case Insert:
+			if op.Str == "" {
+				s.idx++
+				continue
+			}
+			return op, true
+		case Retain, Delete:
+			if op.N-s.used <= 0 {
+				s.idx++
+				s.used = 0
+				continue
+			}
+			return Op{Kind: op.Kind, N: op.N - s.used}, true
+		default:
+			s.idx++
+		}
+	}
+	return Op{}, false
+}
+
+// next advances wholly past the current operation.
+func (s *opStream) next() {
+	s.idx++
+	s.used = 0
+}
+
+// consume advances n base characters into the current retain/delete op.
+func (s *opStream) consume(n int) {
+	s.used += n
+	if op := s.ops[s.idx]; op.Kind != Insert && s.used >= op.N {
+		s.idx++
+		s.used = 0
+	}
+}

@@ -1,0 +1,186 @@
+package delta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustMerge(t *testing.T, doc string, a, b Delta, aFirst bool) string {
+	t.Helper()
+	out, err := Merge(doc, a, b, aFirst)
+	if err != nil {
+		t.Fatalf("Merge(%q, %q, %q): %v", doc, a.String(), b.String(), err)
+	}
+	return out
+}
+
+func TestTransformDisjointEdits(t *testing.T) {
+	doc := "HEAD middle TAIL"
+	a := Delta{RetainOp(12), DeleteOp(4), InsertOp("BACK")} // edit the tail
+	b := Delta{DeleteOp(4), InsertOp("FRONT")}              // edit the head
+	got := mustMerge(t, doc, a, b, false)
+	if got != "FRONT middle BACK" {
+		t.Errorf("merge = %q, want both edits", got)
+	}
+	// The mirrored order converges to the same document (TP1).
+	got2 := mustMerge(t, doc, b, a, true)
+	if got2 != got {
+		t.Errorf("mirrored merge = %q, want %q", got2, got)
+	}
+}
+
+func TestTransformBothDeleteSameRange(t *testing.T) {
+	doc := "delete the middle part"
+	a := Delta{RetainOp(7), DeleteOp(4)} // "the "
+	b := Delta{RetainOp(7), DeleteOp(4)} // same
+	got := mustMerge(t, doc, a, b, false)
+	if got != "delete middle part" {
+		t.Errorf("double delete = %q", got)
+	}
+}
+
+func TestTransformOverlappingDeletes(t *testing.T) {
+	doc := "0123456789"
+	a := Delta{RetainOp(2), DeleteOp(5)} // delete 2..7
+	b := Delta{RetainOp(4), DeleteOp(5)} // delete 4..9
+	got := mustMerge(t, doc, a, b, false)
+	if got != "019" {
+		t.Errorf("overlapping deletes = %q, want %q", got, "019")
+	}
+	if got2 := mustMerge(t, doc, b, a, true); got2 != got {
+		t.Errorf("mirrored = %q, want %q", got2, got)
+	}
+}
+
+func TestTransformInsertInsideOtherDelete(t *testing.T) {
+	doc := "keep [cut this] keep"
+	a := Delta{RetainOp(10), InsertOp("<NEW>")} // insert inside the cut
+	b := Delta{RetainOp(5), DeleteOp(10)}       // cut "[cut this]"
+	got := mustMerge(t, doc, a, b, false)
+	// a's insertion survives even though its surrounding context was cut.
+	if !strings.Contains(got, "<NEW>") {
+		t.Errorf("insertion lost: %q", got)
+	}
+	if strings.Contains(got, "cut this") {
+		t.Errorf("deletion lost: %q", got)
+	}
+}
+
+func TestTransformSamePositionInsertPriority(t *testing.T) {
+	doc := "ab"
+	a := Delta{RetainOp(1), InsertOp("X")}
+	b := Delta{RetainOp(1), InsertOp("Y")}
+	gotAFirst := mustMerge(t, doc, a, b, true)
+	gotBFirst := mustMerge(t, doc, a, b, false)
+	if gotAFirst != "aXYb" {
+		t.Errorf("aFirst merge = %q, want aXYb", gotAFirst)
+	}
+	if gotBFirst != "aYXb" {
+		t.Errorf("bFirst merge = %q, want aYXb", gotBFirst)
+	}
+}
+
+func TestTransformAgainstNoop(t *testing.T) {
+	doc := "unchanged base"
+	a := Delta{RetainOp(9), InsertOp("!")}
+	got, err := Transform(a, nil, len(doc), false)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if got.String() != a.Normalize().String() {
+		t.Errorf("transform against noop = %q, want %q", got.String(), a.String())
+	}
+}
+
+func TestTransformValidates(t *testing.T) {
+	if _, err := Transform(Delta{RetainOp(10)}, nil, 5, false); err == nil {
+		t.Error("oversized a accepted")
+	}
+	if _, err := Transform(nil, Delta{DeleteOp(10)}, 5, false); err == nil {
+		t.Error("oversized b accepted")
+	}
+}
+
+// TestTransformTP1Random verifies the convergence property on random
+// concurrent edits: applying (b, then a-transformed) equals applying
+// (a, then b-transformed) with flipped insert priority.
+func TestTransformTP1Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	alphabet := "abcdef"
+	randDelta := func(n int) Delta {
+		var d Delta
+		cursor := 0
+		for ops := rng.Intn(5) + 1; ops > 0; ops-- {
+			switch rng.Intn(3) {
+			case 0:
+				if cursor < n {
+					k := 1 + rng.Intn(n-cursor)
+					d = append(d, RetainOp(k))
+					cursor += k
+				}
+			case 1:
+				var sb strings.Builder
+				for j := rng.Intn(4) + 1; j > 0; j-- {
+					sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+				}
+				d = append(d, InsertOp(sb.String()))
+			default:
+				if cursor < n {
+					k := 1 + rng.Intn(n-cursor)
+					d = append(d, DeleteOp(k))
+					cursor += k
+				}
+			}
+		}
+		return d
+	}
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		docBytes := make([]byte, n)
+		for i := range docBytes {
+			docBytes[i] = byte('A' + rng.Intn(26))
+		}
+		doc := string(docBytes)
+		a := randDelta(n)
+		b := randDelta(n)
+
+		left, err := Merge(doc, a, b, false) // b first, a second
+		if err != nil {
+			t.Fatalf("trial %d: merge left: %v", trial, err)
+		}
+		right, err := Merge(doc, b, a, true) // a first, b second
+		if err != nil {
+			t.Fatalf("trial %d: merge right: %v", trial, err)
+		}
+		if left != right {
+			t.Fatalf("trial %d: TP1 violated\n doc %q\n a %q\n b %q\n left %q\n right %q",
+				trial, doc, a.String(), b.String(), left, right)
+		}
+	}
+}
+
+// TestTransformPreservesIntent checks that every character inserted by a
+// survives the merge and every character deleted by a stays gone.
+func TestTransformPreservesIntent(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 300; trial++ {
+		n := 10 + rng.Intn(40)
+		docBytes := make([]byte, n)
+		for i := range docBytes {
+			docBytes[i] = byte('a' + rng.Intn(26))
+		}
+		doc := string(docBytes)
+		// a inserts a unique marker; b makes arbitrary edits.
+		pos := rng.Intn(n + 1)
+		a := Delta{RetainOp(pos), InsertOp("@@@")}
+		var b Delta
+		if n > 2 {
+			b = Delta{RetainOp(rng.Intn(n / 2)), DeleteOp(1 + rng.Intn(n/2)), InsertOp("zzz")}
+		}
+		got := mustMerge(t, doc, a, b, false)
+		if !strings.Contains(got, "@@@") {
+			t.Fatalf("trial %d: a's insertion lost in %q", trial, got)
+		}
+	}
+}

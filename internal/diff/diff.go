@@ -1,0 +1,155 @@
+// Package diff derives a delta (in the Google Docs delta language) that
+// transforms one document into another. The paper's micro-benchmark
+// (§VII-B) requires exactly this: "For every (D, D′) pair, a delta string
+// is derived such that it transforms D to D′." It is also the engine
+// behind the covert-channel defense of §VI-B that recomputes deltas "from
+// the two versions of the document directly instead of using the delta
+// values computed by the provided client."
+//
+// The implementation is Myers' O(ND) difference algorithm in its
+// linear-space divide-and-conquer form (middle snake), so memory stays
+// O(N+M) even for unrelated documents.
+package diff
+
+import (
+	"privedit/internal/delta"
+)
+
+// Diff returns a minimal-length edit script transforming a into b,
+// expressed as a normalized delta: Apply(Diff(a, b), a) == b.
+func Diff(a, b string) delta.Delta {
+	var d delta.Delta
+	diffRec([]byte(a), []byte(b), &d)
+	return d.Normalize()
+}
+
+// Distance returns the Myers edit distance (insertions + deletions)
+// between a and b.
+func Distance(a, b string) int {
+	d := Diff(a, b)
+	return d.InsertLen() + d.DeleteLen()
+}
+
+func diffRec(a, b []byte, out *delta.Delta) {
+	// Trim common prefix.
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	if p > 0 {
+		*out = append(*out, delta.RetainOp(p))
+		a, b = a[p:], b[p:]
+	}
+	// Trim common suffix.
+	s := 0
+	for s < len(a) && s < len(b) && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	suffix := s
+	a, b = a[:len(a)-s], b[:len(b)-s]
+
+	switch {
+	case len(a) == 0 && len(b) == 0:
+		// Nothing left.
+	case len(a) == 0:
+		*out = append(*out, delta.InsertOp(string(b)))
+	case len(b) == 0:
+		*out = append(*out, delta.DeleteOp(len(a)))
+	default:
+		sn := middleSnake(a, b)
+		if sn.d <= 1 {
+			// After trimming both ends of two non-empty, non-equal
+			// strings the edit distance is at least 2, so this branch is
+			// defensive: emit a full replacement rather than recurse.
+			*out = append(*out, delta.DeleteOp(len(a)), delta.InsertOp(string(b)))
+		} else {
+			diffRec(a[:sn.x], b[:sn.y], out)
+			if sn.u > sn.x {
+				*out = append(*out, delta.RetainOp(sn.u-sn.x))
+			}
+			diffRec(a[sn.u:], b[sn.v:], out)
+		}
+	}
+	if suffix > 0 {
+		*out = append(*out, delta.RetainOp(suffix))
+	}
+}
+
+// snake is a maximal run of matches (x,y)..(u,v) lying on an optimal
+// D-path, plus the total edit distance d of the full problem.
+type snake struct {
+	x, y, u, v, d int
+}
+
+// middleSnake finds the middle snake of an optimal edit path between a and
+// b using forward and reverse searches that each explore at most half the
+// edit distance (Myers 1986, linear-space refinement). Both a and b must be
+// non-empty.
+func middleSnake(a, b []byte) snake {
+	n, m := len(a), len(b)
+	maxD := (n + m + 1) / 2
+	dlt := n - m
+	odd := dlt%2 != 0
+
+	size := 2*maxD + 2
+	vf := make([]int, size)
+	vb := make([]int, size)
+	idx := func(k int) int {
+		i := k % size
+		if i < 0 {
+			i += size
+		}
+		return i
+	}
+
+	for d := 0; d <= maxD; d++ {
+		// Forward D-paths.
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && vf[idx(k-1)] < vf[idx(k+1)]) {
+				x = vf[idx(k+1)]
+			} else {
+				x = vf[idx(k-1)] + 1
+			}
+			y := x - k
+			x0, y0 := x, y
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			vf[idx(k)] = x
+			if odd {
+				// Overlap with the reverse (d-1)-paths: reverse diagonal
+				// kr corresponds to forward diagonal dlt-kr.
+				kr := dlt - k
+				if kr >= -(d-1) && kr <= d-1 && vf[idx(k)]+vb[idx(kr)] >= n {
+					return snake{x: x0, y: y0, u: x, v: y, d: 2*d - 1}
+				}
+			}
+		}
+		// Reverse D-paths; x counts characters consumed from the end of a.
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && vb[idx(k-1)] < vb[idx(k+1)]) {
+				x = vb[idx(k+1)]
+			} else {
+				x = vb[idx(k-1)] + 1
+			}
+			y := x - k
+			x0, y0 := x, y
+			for x < n && y < m && a[n-x-1] == b[m-y-1] {
+				x++
+				y++
+			}
+			vb[idx(k)] = x
+			if !odd {
+				kf := dlt - k
+				if kf >= -d && kf <= d && vb[idx(k)]+vf[idx(kf)] >= n {
+					return snake{x: n - x, y: m - y, u: n - x0, v: m - y0, d: 2 * d}
+				}
+			}
+		}
+	}
+	// Unreachable for valid inputs; force the defensive replacement path.
+	return snake{d: 0}
+}

@@ -1,0 +1,191 @@
+package diff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"privedit/internal/delta"
+)
+
+func mustApply(t *testing.T, d delta.Delta, doc string) string {
+	t.Helper()
+	got, err := d.Apply(doc)
+	if err != nil {
+		t.Fatalf("Apply(%q, %q): %v", d.String(), doc, err)
+	}
+	return got
+}
+
+func TestDiffBasic(t *testing.T) {
+	tests := []struct {
+		a, b string
+	}{
+		{"", ""},
+		{"", "abc"},
+		{"abc", ""},
+		{"abc", "abc"},
+		{"abc", "abd"},
+		{"abcdefg", "ab"},
+		{"abcdefg", "abuvfgw"},
+		{"kitten", "sitting"},
+		{"saturday", "sunday"},
+		{"aaaa", "aaaaa"},
+		{"xyz", "zyx"},
+		{"the quick brown fox", "the quick red fox jumps"},
+	}
+	for _, tc := range tests {
+		d := Diff(tc.a, tc.b)
+		if got := mustApply(t, d, tc.a); got != tc.b {
+			t.Errorf("Diff(%q,%q)=%q applies to %q, want %q", tc.a, tc.b, d.String(), got, tc.b)
+		}
+	}
+}
+
+func TestDiffEqualIsEmpty(t *testing.T) {
+	d := Diff("same content", "same content")
+	if len(d) != 0 {
+		t.Errorf("Diff of equal strings = %q, want empty", d.String())
+	}
+}
+
+func TestDiffMinimality(t *testing.T) {
+	// Known edit distances.
+	tests := []struct {
+		a, b string
+		dist int
+	}{
+		{"kitten", "sitting", 5}, // 2 substitutions (2 each) + 1 insert under ins/del metric: k->s (2), e->i (2), +g (1)
+		{"abc", "abc", 0},
+		{"abc", "axc", 2},
+		{"abc", "abcd", 1},
+		{"abcd", "abc", 1},
+		{"", "abc", 3},
+	}
+	for _, tc := range tests {
+		if got := Distance(tc.a, tc.b); got != tc.dist {
+			t.Errorf("Distance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.dist)
+		}
+	}
+}
+
+func TestDiffSingleEditInLargeDoc(t *testing.T) {
+	base := strings.Repeat("lorem ipsum dolor sit amet ", 400) // ~10800 chars
+	// One character substituted in the middle.
+	mid := len(base) / 2
+	b := base[:mid] + "X" + base[mid+1:]
+	d := Diff(base, b)
+	if got := mustApply(t, d, base); got != b {
+		t.Fatal("single-edit diff does not apply")
+	}
+	if dist := d.InsertLen() + d.DeleteLen(); dist > 2 {
+		t.Errorf("single substitution produced distance %d, want 2", dist)
+	}
+}
+
+func TestDiffRandomEditScripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	alphabet := "abcdefgh "
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := randStr(rng.Intn(400))
+		// Mutate a with random edits to get b.
+		b := a
+		for e := rng.Intn(10); e >= 0; e-- {
+			if len(b) == 0 {
+				b = randStr(5)
+				continue
+			}
+			p := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b = b[:p] + randStr(1+rng.Intn(5)) + b[p:]
+			case 1:
+				q := p + rng.Intn(len(b)-p)
+				b = b[:p] + b[q:]
+			default:
+				b = b[:p] + randStr(1) + b[p+1:]
+			}
+		}
+		d := Diff(a, b)
+		if got := mustApply(t, d, a); got != b {
+			t.Fatalf("trial %d: diff does not transform a into b", trial)
+		}
+	}
+}
+
+func TestDiffUnrelatedStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randStr := func(n int, base byte) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(base + byte(rng.Intn(20)))
+		}
+		return sb.String()
+	}
+	// Disjoint alphabets force a full replacement.
+	a := randStr(2000, 'a')
+	b := randStr(1500, 'A')
+	d := Diff(a, b)
+	if got := mustApply(t, d, a); got != b {
+		t.Fatal("unrelated diff does not apply")
+	}
+	if dist := Distance(a, b); dist != len(a)+len(b) {
+		t.Errorf("disjoint-alphabet distance = %d, want %d", dist, len(a)+len(b))
+	}
+}
+
+func TestDiffQuickProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Diff(a, b)
+		got, err := d.Apply(a)
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("diff apply property: %v", err)
+	}
+}
+
+func TestDiffDeltaIsNormalized(t *testing.T) {
+	d := Diff("hello world", "hello brave world")
+	if d.String() != d.Normalize().String() {
+		t.Errorf("Diff output not normalized: %q", d.String())
+	}
+}
+
+func BenchmarkDiffSmallEdit(b *testing.B) {
+	base := strings.Repeat("lorem ipsum dolor sit amet ", 370)
+	mod := base[:5000] + "edit " + base[5000:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := Diff(base, mod); len(d) == 0 {
+			b.Fatal("empty diff")
+		}
+	}
+}
+
+func BenchmarkDiffHeavyEdit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]byte, 2000)
+	for i := range buf {
+		buf[i] = byte('a' + rng.Intn(26))
+	}
+	base := string(buf)
+	for i := 0; i < len(buf); i += 7 {
+		buf[i] = byte('A' + rng.Intn(26))
+	}
+	mod := string(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := Diff(base, mod); len(d) == 0 {
+			b.Fatal("empty diff")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package e2e holds whole-system integration tests: every layer of the
+// reproduction composed together — client application, covert mitigations,
+// stego transport, mediating extension, simulated network, simulated
+// service, replication — exercised over real HTTP.
+package e2e
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"privedit/internal/core"
+	"privedit/internal/covert"
+	"privedit/internal/crypt"
+	"privedit/internal/gdocs"
+	"privedit/internal/mediator"
+	"privedit/internal/netsim"
+	"privedit/internal/replica"
+	"privedit/internal/stego"
+	"privedit/internal/workload"
+)
+
+func opts(scheme core.Scheme, seed uint64) core.Options {
+	return core.Options{
+		Scheme:     scheme,
+		BlockChars: 8,
+		Nonces:     crypt.NewSeededNonceSource(seed),
+	}
+}
+
+// TestFullStackLongSession drives a long, randomized editing session
+// through every default layer and verifies at the end that (a) the server
+// only ever saw ciphertext, (b) the stored container decrypts to the
+// client's final text, and (c) a completely fresh session agrees.
+func TestFullStackLongSession(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.ConfidentialityOnly, core.ConfidentialityIntegrity} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			server := gdocs.NewServer()
+			server.EnableObservation()
+			ts := httptest.NewServer(server)
+			defer ts.Close()
+
+			mit := covert.New(covert.Config{CanonicalizeDeltas: true, PadQuantum: 32}, crypt.NewSeededNonceSource(99))
+			ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 1)), mit)
+			client := gdocs.NewClient(ext.Client(), ts.URL, "long-session")
+
+			if err := client.Create(); err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			gen := workload.NewGen(777)
+			client.SetText(gen.Document(2000))
+			if err := client.Save(); err != nil {
+				t.Fatalf("first save: %v", err)
+			}
+
+			for i := 0; i < 60; i++ {
+				sp := gen.Edit(client.Text(), workload.InsertsAndDeletes)
+				if sp.Del > 0 {
+					if err := client.Delete(sp.Pos, sp.Del); err != nil {
+						t.Fatalf("edit %d: %v", i, err)
+					}
+				}
+				if sp.Ins != "" {
+					if err := client.Insert(sp.Pos, sp.Ins); err != nil {
+						t.Fatalf("edit %d: %v", i, err)
+					}
+				}
+				if i%4 == 0 {
+					if err := client.Save(); err != nil {
+						t.Fatalf("save %d: %v", i, err)
+					}
+				}
+			}
+			if err := client.Save(); err != nil {
+				t.Fatalf("final save: %v", err)
+			}
+			want := client.Text()
+
+			// (a) no plaintext fragments at the server.
+			observed := server.Observed()
+			for i := 0; i+6 <= len(want) && i < 300; i += 7 {
+				if strings.Contains(observed, want[i:i+6]) {
+					t.Fatalf("plaintext fragment %q leaked", want[i:i+6])
+				}
+			}
+			// (b) the stored container decrypts to the final text.
+			stored, _, err := server.Content("long-session")
+			if err != nil {
+				t.Fatalf("content: %v", err)
+			}
+			got, err := core.Decrypt("pw", stored)
+			if err != nil || got != want {
+				t.Fatalf("stored container mismatch (err %v)", err)
+			}
+			// (c) a fresh session agrees.
+			ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 2)), nil)
+			client2 := gdocs.NewClient(ext2.Client(), ts.URL, "long-session")
+			if err := client2.Load(); err != nil {
+				t.Fatalf("fresh load: %v", err)
+			}
+			if client2.Text() != want {
+				t.Fatal("fresh session sees different text")
+			}
+		})
+	}
+}
+
+// TestSizeLimitInteraction reproduces the motivation for multi-character
+// blocks: with b=1 the 500 KB quota rejects a document that fits easily at
+// b=8 (§V-C: "this blow-up greatly limits the size of documents").
+func TestSizeLimitInteraction(t *testing.T) {
+	server := gdocs.NewServer()
+	server.SetMaxBytes(64 * 1024) // scaled-down quota to keep the test fast
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	text := workload.NewGen(5).Document(8000) // ~8 KB of prose
+
+	// b=1: blowup ~28x -> ~224 KB container -> rejected.
+	o1 := opts(core.ConfidentialityOnly, 10)
+	o1.BlockChars = 1
+	ext1 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o1), nil)
+	c1 := gdocs.NewClient(ext1.Client(), ts.URL, "doc-b1")
+	if err := c1.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c1.SetText(text)
+	if err := c1.Save(); !errors.Is(err, gdocs.ErrTooLarge) {
+		t.Errorf("b=1 save of 8KB doc = %v, want ErrTooLarge", err)
+	}
+
+	// b=8: blowup ~3.6x -> ~29 KB container -> accepted.
+	o8 := opts(core.ConfidentialityOnly, 11)
+	ext8 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o8), nil)
+	c8 := gdocs.NewClient(ext8.Client(), ts.URL, "doc-b8")
+	if err := c8.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c8.SetText(text)
+	if err := c8.Save(); err != nil {
+		t.Errorf("b=8 save of 8KB doc = %v, want success", err)
+	}
+}
+
+// TestStegoOverDelayedNetwork composes the stego transport with the
+// netsim delay layer: the full pipeline works over a "slow network" and
+// the provider stores innocuous-looking prose.
+func TestStegoOverDelayedNetwork(t *testing.T) {
+	server := gdocs.NewServer()
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	slow := &netsim.DelayTransport{
+		Base:    ts.Client().Transport,
+		Profile: netsim.Profile{RTT: 20 * time.Millisecond},
+	}
+	ext := mediator.New(slow, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 20)), nil,
+		mediator.WithStego())
+	client := gdocs.NewClient(ext.Client(), ts.URL, "slow-doc")
+
+	start := time.Now()
+	if err := client.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	client.SetText("hidden in plain sight")
+	if err := client.Save(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := client.Insert(0, "well "); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Save(); err != nil {
+		t.Fatalf("delta save: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("network delays not applied: %v", elapsed)
+	}
+	stored, _, err := server.Content("slow-doc")
+	if err != nil {
+		t.Fatalf("content: %v", err)
+	}
+	if !stego.LooksInnocuous(stored) {
+		t.Error("stored content looks like ciphertext")
+	}
+	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 21)), nil,
+		mediator.WithStego())
+	client2 := gdocs.NewClient(ext2.Client(), ts.URL, "slow-doc")
+	if err := client2.Load(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if client2.Text() != "well hidden in plain sight" {
+		t.Errorf("round trip = %q", client2.Text())
+	}
+}
+
+// TestReplicatedEncryptedEditing composes the replica store with the
+// encryption core: an editing session mirrored to three providers, one of
+// which turns malicious mid-session.
+func TestReplicatedEncryptedEditing(t *testing.T) {
+	var servers []*gdocs.Server
+	var providers []replica.Provider
+	for i := 0; i < 3; i++ {
+		s := gdocs.NewServer()
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		servers = append(servers, s)
+		providers = append(providers, replica.Provider{
+			Name: string(rune('A' + i)), Base: ts.URL, HTTP: ts.Client(),
+		})
+	}
+	store, err := replica.New("triplicated", providers...)
+	if err != nil {
+		t.Fatalf("replica.New: %v", err)
+	}
+	ed, err := core.NewEditor("pw", opts(core.ConfidentialityIntegrity, 30))
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	if err := store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	transport, err := ed.Encrypt("survives one bad provider")
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if err := store.SaveFull(transport); err != nil {
+		t.Fatalf("SaveFull: %v", err)
+	}
+
+	// Provider B goes rogue: zeroes out its copy.
+	if _, err := servers[1].SetContents("triplicated", "VANDALIZED", -1); err != nil {
+		t.Fatalf("vandalize: %v", err)
+	}
+
+	// Editing continues: the delta save detects B's divergence and
+	// repairs it in stride.
+	cd, err := ed.Splice(0, 0, "still ")
+	if err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if err := store.SaveDelta(cd, ed.Transport()); err != nil {
+		t.Fatalf("SaveDelta: %v", err)
+	}
+	for i, s := range servers {
+		c, _, err := s.Content("triplicated")
+		if err != nil {
+			t.Fatalf("provider %d content: %v", i, err)
+		}
+		got, err := core.Decrypt("pw", c)
+		if err != nil || got != "still survives one bad provider" {
+			t.Errorf("provider %d = (%q, %v)", i, got, err)
+		}
+	}
+}
+
+// TestWrongSchemeContainersNeverConfused saves rECB and RPC documents side
+// by side and verifies each opens only as itself.
+func TestWrongSchemeContainersNeverConfused(t *testing.T) {
+	server := gdocs.NewServer()
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	extA := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityOnly, 40)), nil)
+	extB := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 41)), nil)
+	a := gdocs.NewClient(extA.Client(), ts.URL, "recb-doc")
+	b := gdocs.NewClient(extB.Client(), ts.URL, "rpc-doc")
+	for _, c := range []*gdocs.Client{a, b} {
+		if err := c.Create(); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		c.SetText("scheme-tagged")
+		if err := c.Save(); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	// The containers self-describe their scheme; Open picks it up.
+	for _, id := range []string{"recb-doc", "rpc-doc"} {
+		stored, _, err := server.Content(id)
+		if err != nil {
+			t.Fatalf("content: %v", err)
+		}
+		got, err := core.Decrypt("pw", stored)
+		if err != nil || got != "scheme-tagged" {
+			t.Errorf("%s: decrypt = (%q, %v)", id, got, err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package gdocs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"privedit/internal/delta"
+	"privedit/internal/diff"
+)
+
+// Client errors.
+var (
+	// ErrConflict is returned when the server rejects a delta because the
+	// stored content changed underneath the client — the simultaneous
+	// editing conflict of §VII-A.
+	ErrConflict = errors.New("gdocs: edit conflict")
+	// ErrNotFound is returned for unknown documents.
+	ErrNotFound = errors.New("gdocs: document not found")
+	// ErrBlocked is returned when the mediating extension refused to let
+	// a request leave the client.
+	ErrBlocked = errors.New("gdocs: request blocked by extension")
+	// ErrTooLarge is returned when the server enforces its size limit.
+	ErrTooLarge = errors.New("gdocs: document too large")
+)
+
+// Client simulates the browser-side Google Documents application: it keeps
+// the user's working copy, tracks the last content acknowledged by the
+// server, and saves either the full document (first save of a session) or
+// a delta (every later save) — exactly the traffic pattern of §IV-A.
+// A Client is safe for concurrent use: the autosave timer runs alongside
+// user edits, as in the real application.
+type Client struct {
+	mu    sync.Mutex
+	httpc *http.Client
+	base  string
+	docID string
+
+	local     string // what the user sees and edits
+	lastSaved string // content as of the last acknowledged save
+	inSession bool   // a session starts with a full-content save
+	sentFull  bool   // whether the full save already happened
+	version   int
+}
+
+// NewClient creates a client for one document. httpc may carry the
+// mediating extension as its Transport; base is the server URL.
+func NewClient(httpc *http.Client, base, docID string) *Client {
+	return &Client{httpc: httpc, base: base, docID: docID}
+}
+
+// DocID returns the document id.
+func (c *Client) DocID() string { return c.docID }
+
+// Version returns the last server version the client saw.
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Text returns the user's working copy.
+func (c *Client) Text() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.local
+}
+
+// Dirty reports whether unsaved edits exist.
+func (c *Client) Dirty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dirtyLocked()
+}
+
+func (c *Client) dirtyLocked() bool { return c.local != c.lastSaved }
+
+func (c *Client) checkStatus(resp *http.Response, body string) error {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return ErrConflict
+	case http.StatusNotFound:
+		return ErrNotFound
+	case http.StatusForbidden:
+		return ErrBlocked
+	case http.StatusRequestEntityTooLarge:
+		return ErrTooLarge
+	default:
+		return fmt.Errorf("gdocs: server status %d: %s", resp.StatusCode, strings.TrimSpace(body))
+	}
+}
+
+func (c *Client) post(path string, form url.Values) (string, error) {
+	resp, err := c.httpc.Post(c.base+path, "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return "", fmt.Errorf("gdocs: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("gdocs: read response: %w", err)
+	}
+	if err := c.checkStatus(resp, string(raw)); err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// Create registers a new, empty document on the server and begins an
+// editing session on it.
+func (c *Client) Create() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	form := url.Values{FieldDocID: {c.docID}}
+	if _, err := c.post(PathCreate, form); err != nil {
+		return err
+	}
+	c.local = ""
+	c.lastSaved = ""
+	c.inSession = true
+	c.sentFull = false
+	return nil
+}
+
+// Load opens an existing document and begins an editing session: the next
+// save will carry the full document contents, as the paper observed for
+// the first save of every session.
+func (c *Client) Load() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	if err != nil {
+		return fmt.Errorf("gdocs: load: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("gdocs: read load response: %w", err)
+	}
+	if err := c.checkStatus(resp, string(raw)); err != nil {
+		return err
+	}
+	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			c.version = parsed
+		}
+	}
+	c.local = string(raw)
+	c.lastSaved = c.local
+	c.inSession = true
+	c.sentFull = false
+	return nil
+}
+
+// Refresh re-reads the server content without starting a new session: the
+// passive-reader refresh that keeps working under encryption (§VII-A).
+// It fails with ErrConflict if the client has unsaved local edits.
+func (c *Client) Refresh() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirtyLocked() {
+		return ErrConflict
+	}
+	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	if err != nil {
+		return fmt.Errorf("gdocs: refresh: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("gdocs: read refresh response: %w", err)
+	}
+	if err := c.checkStatus(resp, string(raw)); err != nil {
+		return err
+	}
+	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			c.version = parsed
+		}
+	}
+	c.local = string(raw)
+	c.lastSaved = c.local
+	return nil
+}
+
+// Insert edits the working copy: insert text at pos.
+func (c *Client) Insert(pos int, text string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(pos, text)
+}
+
+func (c *Client) insertLocked(pos int, text string) error {
+	if pos < 0 || pos > len(c.local) {
+		return fmt.Errorf("gdocs: insert at %d in %d-char document", pos, len(c.local))
+	}
+	c.local = c.local[:pos] + text + c.local[pos:]
+	return nil
+}
+
+// Delete edits the working copy: remove n characters at pos.
+func (c *Client) Delete(pos, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleteLocked(pos, n)
+}
+
+func (c *Client) deleteLocked(pos, n int) error {
+	if pos < 0 || n < 0 || pos+n > len(c.local) {
+		return fmt.Errorf("gdocs: delete %d at %d in %d-char document", n, pos, len(c.local))
+	}
+	c.local = c.local[:pos] + c.local[pos+n:]
+	return nil
+}
+
+// Replace edits the working copy: replace n characters at pos with text.
+func (c *Client) Replace(pos, n int, text string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.deleteLocked(pos, n); err != nil {
+		return err
+	}
+	return c.insertLocked(pos, text)
+}
+
+// SetText replaces the whole working copy.
+func (c *Client) SetText(text string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.local = text
+}
+
+// PendingDelta returns the delta the next save would send (empty if clean).
+func (c *Client) PendingDelta() delta.Delta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return diff.Diff(c.lastSaved, c.local)
+}
+
+// Save pushes local edits to the server: the first save of a session sends
+// docContents with the whole document; later saves send only the delta.
+func (c *Client) Save() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveLocked()
+}
+
+func (c *Client) saveLocked() error {
+	if !c.inSession {
+		return errors.New("gdocs: no editing session (call Create or Load)")
+	}
+	if c.sentFull && !c.dirtyLocked() {
+		return nil
+	}
+	form := url.Values{FieldDocID: {c.docID}}
+	form.Set(FieldVersion, strconv.Itoa(c.version))
+	if !c.sentFull {
+		form.Set(FieldDocContents, c.local)
+	} else {
+		form.Set(FieldDelta, diff.Diff(c.lastSaved, c.local).String())
+	}
+	body, err := c.post(PathDoc, form)
+	if err != nil {
+		return err
+	}
+	ack, err := ParseAck(body)
+	if err != nil {
+		return err
+	}
+	c.version = ack.Version
+	c.lastSaved = c.local
+	c.sentFull = true
+	return nil
+}
+
+// SaveRawDelta sends an arbitrary delta, bypassing the local edit model.
+// This exists to model a (possibly malicious) client that constructs its
+// own delta sequences — the covert-channel scenario of §VI-B — and for
+// protocol tests.
+func (c *Client) SaveRawDelta(d delta.Delta) (Ack, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	form := url.Values{FieldDocID: {c.docID}, FieldDelta: {d.String()}}
+	body, err := c.post(PathDoc, form)
+	if err != nil {
+		return Ack{}, err
+	}
+	ack, err := ParseAck(body)
+	if err != nil {
+		return Ack{}, err
+	}
+	c.version = ack.Version
+	return ack, nil
+}
+
+// Feature invokes one of the server-side feature endpoints (§VII-A):
+// translate, spell check, drawing, export. With the extension installed
+// these requests are blocked (ErrBlocked).
+func (c *Client) Feature(path string) (string, error) {
+	return c.post(path, url.Values{FieldDocID: {c.docID}})
+}
+
+// StartAutosave issues Save every interval until the returned stop
+// function is called, modeling the client-side timeout saves of §IV-A.
+// Errors are delivered to onErr (which may be nil).
+func (c *Client) StartAutosave(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := c.Save(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// fetchLocked re-reads the server's current content and version without
+// altering the session state.
+func (c *Client) fetchLocked() (string, int, error) {
+	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	if err != nil {
+		return "", 0, fmt.Errorf("gdocs: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, fmt.Errorf("gdocs: read fetch response: %w", err)
+	}
+	if err := c.checkStatus(resp, string(raw)); err != nil {
+		return "", 0, err
+	}
+	version := c.version
+	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			version = parsed
+		}
+	}
+	return string(raw), version, nil
+}
+
+// Sync saves local edits, resolving version conflicts by merging: on a
+// conflict the client fetches the server's current content, expresses both
+// parties' changes as deltas against the last common base, and transforms
+// its own delta over the server's (delta.Transform — the inclusion
+// transformation of operational transformation). Both sides' insertions
+// survive; text deleted by either side stays deleted; the server's
+// insertions win position ties.
+//
+// The merge happens entirely client-side on plaintext, so it composes with
+// the encrypting extension: the server still only ever sees ciphertext.
+// (SPORC gets stronger guarantees by redesigning the server; the paper
+// §VII-A contrasts that approach with this tool's no-server-changes goal.)
+func (c *Client) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	const maxAttempts = 4
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := c.saveLocked()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		base, version, err := c.fetchLocked()
+		if err != nil {
+			return err
+		}
+		myDelta := diff.Diff(c.lastSaved, c.local)
+		serverDelta := diff.Diff(c.lastSaved, base)
+		merged, mergeErr := delta.Merge(c.lastSaved, myDelta, serverDelta, false)
+		if mergeErr != nil {
+			// Should not happen for valid deltas; fall back to local-wins.
+			merged = c.local
+		}
+		c.local = merged
+		c.lastSaved = base
+		c.version = version
+		c.sentFull = true // a valid base exists; next save is a delta
+	}
+	return ErrConflict
+}

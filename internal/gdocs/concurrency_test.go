@@ -1,0 +1,110 @@
+package gdocs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestManyConcurrentWriters hammers one document with parallel clients,
+// each retrying through Sync. Run with -race. At the end every writer's
+// unique marker must appear exactly once in the converged document.
+func TestManyConcurrentWriters(t *testing.T) {
+	s, ts := newTestServer(t)
+	seed := NewClient(ts.Client(), ts.URL, "busy")
+	if err := seed.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	seed.SetText("|start|")
+	if err := seed.Save(); err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.Client(), ts.URL, "busy")
+			if err := c.Load(); err != nil {
+				errs[w] = err
+				return
+			}
+			marker := fmt.Sprintf("<w%d>", w)
+			if err := c.Insert(len(c.Text()), marker); err != nil {
+				errs[w] = err
+				return
+			}
+			// Sync retries a bounded number of times; under heavy
+			// contention it may still conflict, so loop a little.
+			var err error
+			for attempt := 0; attempt < 10; attempt++ {
+				if err = c.Sync(); err == nil {
+					return
+				}
+				if !errors.Is(err, ErrConflict) {
+					break
+				}
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+
+	final, _, err := s.Content("busy")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	for w := 0; w < writers; w++ {
+		marker := fmt.Sprintf("<w%d>", w)
+		if n := countOccurrences(final, marker); n != 1 {
+			t.Errorf("marker %s appears %d times in %q", marker, n, final)
+		}
+	}
+}
+
+func countOccurrences(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}
+
+// TestConcurrentAutosaveAndEdits runs the autosave timer against a stream
+// of edits from another goroutine; with -race this validates the client's
+// locking.
+func TestConcurrentAutosaveAndEdits(t *testing.T) {
+	s, ts := newTestServer(t)
+	c := NewClient(ts.Client(), ts.URL, "autosaved")
+	if err := c.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	stop := c.StartAutosave(1e6, nil) // 1ms
+	for i := 0; i < 200; i++ {
+		if err := c.Insert(len(c.Text()), "x"); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	stop()
+	if err := c.Save(); err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+	content, _, err := s.Content("autosaved")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	if len(content) != 200 {
+		t.Errorf("server has %d chars, want 200", len(content))
+	}
+}

@@ -1,0 +1,286 @@
+package gdocs
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"privedit/internal/delta"
+)
+
+// MaxDocBytes is the document size limit: "Google currently enforces a
+// maximum file size of 500 kilobytes" (§V-C). The limit is what makes the
+// ciphertext blow-up of 1-character blocks unacceptable.
+const MaxDocBytes = 500 * 1024
+
+// Server errors surfaced as HTTP statuses.
+var (
+	errNotFound = errors.New("gdocs: no such document")
+	errConflict = errors.New("gdocs: delta does not apply to stored content")
+	errTooLarge = errors.New("gdocs: document exceeds size limit")
+)
+
+type serverDoc struct {
+	content string
+	version int
+}
+
+// Server is the simulated Google Documents service: an in-memory document
+// store behind the reverse-engineered HTTP protocol. It never interprets
+// document text — the property the whole approach relies on. It is safe
+// for concurrent use.
+type Server struct {
+	mu       sync.Mutex
+	docs     map[string]*serverDoc
+	maxBytes int
+
+	// observed collects every byte of document content the server has
+	// seen, for the leak-detector tests: with the extension installed, no
+	// plaintext substring may ever show up here.
+	observed strings.Builder
+	observe  bool
+}
+
+// NewServer creates an empty document store with the 500 KB per-document
+// limit.
+func NewServer() *Server {
+	return &Server{docs: make(map[string]*serverDoc), maxBytes: MaxDocBytes}
+}
+
+// SetMaxBytes overrides the per-document size limit (tests).
+func (s *Server) SetMaxBytes(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+}
+
+// EnableObservation turns on recording of all content the server sees,
+// supporting the confidentiality leak detector.
+func (s *Server) EnableObservation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observe = true
+}
+
+// Observed returns everything the (honest-but-curious) server has seen.
+func (s *Server) Observed() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observed.String()
+}
+
+func (s *Server) see(content string) {
+	if s.observe {
+		s.observed.WriteString(content)
+		s.observed.WriteByte('\n')
+	}
+}
+
+// Create makes a new empty document. It fails if the id already exists.
+func (s *Server) Create(docID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[docID]; ok {
+		return fmt.Errorf("gdocs: document %q already exists", docID)
+	}
+	s.docs[docID] = &serverDoc{}
+	return nil
+}
+
+// Content returns the stored content and version of a document.
+func (s *Server) Content(docID string) (string, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.docs[docID]
+	if !ok {
+		return "", 0, errNotFound
+	}
+	return doc.content, doc.version, nil
+}
+
+// SetContents replaces a document's full content (the docContents save).
+// baseVersion is the server version the client last saw; pass -1 to skip
+// the optimistic-concurrency check.
+func (s *Server) SetContents(docID, content string, baseVersion int) (Ack, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.docs[docID]
+	if !ok {
+		return Ack{}, errNotFound
+	}
+	if baseVersion >= 0 && baseVersion != doc.version {
+		return Ack{}, errConflict
+	}
+	if len(content) > s.maxBytes {
+		return Ack{}, errTooLarge
+	}
+	s.see(content)
+	doc.content = content
+	doc.version++
+	return Ack{
+		ContentFromServer:     doc.content,
+		ContentFromServerHash: ContentHash(doc.content),
+		Version:               doc.version,
+	}, nil
+}
+
+// ApplyDelta applies an incremental update (the delta save). The server
+// has no idea whether the stored text is plaintext or ciphertext; it just
+// executes the edit script. baseVersion as in SetContents.
+func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.docs[docID]
+	if !ok {
+		return Ack{}, errNotFound
+	}
+	if baseVersion >= 0 && baseVersion != doc.version {
+		return Ack{}, errConflict
+	}
+	d, err := delta.Parse(wire)
+	if err != nil {
+		return Ack{}, fmt.Errorf("%w: %v", errConflict, err)
+	}
+	s.see(wire)
+	updated, err := d.Apply(doc.content)
+	if err != nil {
+		// A delta computed against a stale version: the conflict case the
+		// paper hits during simultaneous editing (§VII-A).
+		return Ack{}, errConflict
+	}
+	if len(updated) > s.maxBytes {
+		return Ack{}, errTooLarge
+	}
+	doc.content = updated
+	doc.version++
+	return Ack{
+		ContentFromServer:     doc.content,
+		ContentFromServerHash: ContentHash(doc.content),
+		Version:               doc.version,
+	}, nil
+}
+
+// featureReply models the server-side features of §VII-A. They "work" by
+// processing the stored document text — which is gibberish once the
+// document is encrypted, and the requests never reach the server anyway
+// because the extension blocks them.
+func (s *Server) featureReply(kind, docID string) (string, error) {
+	content, _, err := s.Content(docID)
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case "translate":
+		// Toy "translation": uppercase the stored text.
+		return strings.ToUpper(content), nil
+	case "spell":
+		// Toy spell check: report words longer than 12 characters.
+		var odd []string
+		for _, w := range strings.Fields(content) {
+			if len(w) > 12 {
+				odd = append(odd, w)
+			}
+		}
+		return strings.Join(odd, ","), nil
+	case "export":
+		return "%PDF-FAKE%" + content, nil
+	case "drawing":
+		return "<svg>" + content + "</svg>", nil
+	default:
+		return "", fmt.Errorf("gdocs: unknown feature %q", kind)
+	}
+}
+
+// ServeHTTP implements the wire protocol.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == PathCreate && r.Method == http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Create(r.PostForm.Get(FieldDocID)); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprint(w, "ok")
+
+	case r.URL.Path == PathDoc && r.Method == http.MethodGet:
+		content, version, err := s.Content(r.URL.Query().Get(FieldDocID))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("X-Doc-Version", strconv.Itoa(version))
+		fmt.Fprint(w, content)
+
+	case r.URL.Path == PathDoc && r.Method == http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		docID := r.PostForm.Get(FieldDocID)
+		if docID == "" {
+			docID = r.URL.Query().Get(FieldDocID)
+		}
+		baseVersion := -1
+		if v := r.PostForm.Get(FieldVersion); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "gdocs: bad version", http.StatusBadRequest)
+				return
+			}
+			baseVersion = parsed
+		}
+		var (
+			ack Ack
+			err error
+		)
+		if r.PostForm.Has(FieldDocContents) {
+			ack, err = s.SetContents(docID, r.PostForm.Get(FieldDocContents), baseVersion)
+		} else if r.PostForm.Has(FieldDelta) {
+			ack, err = s.ApplyDelta(docID, r.PostForm.Get(FieldDelta), baseVersion)
+		} else {
+			http.Error(w, "gdocs: no docContents or delta", http.StatusBadRequest)
+			return
+		}
+		switch {
+		case errors.Is(err, errNotFound):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, errConflict):
+			http.Error(w, err.Error(), http.StatusConflict)
+		case errors.Is(err, errTooLarge):
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			fmt.Fprint(w, ack.Encode())
+		}
+
+	case r.Method == http.MethodPost &&
+		(r.URL.Path == PathTranslate || r.URL.Path == PathSpell ||
+			r.URL.Path == PathDrawing || r.URL.Path == PathExport):
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		kind := map[string]string{
+			PathTranslate: "translate",
+			PathSpell:     "spell",
+			PathDrawing:   "drawing",
+			PathExport:    "export",
+		}[r.URL.Path]
+		out, err := s.featureReply(kind, r.PostForm.Get(FieldDocID))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, out)
+
+	default:
+		http.Error(w, "gdocs: unknown endpoint", http.StatusNotFound)
+	}
+}

@@ -1,0 +1,116 @@
+package gdocs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyncNoConflictIsPlainSave(t *testing.T) {
+	s, ts := newTestServer(t)
+	c := NewClient(ts.Client(), ts.URL, "doc")
+	if err := c.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	c.SetText("plain sailing")
+	if err := c.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	content, _, err := s.Content("doc")
+	if err != nil || content != "plain sailing" {
+		t.Errorf("server = (%q, %v)", content, err)
+	}
+}
+
+func TestSyncRebasesNonOverlappingEdits(t *testing.T) {
+	s, ts := newTestServer(t)
+	a := NewClient(ts.Client(), ts.URL, "doc")
+	if err := a.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a.SetText("HEAD middle TAIL")
+	if err := a.Save(); err != nil {
+		t.Fatalf("a.Save: %v", err)
+	}
+
+	b := NewClient(ts.Client(), ts.URL, "doc")
+	if err := b.Load(); err != nil {
+		t.Fatalf("b.Load: %v", err)
+	}
+
+	// a edits the head; b edits the tail; both save, b via Sync.
+	if err := a.Replace(0, 4, "FRONT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Save(); err != nil {
+		t.Fatalf("a.Save: %v", err)
+	}
+	if err := b.Replace(12, 4, "BACK"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(); err == nil {
+		t.Fatal("plain Save should conflict")
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("b.Sync: %v", err)
+	}
+	content, _, err := s.Content("doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	if content != "FRONT middle BACK" {
+		t.Errorf("merged = %q, want both edits", content)
+	}
+	if b.Text() != content {
+		t.Errorf("b.Text = %q, server %q", b.Text(), content)
+	}
+}
+
+func TestSyncConvergesOnSevereOverlap(t *testing.T) {
+	// a truncates the document to almost nothing while b edits the (now
+	// deleted) tail. The OT merge keeps a's deletions and whatever b
+	// genuinely inserted; the key guarantees are that Sync succeeds and
+	// that client and server converge on the same text.
+	s, ts := newTestServer(t)
+	a := NewClient(ts.Client(), ts.URL, "doc")
+	if err := a.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	a.SetText(strings.Repeat("base text ", 10))
+	if err := a.Save(); err != nil {
+		t.Fatalf("a.Save: %v", err)
+	}
+	b := NewClient(ts.Client(), ts.URL, "doc")
+	if err := b.Load(); err != nil {
+		t.Fatalf("b.Load: %v", err)
+	}
+
+	a.SetText("gone")
+	if err := a.Save(); err != nil {
+		t.Fatalf("a.Save: %v", err)
+	}
+	if err := b.Replace(90, 10, "b's tail edit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("b.Sync: %v", err)
+	}
+	content, _, err := s.Content("doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	if content != b.Text() {
+		t.Errorf("diverged: server %q, client %q", content, b.Text())
+	}
+	if !strings.Contains(content, "gone") {
+		t.Errorf("a's truncation lost: %q", content)
+	}
+}
+
+func TestSyncPropagatesNonConflictErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	c := NewClient(ts.Client(), ts.URL, "never-created")
+	c.SetText("x")
+	if err := c.Sync(); err == nil {
+		t.Error("Sync without a session accepted")
+	}
+}

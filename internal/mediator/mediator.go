@@ -1,0 +1,396 @@
+// Package mediator implements the paper's browser extension (Figure 1,
+// Figure 2) as an http.RoundTripper: it intercepts every request the
+// client application makes, encrypts the document content in save
+// requests, transforms incremental deltas into ciphertext deltas, decrypts
+// document loads, and drops every request it does not recognize — "for
+// security, all requests other than those that can be interpreted and
+// encrypted must be blocked" (§III).
+//
+// The extension holds one core.Editor per document: "the enc_scheme object
+// provides three public interfaces: encrypt, decrypt, and transform_delta.
+// It also maintains a copy of the state of the ciphertext document which
+// is needed to transform the delta" (§IV-B).
+package mediator
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"privedit/internal/core"
+	"privedit/internal/covert"
+	"privedit/internal/delta"
+	"privedit/internal/gdocs"
+	"privedit/internal/stego"
+)
+
+// PasswordProvider supplies the per-document password and encryption
+// options, standing in for the prototype's password dialog (§IV-C).
+type PasswordProvider func(docID string) (password string, opts core.Options, err error)
+
+// StaticPassword is a PasswordProvider that uses one password and one set
+// of options for every document.
+func StaticPassword(password string, opts core.Options) PasswordProvider {
+	return func(string) (string, core.Options, error) { return password, opts, nil }
+}
+
+// Stats counts what the extension did, for the evaluation harness.
+type Stats struct {
+	FullEncrypts      int // docContents saves encrypted
+	DeltasTransformed int // delta saves transformed
+	LoadsDecrypted    int // document loads decrypted
+	Passed            int // recognized non-content requests forwarded
+	Blocked           int // unrecognized requests dropped
+	PlainBytesIn      int // plaintext characters submitted by the client
+	CipherBytesOut    int // ciphertext characters actually sent
+}
+
+// Extension is the mediating extension. Install it as the Transport of the
+// client application's http.Client.
+type Extension struct {
+	base      http.RoundTripper
+	passwords PasswordProvider
+	mitigator *covert.Mitigator
+	useStego  bool
+
+	mu      sync.Mutex
+	editors map[string]*core.Editor
+	stats   Stats
+}
+
+var _ http.RoundTripper = (*Extension)(nil)
+
+// Option customizes an Extension.
+type Option func(*Extension)
+
+// WithStego stores documents as word prose instead of Base32 (the §VI
+// "availability" extension), so a provider scanning for
+// encrypted-looking content finds none. See internal/stego for the
+// honest limits of this.
+func WithStego() Option {
+	return func(e *Extension) { e.useStego = true }
+}
+
+// New builds an extension. base is the underlying transport (nil for
+// http.DefaultTransport); mitigator may be nil to disable the §VI-B
+// covert-channel countermeasures.
+func New(base http.RoundTripper, passwords PasswordProvider, mitigator *covert.Mitigator, opts ...Option) *Extension {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	e := &Extension{
+		base:      base,
+		passwords: passwords,
+		mitigator: mitigator,
+		editors:   make(map[string]*core.Editor),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Client returns an http.Client routed through the extension.
+func (e *Extension) Client() *http.Client {
+	return &http.Client{Transport: e}
+}
+
+// Stats returns a snapshot of the extension's counters.
+func (e *Extension) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Editor exposes the per-document encryption state (tests and tooling).
+func (e *Extension) Editor(docID string) *core.Editor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.editors[docID]
+}
+
+// editorFor returns the existing editor for docID or creates a fresh one.
+func (e *Extension) editorFor(docID string) (*core.Editor, error) {
+	e.mu.Lock()
+	if ed, ok := e.editors[docID]; ok {
+		e.mu.Unlock()
+		return ed, nil
+	}
+	e.mu.Unlock()
+	password, opts, err := e.passwords(docID)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := core.NewEditor(password, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.editors[docID]; ok {
+		return existing, nil
+	}
+	e.editors[docID] = ed
+	return ed, nil
+}
+
+// openEditor (re)opens the encryption state from a server-held container.
+func (e *Extension) openEditor(docID, transport string) (*core.Editor, error) {
+	password, _, err := e.passwords(docID)
+	if err != nil {
+		return nil, err
+	}
+	ed, err := core.Open(password, transport, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.editors[docID] = ed
+	return ed, nil
+}
+
+// synthesize builds a local response without touching the network.
+func synthesize(req *http.Request, status int, msg string) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(msg)),
+		ContentLength: int64(len(msg)),
+		Request:       req,
+	}
+}
+
+func replaceBody(resp *http.Response, body string) {
+	resp.Body = io.NopCloser(strings.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	resp.Header.Del("Content-Length")
+}
+
+// RoundTrip mediates one request: the Go rendition of Figure 2's
+// onModifyRequest.
+func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch {
+	case req.Method == http.MethodPost && req.URL.Path == gdocs.PathDoc:
+		return e.mediateUpdate(req)
+	case req.Method == http.MethodGet && req.URL.Path == gdocs.PathDoc:
+		return e.mediateLoad(req)
+	case req.Method == http.MethodPost && req.URL.Path == gdocs.PathCreate:
+		return e.mediateCreate(req)
+	default:
+		// "Drop all unknown requests."
+		e.mu.Lock()
+		e.stats.Blocked++
+		e.mu.Unlock()
+		return synthesize(req, http.StatusForbidden, "privedit: request blocked by extension"), nil
+	}
+}
+
+// forward sends a rewritten form body to the server.
+func (e *Extension) forward(req *http.Request, form url.Values) (*http.Response, error) {
+	body := form.Encode()
+	clone := req.Clone(req.Context())
+	clone.Body = io.NopCloser(strings.NewReader(body))
+	clone.ContentLength = int64(len(body))
+	clone.Header = req.Header.Clone()
+	clone.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	return e.base.RoundTrip(clone)
+}
+
+func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
+	form, err := readForm(req)
+	if err != nil {
+		return synthesize(req, http.StatusForbidden, "privedit: unreadable create request"), nil
+	}
+	docID := form.Get(gdocs.FieldDocID)
+	if _, err := e.editorFor(docID); err != nil {
+		return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
+	}
+	e.mu.Lock()
+	e.stats.Passed++
+	e.mu.Unlock()
+	return e.forward(req, form)
+}
+
+func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
+	form, err := readForm(req)
+	if err != nil {
+		return synthesize(req, http.StatusForbidden, "privedit: unreadable update request"), nil
+	}
+	docID := form.Get(gdocs.FieldDocID)
+
+	switch {
+	case form.Has(gdocs.FieldDocContents): // full update
+		ed, err := e.editorFor(docID)
+		if err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
+		}
+		content := form.Get(gdocs.FieldDocContents)
+		ctxt, err := ed.Encrypt(content)
+		if err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: encrypt: "+err.Error()), nil
+		}
+		if e.useStego {
+			if ctxt, err = stego.Encode(ctxt); err != nil {
+				return synthesize(req, http.StatusForbidden, "privedit: stego: "+err.Error()), nil
+			}
+		}
+		form.Set(gdocs.FieldDocContents, ctxt)
+		e.applyPadding(form, len(ctxt))
+		e.applyDelay()
+		e.mu.Lock()
+		e.stats.FullEncrypts++
+		e.stats.PlainBytesIn += len(content)
+		e.stats.CipherBytesOut += len(ctxt)
+		e.mu.Unlock()
+		return e.mediateAck(req, form)
+
+	case form.Has(gdocs.FieldDelta): // incremental update
+		e.mu.Lock()
+		ed := e.editors[docID]
+		e.mu.Unlock()
+		if ed == nil {
+			return synthesize(req, http.StatusForbidden, "privedit: delta for unknown document"), nil
+		}
+		wire := form.Get(gdocs.FieldDelta)
+		pd, err := delta.Parse(wire)
+		if err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: bad delta: "+err.Error()), nil
+		}
+		if e.mitigator != nil {
+			pd, err = e.mitigator.CanonicalDelta(ed.Plaintext(), pd)
+			if err != nil {
+				return synthesize(req, http.StatusForbidden, "privedit: canonicalize: "+err.Error()), nil
+			}
+		}
+		cd, err := ed.TransformDeltaOps(pd)
+		if err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: transform_delta: "+err.Error()), nil
+		}
+		if e.useStego {
+			if cd, err = stego.TransformDelta(cd); err != nil {
+				return synthesize(req, http.StatusForbidden, "privedit: stego: "+err.Error()), nil
+			}
+		}
+		cwire := cd.String()
+		form.Set(gdocs.FieldDelta, cwire)
+		e.applyPadding(form, len(cwire))
+		e.applyDelay()
+		e.mu.Lock()
+		e.stats.DeltasTransformed++
+		e.stats.PlainBytesIn += len(wire)
+		e.stats.CipherBytesOut += len(cwire)
+		e.mu.Unlock()
+		return e.mediateAck(req, form)
+
+	default:
+		e.mu.Lock()
+		e.stats.Blocked++
+		e.mu.Unlock()
+		return synthesize(req, http.StatusForbidden, "privedit: unrecognized update"), nil
+	}
+}
+
+// mediateAck forwards an update and blanks the content echo in the Ack:
+// "the client works flawlessly when the values are replaced with an empty
+// string for contentFromServer, and 0 for contentFromServerHash" (§IV-A).
+func (e *Extension) mediateAck(req *http.Request, form url.Values) (*http.Response, error) {
+	resp, err := e.forward(req, form)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: read ack: %w", err)
+	}
+	ack, err := gdocs.ParseAck(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("mediator: parse ack: %w", err)
+	}
+	ack.ContentFromServer = ""
+	ack.ContentFromServerHash = 0
+	replaceBody(resp, ack.Encode())
+	return resp, nil
+}
+
+// mediateLoad forwards a document load and decrypts the returned container
+// so the client application renders plaintext.
+func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
+	docID := req.URL.Query().Get(gdocs.FieldDocID)
+	resp, err := e.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: read load: %w", err)
+	}
+	transport := string(raw)
+	if e.useStego && transport != "" {
+		decoded, err := stego.Decode(transport)
+		if err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: stego decode: "+err.Error()), nil
+		}
+		transport = decoded
+	}
+	if transport == "" {
+		// Brand-new document: nothing to decrypt, but the session needs
+		// fresh encryption state.
+		if _, err := e.editorFor(docID); err != nil {
+			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
+		}
+		replaceBody(resp, "")
+		return resp, nil
+	}
+	ed, err := e.openEditor(docID, transport)
+	if err != nil {
+		return synthesize(req, http.StatusForbidden, "privedit: open: "+err.Error()), nil
+	}
+	e.mu.Lock()
+	e.stats.LoadsDecrypted++
+	e.mu.Unlock()
+	replaceBody(resp, ed.Plaintext())
+	return resp, nil
+}
+
+func (e *Extension) applyPadding(form url.Values, payloadLen int) {
+	if e.mitigator == nil {
+		return
+	}
+	if pad := e.mitigator.PadFor(payloadLen); pad != "" {
+		form.Set("pad", pad)
+	}
+}
+
+func (e *Extension) applyDelay() {
+	if e.mitigator != nil {
+		e.mitigator.Delay()
+	}
+}
+
+func readForm(req *http.Request) (url.Values, error) {
+	if req.Body == nil {
+		return url.Values{}, nil
+	}
+	raw, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	return url.ParseQuery(string(raw))
+}

@@ -1,0 +1,104 @@
+// Package netsim models the network and server-processing time that the
+// paper's macro-benchmarks measured with Selenium against the live 2011
+// Google Documents service (§VII-C). The model is deliberately simple and
+// deterministic: a fixed round-trip time, symmetric bandwidth, and
+// per-byte server processing. The macro harness combines these simulated
+// durations with *measured* client-side cryptography time, reproducing the
+// paper's observation that "the performance impact of cryptographic
+// manipulations is offset by communication and server processing time."
+package netsim
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Profile describes one network/server environment.
+type Profile struct {
+	// RTT is the round-trip latency between client and server.
+	RTT time.Duration
+	// BandwidthBps is the link bandwidth in bytes per second, applied to
+	// each direction independently.
+	BandwidthBps float64
+	// ServerFixed is the fixed per-request server processing time.
+	ServerFixed time.Duration
+	// ServerPerByte is additional server processing per request body byte
+	// (parsing, storage).
+	ServerPerByte time.Duration
+}
+
+// Broadband2009 approximates the environment of the paper's experiments:
+// a 2009-era US broadband connection to a loaded web service. ~80 ms RTT,
+// 1 MB/s up/down, a few ms of server work per request.
+func Broadband2009() Profile {
+	return Profile{
+		RTT:           80 * time.Millisecond,
+		BandwidthBps:  1 << 20,
+		ServerFixed:   5 * time.Millisecond,
+		ServerPerByte: 20 * time.Nanosecond,
+	}
+}
+
+// transferTime returns the serialization delay for n bytes.
+func (p Profile) transferTime(n int) time.Duration {
+	if p.BandwidthBps <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.BandwidthBps * float64(time.Second))
+}
+
+// RequestTime returns the end-to-end latency of one request/response
+// exchange carrying the given body sizes, excluding client-side compute.
+func (p Profile) RequestTime(requestBytes, responseBytes int) time.Duration {
+	return p.RTT +
+		p.transferTime(requestBytes) +
+		p.ServerFixed +
+		time.Duration(requestBytes)*p.ServerPerByte +
+		p.transferTime(responseBytes)
+}
+
+// String summarizes the profile.
+func (p Profile) String() string {
+	return fmt.Sprintf("rtt=%v bw=%.0fB/s serverFixed=%v", p.RTT, p.BandwidthBps, p.ServerFixed)
+}
+
+// DelayTransport is an http.RoundTripper middleware that *actually sleeps*
+// for the profile's simulated latency, for interactive demos and
+// integration tests that want realistic pacing. Benchmarks use
+// Profile.RequestTime arithmetic instead of sleeping.
+type DelayTransport struct {
+	// Base performs the real request. Defaults to http.DefaultTransport.
+	Base http.RoundTripper
+	// Profile supplies the delays.
+	Profile Profile
+	// Scale divides every delay (e.g. 100 for a 100× faster demo). 0
+	// means 1.
+	Scale int
+}
+
+// RoundTrip implements http.RoundTripper.
+func (d *DelayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := d.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	reqBytes := 0
+	if req.ContentLength > 0 {
+		reqBytes = int(req.ContentLength)
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	respBytes := 0
+	if resp.ContentLength > 0 {
+		respBytes = int(resp.ContentLength)
+	}
+	delay := d.Profile.RequestTime(reqBytes, respBytes)
+	if d.Scale > 1 {
+		delay /= time.Duration(d.Scale)
+	}
+	time.Sleep(delay)
+	return resp, nil
+}

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestTimeComponents(t *testing.T) {
+	p := Profile{
+		RTT:           100 * time.Millisecond,
+		BandwidthBps:  1000, // 1000 B/s: 1 ms per byte
+		ServerFixed:   10 * time.Millisecond,
+		ServerPerByte: time.Microsecond,
+	}
+	got := p.RequestTime(1000, 500)
+	// rtt 100ms + up 1000ms + fixed 10ms + perbyte 1ms + down 500ms
+	want := 100*time.Millisecond + 1000*time.Millisecond + 10*time.Millisecond +
+		1000*time.Microsecond + 500*time.Millisecond
+	if got != want {
+		t.Errorf("RequestTime = %v, want %v", got, want)
+	}
+}
+
+func TestRequestTimeMonotoneInSize(t *testing.T) {
+	p := Broadband2009()
+	small := p.RequestTime(100, 100)
+	big := p.RequestTime(100000, 100)
+	if big <= small {
+		t.Errorf("bigger request not slower: %v <= %v", big, small)
+	}
+}
+
+func TestZeroBandwidthMeansNoTransferTime(t *testing.T) {
+	p := Profile{RTT: time.Millisecond}
+	if got := p.RequestTime(1<<20, 1<<20); got != time.Millisecond {
+		t.Errorf("RequestTime with no bandwidth model = %v", got)
+	}
+}
+
+func TestBroadband2009Sane(t *testing.T) {
+	p := Broadband2009()
+	// A small save should take on the order of 100 ms, not seconds.
+	d := p.RequestTime(2000, 200)
+	if d < 50*time.Millisecond || d > time.Second {
+		t.Errorf("typical save latency = %v, outside sanity range", d)
+	}
+	if !strings.Contains(p.String(), "rtt=") {
+		t.Error("String() not descriptive")
+	}
+}
+
+func TestDelayTransportSleepsAndForwards(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	}))
+	defer ts.Close()
+
+	profile := Profile{RTT: 30 * time.Millisecond}
+	client := &http.Client{Transport: &DelayTransport{Profile: profile}}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Errorf("body = %q", body)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("elapsed %v; delay not applied", elapsed)
+	}
+}
+
+func TestDelayTransportScale(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	profile := Profile{RTT: 500 * time.Millisecond}
+	client := &http.Client{Transport: &DelayTransport{Profile: profile, Scale: 100}}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("scaled delay too long: %v", elapsed)
+	}
+}

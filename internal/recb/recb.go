@@ -1,0 +1,191 @@
+// Package recb implements the randomized-ECB (rECB) incremental encryption
+// mode of Buonanno, Katz & Yung as used by Huang & Evans §V-B for
+// confidentiality-only protection. With document blocks d_1..d_n the
+// ciphertext is
+//
+//	F_sk(r0), F_sk(r0⊕r_1, r_1⊕d_1), ..., F_sk(r0⊕r_n, r_n⊕d_n)
+//
+// where the r_i are fresh 64-bit nonces and F_sk is AES-128. Every block is
+// independent given r0, so inserts and deletes touch only the edited
+// blocks: the ideal incremental case. The mode detects no tampering — the
+// package's tests demonstrate the block-substitution attack the paper
+// accepts for this mode.
+//
+// Container record: 1 count byte (block character count, stored in the
+// clear — the paper: "we have to store the block character counters so
+// that we remember block boundaries") followed by the 16-byte AES block.
+package recb
+
+import (
+	"fmt"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/crypt"
+)
+
+// SchemeID is the container header byte identifying rECB.
+const SchemeID = 1
+
+const (
+	recordBytes = 1 + crypt.BlockSize // count byte + AES block
+	prefixBytes = crypt.BlockSize     // F_sk(r0 ‖ 0^64)
+	maxChars    = 8                   // 64-bit data field
+)
+
+// Codec is the rECB scheme. It implements blockdoc.Codec.
+type Codec struct {
+	prp    *crypt.PRP
+	nonces crypt.NonceSource
+	r0     uint64
+}
+
+var _ blockdoc.Codec = (*Codec)(nil)
+
+// New builds an rECB codec from a 16-byte AES key. nonces supplies the
+// 64-bit block nonces; pass crypt.CryptoNonceSource{} outside tests.
+func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
+	prp, err := crypt.NewPRP(key)
+	if err != nil {
+		return nil, fmt.Errorf("recb: %w", err)
+	}
+	return &Codec{prp: prp, nonces: nonces}, nil
+}
+
+// Name implements blockdoc.Codec.
+func (c *Codec) Name() string { return "rECB" }
+
+// ID implements blockdoc.Codec.
+func (c *Codec) ID() byte { return SchemeID }
+
+// RecordBytes implements blockdoc.Codec.
+func (c *Codec) RecordBytes() int { return recordBytes }
+
+// PrefixBytes implements blockdoc.Codec.
+func (c *Codec) PrefixBytes() int { return prefixBytes }
+
+// TrailerBytes implements blockdoc.Codec. rECB has no integrity trailer.
+func (c *Codec) TrailerBytes() int { return 0 }
+
+// MaxChars implements blockdoc.Codec.
+func (c *Codec) MaxChars() int { return maxChars }
+
+// padChars returns the 64-bit zero-padded data field for a block.
+func padChars(chars []byte) uint64 {
+	var d [8]byte
+	copy(d[:], chars)
+	return crypt.Uint64(d[:])
+}
+
+// encryptBlock encrypts one block of 1..8 characters under a fresh nonce.
+func (c *Codec) encryptBlock(chars []byte) (*blockdoc.Block, error) {
+	if len(chars) == 0 || len(chars) > maxChars {
+		return nil, fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(chars))
+	}
+	ri := c.nonces.Nonce64()
+	var pt [crypt.BlockSize]byte
+	crypt.PutUint64(pt[:8], c.r0^ri)
+	crypt.PutUint64(pt[8:], ri^padChars(chars))
+	rec := make([]byte, recordBytes)
+	rec[0] = byte(len(chars))
+	if err := c.prp.Encrypt(rec[1:], pt[:]); err != nil {
+		return nil, err
+	}
+	own := make([]byte, len(chars))
+	copy(own, chars)
+	return &blockdoc.Block{Chars: own, Record: rec, Nonce: ri}, nil
+}
+
+// decryptBlock inverts encryptBlock.
+func (c *Codec) decryptBlock(rec []byte) (*blockdoc.Block, error) {
+	if len(rec) != recordBytes {
+		return nil, fmt.Errorf("%w: record of %d bytes", blockdoc.ErrCorrupt, len(rec))
+	}
+	count := int(rec[0])
+	if count < 1 || count > maxChars {
+		return nil, fmt.Errorf("%w: block count %d", blockdoc.ErrCorrupt, count)
+	}
+	var pt [crypt.BlockSize]byte
+	if err := c.prp.Decrypt(pt[:], rec[1:]); err != nil {
+		return nil, err
+	}
+	ri := crypt.Uint64(pt[:8]) ^ c.r0
+	d := crypt.Uint64(pt[8:]) ^ ri
+	var db [8]byte
+	crypt.PutUint64(db[:], d)
+	for _, b := range db[count:] {
+		if b != 0 {
+			return nil, fmt.Errorf("%w: nonzero block padding", blockdoc.ErrCorrupt)
+		}
+	}
+	chars := make([]byte, count)
+	copy(chars, db[:count])
+	recOwn := make([]byte, recordBytes)
+	copy(recOwn, rec)
+	return &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: ri}, nil
+}
+
+// EncryptAll implements blockdoc.Codec: fresh r0, every chunk encrypted
+// independently.
+func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.Block, trailer []byte, err error) {
+	c.r0 = c.nonces.Nonce64()
+	prefix = make([]byte, prefixBytes)
+	var pt [crypt.BlockSize]byte
+	crypt.PutUint64(pt[:8], c.r0)
+	if err := c.prp.Encrypt(prefix, pt[:]); err != nil {
+		return nil, nil, nil, err
+	}
+	blocks = make([]*blockdoc.Block, 0, len(chunks))
+	for _, ch := range chunks {
+		b, err := c.encryptBlock(ch)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		blocks = append(blocks, b)
+	}
+	return prefix, blocks, nil, nil
+}
+
+// DecryptAll implements blockdoc.Codec. rECB can verify structure (counts,
+// padding) but, by design, not integrity.
+func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*blockdoc.Block, error) {
+	if len(prefix) != prefixBytes {
+		return nil, fmt.Errorf("%w: prefix of %d bytes", blockdoc.ErrCorrupt, len(prefix))
+	}
+	if len(trailer) != 0 {
+		return nil, fmt.Errorf("%w: unexpected trailer", blockdoc.ErrCorrupt)
+	}
+	var pt [crypt.BlockSize]byte
+	if err := c.prp.Decrypt(pt[:], prefix); err != nil {
+		return nil, err
+	}
+	if crypt.Uint64(pt[8:]) != 0 {
+		return nil, fmt.Errorf("%w: nonzero r0 padding", blockdoc.ErrCorrupt)
+	}
+	c.r0 = crypt.Uint64(pt[:8])
+	blocks := make([]*blockdoc.Block, 0, len(records))
+	for i, rec := range records {
+		b, err := c.decryptBlock(rec)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks, nil
+}
+
+// Splice implements blockdoc.Codec. Blocks are independent, so the
+// replacement blocks are simply encrypted under fresh nonces; neighbors,
+// prefix, and trailer are untouched — rECB's IncE is ideal (O(1) per
+// edited block).
+func (c *Codec) Splice(left *blockdoc.Block, removed []*blockdoc.Block, chunks [][]byte, right *blockdoc.Block) (
+	added []*blockdoc.Block, newLeftRecord, newPrefix, newTrailer []byte, err error) {
+	added = make([]*blockdoc.Block, 0, len(chunks))
+	for _, ch := range chunks {
+		b, err := c.encryptBlock(ch)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		added = append(added, b)
+	}
+	return added, nil, nil, nil, nil
+}

@@ -1,0 +1,100 @@
+package recb
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"privedit/internal/crypt"
+)
+
+// TestCiphertextByteUniformity is the smoke test behind §VI-A's
+// ciphertext-only argument: the encrypted records of a highly redundant
+// document (all one character) must show a near-uniform byte distribution,
+// leaking nothing of the plaintext's redundancy.
+func TestCiphertextByteUniformity(t *testing.T) {
+	c := newCodec(t, 40)
+	text := strings.Repeat("e", 8000) // pathologically redundant input
+	_, blocks, _, err := c.EncryptAll(chunksOf(text, 8))
+	if err != nil {
+		t.Fatalf("EncryptAll: %v", err)
+	}
+	counts := make([]int, 256)
+	total := 0
+	for _, b := range blocks {
+		for _, by := range b.Record[1:] { // skip the clear count byte
+			counts[by]++
+			total++
+		}
+	}
+	// Chi-squared against uniform: for 255 degrees of freedom, values
+	// beyond ~400 would be wildly non-uniform; AES output sits near 255.
+	expected := float64(total) / 256
+	chi2 := 0.0
+	for _, n := range counts {
+		d := float64(n) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 400 {
+		t.Errorf("chi-squared %f over 255 dof: ciphertext bytes non-uniform", chi2)
+	}
+	if math.IsNaN(chi2) {
+		t.Error("no ciphertext produced")
+	}
+}
+
+// TestIdenticalBlocksEncryptDistinctly: every one of 1000 identical
+// plaintext blocks must produce a distinct record (fresh nonces), so the
+// server cannot even count repeated content.
+func TestIdenticalBlocksEncryptDistinctly(t *testing.T) {
+	c := newCodec(t, 41)
+	chunks := make([][]byte, 1000)
+	for i := range chunks {
+		chunks[i] = []byte("SAMESAME")
+	}
+	_, blocks, _, err := c.EncryptAll(chunks)
+	if err != nil {
+		t.Fatalf("EncryptAll: %v", err)
+	}
+	seen := make(map[string]bool, len(blocks))
+	for i, b := range blocks {
+		key := string(b.Record)
+		if seen[key] {
+			t.Fatalf("block %d repeats an earlier record", i)
+		}
+		seen[key] = true
+	}
+}
+
+// TestPositionLeakageBounds documents what §VI-A concedes: with b > 1 the
+// clear count bytes reveal only block sizes, never content. Verify the
+// only cleartext in a record is the count byte.
+func TestPositionLeakageBounds(t *testing.T) {
+	cA := newCodec(t, 42)
+	cB, err := New(func() []byte {
+		k := make([]byte, crypt.KeySize)
+		for i := range k {
+			k[i] = byte(0xA0 + i)
+		}
+		return k
+	}(), crypt.NewSeededNonceSource(42)) // same nonces, different key
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, blocksA, _, err := cA.EncryptAll(chunksOf("same text!", 4))
+	if err != nil {
+		t.Fatalf("EncryptAll: %v", err)
+	}
+	_, blocksB, _, err := cB.EncryptAll(chunksOf("same text!", 4))
+	if err != nil {
+		t.Fatalf("EncryptAll: %v", err)
+	}
+	for i := range blocksA {
+		if blocksA[i].Record[0] != blocksB[i].Record[0] {
+			t.Errorf("count bytes differ for identical chunking")
+		}
+		if string(blocksA[i].Record[1:]) == string(blocksB[i].Record[1:]) {
+			t.Errorf("block %d: ciphertext identical across keys", i)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package replica implements the availability extension §I of the paper
+// leaves as out of scope: "Our approach still relies on the cloud provider
+// to store the user's data, so a malicious or incompetent cloud provider
+// can easily prevent users from accessing their documents. This could be
+// addressed using replication with multiple cloud providers."
+//
+// A Store keeps one encrypted document on several independent simulated
+// Google Documents providers. Saves go to every reachable provider; a
+// provider that missed updates (offline, or caught corrupting data) is
+// repaired with the full container on the next save. Loads try providers
+// in order and return the first container that decrypts *and verifies* —
+// with RPC mode, a provider serving tampered bytes is detected and skipped,
+// so one honest provider suffices to recover the document.
+//
+// The store operates strictly on ciphertext: it composes with the
+// mediating extension rather than replacing it, and providers learn
+// nothing they would not learn in the single-provider deployment.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"privedit/internal/core"
+	"privedit/internal/delta"
+	"privedit/internal/gdocs"
+)
+
+// Provider is one independent storage service speaking the gdocs protocol.
+type Provider struct {
+	// Name identifies the provider in reports.
+	Name string
+	// Base is the service URL.
+	Base string
+	// HTTP performs requests; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (p Provider) client() *http.Client {
+	if p.HTTP != nil {
+		return p.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Store errors.
+var (
+	// ErrQuorum is returned when fewer than a majority of providers
+	// accepted a write.
+	ErrQuorum = errors.New("replica: write quorum not reached")
+	// ErrNoReplica is returned when no provider holds a container that
+	// decrypts and verifies.
+	ErrNoReplica = errors.New("replica: no intact replica found")
+)
+
+// Store replicates one document across providers. Safe for concurrent use.
+type Store struct {
+	docID     string
+	providers []Provider
+
+	mu    sync.Mutex
+	last  string // last known-good full container, for repairs
+	dirty []bool // providers needing a full-container repair
+}
+
+// New builds a store over the given providers (at least one).
+func New(docID string, providers ...Provider) (*Store, error) {
+	if len(providers) == 0 {
+		return nil, errors.New("replica: no providers")
+	}
+	return &Store{
+		docID:     docID,
+		providers: providers,
+		dirty:     make([]bool, len(providers)),
+	}, nil
+}
+
+// Providers returns the provider names, in order.
+func (s *Store) Providers() []string {
+	names := make([]string, len(s.providers))
+	for i, p := range s.providers {
+		names[i] = p.Name
+	}
+	return names
+}
+
+func (s *Store) post(p Provider, path string, form url.Values) error {
+	resp, err := p.client().Post(p.Base+path, "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return fmt.Errorf("replica: %s: %w", p.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("replica: %s: status %d: %s", p.Name, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+func (s *Store) get(p Provider) (string, error) {
+	resp, err := p.client().Get(p.Base + gdocs.PathDoc + "?" + url.Values{gdocs.FieldDocID: {s.docID}}.Encode())
+	if err != nil {
+		return "", fmt.Errorf("replica: %s: %w", p.Name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("replica: %s: read: %w", p.Name, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("replica: %s: status %d", p.Name, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// quorum is the minimum number of successful writes: a strict majority.
+func (s *Store) quorum() int { return len(s.providers)/2 + 1 }
+
+// Create registers the document on every provider. Providers that cannot
+// be reached are marked for repair; a majority must succeed.
+func (s *Store) Create() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oks := 0
+	var firstErr error
+	for i, p := range s.providers {
+		err := s.post(p, gdocs.PathCreate, url.Values{gdocs.FieldDocID: {s.docID}})
+		if err != nil {
+			s.dirty[i] = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		oks++
+	}
+	if oks < s.quorum() {
+		return fmt.Errorf("%w: %d/%d (%v)", ErrQuorum, oks, len(s.providers), firstErr)
+	}
+	return nil
+}
+
+// SaveFull stores the complete container on every provider.
+func (s *Store) SaveFull(transport string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveFullLocked(transport)
+}
+
+func (s *Store) saveFullLocked(transport string) error {
+	oks := 0
+	var firstErr error
+	for i, p := range s.providers {
+		form := url.Values{
+			gdocs.FieldDocID:       {s.docID},
+			gdocs.FieldDocContents: {transport},
+		}
+		if err := s.post(p, gdocs.PathDoc, form); err != nil {
+			s.dirty[i] = true
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.dirty[i] = false
+		oks++
+	}
+	s.last = transport
+	if oks < s.quorum() {
+		return fmt.Errorf("%w: %d/%d (%v)", ErrQuorum, oks, len(s.providers), firstErr)
+	}
+	return nil
+}
+
+// SaveDelta applies an incremental ciphertext update on every provider.
+// fullAfter is the complete container after the update (the extension
+// always has it); providers that rejected the delta — because they missed
+// earlier updates or tampered with their copy — are repaired with it.
+func (s *Store) SaveDelta(cd delta.Delta, fullAfter string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oks := 0
+	var firstErr error
+	wire := cd.String()
+	for i, p := range s.providers {
+		if s.dirty[i] {
+			// Missed updates: ship the whole container instead.
+			form := url.Values{
+				gdocs.FieldDocID:       {s.docID},
+				gdocs.FieldDocContents: {fullAfter},
+			}
+			if err := s.post(p, gdocs.PathDoc, form); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			s.dirty[i] = false
+			oks++
+			continue
+		}
+		form := url.Values{
+			gdocs.FieldDocID: {s.docID},
+			gdocs.FieldDelta: {wire},
+		}
+		if err := s.post(p, gdocs.PathDoc, form); err != nil {
+			// The delta did not apply cleanly (divergent replica) or the
+			// provider is unreachable: mark for repair next round, and
+			// try an immediate full-container repair.
+			form := url.Values{
+				gdocs.FieldDocID:       {s.docID},
+				gdocs.FieldDocContents: {fullAfter},
+			}
+			if rerr := s.post(p, gdocs.PathDoc, form); rerr != nil {
+				s.dirty[i] = true
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			s.dirty[i] = false
+			oks++
+			continue
+		}
+		oks++
+	}
+	s.last = fullAfter
+	if oks < s.quorum() {
+		return fmt.Errorf("%w: %d/%d (%v)", ErrQuorum, oks, len(s.providers), firstErr)
+	}
+	return nil
+}
+
+// LoadReport describes what Load found on each provider.
+type LoadReport struct {
+	// Chosen is the index of the provider whose replica was used (-1 if
+	// none).
+	Chosen int
+	// Intact lists providers whose replica decrypted and verified.
+	Intact []string
+	// Damaged lists providers whose replica was unreachable, corrupt, or
+	// failed integrity verification, with reasons.
+	Damaged map[string]string
+}
+
+// Load fetches the document, trying every provider and returning an editor
+// opened from the first replica that decrypts and verifies. Every replica
+// is inspected so the report names all damaged providers.
+func (s *Store) Load(password string) (*core.Editor, LoadReport, error) {
+	report := LoadReport{Chosen: -1, Damaged: make(map[string]string)}
+	var chosen *core.Editor
+	for i, p := range s.providers {
+		transport, err := s.get(p)
+		if err != nil {
+			report.Damaged[p.Name] = err.Error()
+			continue
+		}
+		ed, err := core.Open(password, transport, nil)
+		if err != nil {
+			report.Damaged[p.Name] = err.Error()
+			continue
+		}
+		report.Intact = append(report.Intact, p.Name)
+		if chosen == nil {
+			chosen = ed
+			report.Chosen = i
+		}
+	}
+	if chosen == nil {
+		return nil, report, ErrNoReplica
+	}
+	s.mu.Lock()
+	s.last = chosen.Transport()
+	for i, p := range s.providers {
+		if _, bad := report.Damaged[p.Name]; bad {
+			s.dirty[i] = true
+		}
+	}
+	s.mu.Unlock()
+	return chosen, report, nil
+}
+
+// Repair overwrites every damaged replica with the last known-good
+// container and returns the names of the providers repaired.
+func (s *Store) Repair() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == "" {
+		return nil, errors.New("replica: nothing to repair from (no known-good container)")
+	}
+	var repaired []string
+	for i, p := range s.providers {
+		if !s.dirty[i] {
+			continue
+		}
+		form := url.Values{
+			gdocs.FieldDocID:       {s.docID},
+			gdocs.FieldDocContents: {s.last},
+		}
+		if err := s.post(p, gdocs.PathDoc, form); err != nil {
+			continue
+		}
+		s.dirty[i] = false
+		repaired = append(repaired, p.Name)
+	}
+	return repaired, nil
+}

@@ -1,0 +1,259 @@
+package replica
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"privedit/internal/core"
+	"privedit/internal/crypt"
+	"privedit/internal/gdocs"
+)
+
+type world struct {
+	servers []*gdocs.Server
+	ts      []*httptest.Server
+	store   *Store
+	editor  *core.Editor
+}
+
+func newWorld(t *testing.T, n int) *world {
+	t.Helper()
+	w := &world{}
+	providers := make([]Provider, n)
+	for i := 0; i < n; i++ {
+		s := gdocs.NewServer()
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		w.servers = append(w.servers, s)
+		w.ts = append(w.ts, ts)
+		providers[i] = Provider{
+			Name: string(rune('A' + i)),
+			Base: ts.URL,
+			HTTP: ts.Client(),
+		}
+	}
+	store, err := New("replicated-doc", providers...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w.store = store
+	ed, err := core.NewEditor("pw", core.Options{
+		Scheme:     core.ConfidentialityIntegrity,
+		BlockChars: 8,
+		Nonces:     crypt.NewSeededNonceSource(uint64(n) + 5),
+	})
+	if err != nil {
+		t.Fatalf("NewEditor: %v", err)
+	}
+	w.editor = ed
+	return w
+}
+
+func (w *world) saveText(t *testing.T, text string) {
+	t.Helper()
+	transport, err := w.editor.Encrypt(text)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if err := w.store.SaveFull(transport); err != nil {
+		t.Fatalf("SaveFull: %v", err)
+	}
+}
+
+func (w *world) splice(t *testing.T, pos, del int, ins string) {
+	t.Helper()
+	cd, err := w.editor.Splice(pos, del, ins)
+	if err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if err := w.store.SaveDelta(cd, w.editor.Transport()); err != nil {
+		t.Fatalf("SaveDelta: %v", err)
+	}
+}
+
+func TestNewRequiresProviders(t *testing.T) {
+	if _, err := New("d"); err == nil {
+		t.Error("New with no providers accepted")
+	}
+}
+
+func TestReplicatedSession(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "replicated across three clouds")
+	w.splice(t, 0, 0, "now ")
+
+	// Every provider holds the same container.
+	var contents []string
+	for _, s := range w.servers {
+		c, _, err := s.Content("replicated-doc")
+		if err != nil {
+			t.Fatalf("Content: %v", err)
+		}
+		contents = append(contents, c)
+	}
+	if contents[0] != contents[1] || contents[1] != contents[2] {
+		t.Error("replicas diverged after delta save")
+	}
+	got, err := core.Decrypt("pw", contents[0])
+	if err != nil || got != "now replicated across three clouds" {
+		t.Errorf("replica decrypts to (%q, %v)", got, err)
+	}
+	if names := w.store.Providers(); len(names) != 3 || names[0] != "A" {
+		t.Errorf("Providers = %v", names)
+	}
+}
+
+func TestLoadSurvivesTamperingProvider(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "integrity protected and replicated")
+
+	// Provider B tampers with its copy.
+	c, _, err := w.servers[1].Content("replicated-doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	tampered := []byte(c)
+	tampered[len(tampered)/2] ^= 2
+	if _, err := w.servers[1].SetContents("replicated-doc", string(tampered), -1); err != nil {
+		t.Fatalf("tamper: %v", err)
+	}
+
+	ed, report, err := w.store.Load("pw")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ed.Plaintext() != "integrity protected and replicated" {
+		t.Errorf("loaded %q", ed.Plaintext())
+	}
+	if len(report.Intact) != 2 {
+		t.Errorf("intact = %v", report.Intact)
+	}
+	if _, bad := report.Damaged["B"]; !bad {
+		t.Errorf("damaged = %v, want B flagged", report.Damaged)
+	}
+
+	// Repair B, then all replicas agree again.
+	repaired, err := w.store.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if len(repaired) != 1 || repaired[0] != "B" {
+		t.Errorf("repaired = %v", repaired)
+	}
+	cb, _, err := w.servers[1].Content("replicated-doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	if got, err := core.Decrypt("pw", cb); err != nil || got != "integrity protected and replicated" {
+		t.Errorf("repaired replica = (%q, %v)", got, err)
+	}
+}
+
+func TestSaveDeltaRepairsDivergentReplica(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "base document text")
+
+	// Provider C silently replaces its copy (diverges).
+	if _, err := w.servers[2].SetContents("replicated-doc", strings.Repeat("Z", 100), -1); err != nil {
+		t.Fatalf("diverge: %v", err)
+	}
+
+	// The next delta save cannot apply on C; the store repairs it with
+	// the full container.
+	w.splice(t, 0, 4, "seed")
+	cc, _, err := w.servers[2].Content("replicated-doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	got, err := core.Decrypt("pw", cc)
+	if err != nil || got != "seed document text" {
+		t.Errorf("C after repair = (%q, %v)", got, err)
+	}
+}
+
+func TestWritesTolerateMinorityOutage(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "before the outage")
+
+	// Provider A goes down.
+	w.ts[0].Close()
+	w.splice(t, 0, 0, "still writable: ")
+
+	// The two healthy providers hold the update.
+	for i := 1; i <= 2; i++ {
+		c, _, err := w.servers[i].Content("replicated-doc")
+		if err != nil {
+			t.Fatalf("Content: %v", err)
+		}
+		got, err := core.Decrypt("pw", c)
+		if err != nil || got != "still writable: before the outage" {
+			t.Errorf("provider %d = (%q, %v)", i, got, err)
+		}
+	}
+	// And loads prefer the healthy replicas.
+	ed, report, err := w.store.Load("pw")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ed.Plaintext() != "still writable: before the outage" {
+		t.Errorf("loaded %q", ed.Plaintext())
+	}
+	if _, bad := report.Damaged["A"]; !bad {
+		t.Error("down provider not reported")
+	}
+}
+
+func TestWritesFailWithoutQuorum(t *testing.T) {
+	w := newWorld(t, 3)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "doomed")
+	w.ts[0].Close()
+	w.ts[1].Close()
+
+	transport, err := w.editor.Encrypt("doomed v2")
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if err := w.store.SaveFull(transport); !errors.Is(err, ErrQuorum) {
+		t.Errorf("SaveFull with 1/3 up = %v, want ErrQuorum", err)
+	}
+}
+
+func TestLoadFailsWhenAllCorrupt(t *testing.T) {
+	w := newWorld(t, 2)
+	if err := w.store.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	w.saveText(t, "everything burns")
+	for _, s := range w.servers {
+		if _, err := s.SetContents("replicated-doc", "GARBAGE", -1); err != nil {
+			t.Fatalf("corrupt: %v", err)
+		}
+	}
+	if _, _, err := w.store.Load("pw"); !errors.Is(err, ErrNoReplica) {
+		t.Errorf("Load with all corrupt = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestRepairWithoutStateErrors(t *testing.T) {
+	w := newWorld(t, 2)
+	if _, err := w.store.Repair(); err == nil {
+		t.Error("Repair with no known-good container accepted")
+	}
+}

@@ -1,0 +1,324 @@
+// Package rpcmode implements the RPC incremental unforgeable encryption
+// mode of Buonanno, Katz & Yung, with the security amendment of Wang, Kao
+// & Yeh that binds the document length into the final ciphertext block
+// (Huang & Evans §V-B). RPC provides confidentiality *and* integrity: the
+// plaintext blocks are chained into a ring by random nonces, so any block
+// substitution, reordering, replay, truncation, or splice breaks the chain
+// and is detected at decryption.
+//
+// With document blocks d_1..d_n the ciphertext is
+//
+//	W_sk(r_0, α, r_1), W_sk(r_1, d_1, r_2), ..., W_sk(r_n, d_n, r_0),
+//	W_sk(⊕_{i=0..n} r_i, ⊕ d_i, n, ⊕_{i=1..n} r_i)
+//
+// where W_sk is a 256-bit wide-block PRP (the paper's triples do not fit
+// one AES block with 64-bit nonces; see internal/crypt). The final
+// checksum block carries the XOR aggregates and the block count n — the
+// Wang et al. amendment. Incremental updates maintain the aggregates by
+// XOR-ing blocks out and in, so IncE touches only the edited blocks, one
+// left neighbor, and the trailer: O(edit + log n) total.
+package rpcmode
+
+import (
+	"bytes"
+	"fmt"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/crypt"
+)
+
+// SchemeID is the container header byte identifying RPC.
+const SchemeID = 2
+
+const (
+	recordBytes = crypt.WideBlockSize // one wide block per record
+	prefixBytes = crypt.WideBlockSize // start block W(r0, α, ·, r1)
+	trailerByts = crypt.WideBlockSize // checksum block
+	maxChars    = 8                   // 64-bit data field
+)
+
+// Record field types stored in the meta field.
+const (
+	typeStart = 1
+	typeData  = 2
+)
+
+// alpha is the paper's arbitrary start-marker symbol α.
+var alpha = [8]byte{'R', 'P', 'C', '-', 'S', 'T', 'R', 'T'}
+
+// Codec is the RPC scheme. It implements blockdoc.Codec.
+type Codec struct {
+	wide   *crypt.WidePRP
+	nonces crypt.NonceSource
+
+	// Ring and aggregate state (rebuilt by EncryptAll/DecryptAll,
+	// maintained incrementally by Splice).
+	r0       uint64
+	xorAllR  uint64 // ⊕ r_i for i = 0..n
+	xorD     uint64 // ⊕ padded d_i
+	xorRTail uint64 // ⊕ r_i for i = 1..n
+	count    uint64 // n
+}
+
+var _ blockdoc.Codec = (*Codec)(nil)
+
+// New builds an RPC codec from a 16-byte key. nonces supplies the 64-bit
+// chaining nonces; pass crypt.CryptoNonceSource{} outside tests.
+func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
+	wide, err := crypt.NewWidePRP(key)
+	if err != nil {
+		return nil, fmt.Errorf("rpcmode: %w", err)
+	}
+	return &Codec{wide: wide, nonces: nonces}, nil
+}
+
+// Name implements blockdoc.Codec.
+func (c *Codec) Name() string { return "RPC" }
+
+// ID implements blockdoc.Codec.
+func (c *Codec) ID() byte { return SchemeID }
+
+// RecordBytes implements blockdoc.Codec.
+func (c *Codec) RecordBytes() int { return recordBytes }
+
+// PrefixBytes implements blockdoc.Codec.
+func (c *Codec) PrefixBytes() int { return prefixBytes }
+
+// TrailerBytes implements blockdoc.Codec.
+func (c *Codec) TrailerBytes() int { return trailerByts }
+
+// MaxChars implements blockdoc.Codec.
+func (c *Codec) MaxChars() int { return maxChars }
+
+func padChars(chars []byte) uint64 {
+	var d [8]byte
+	copy(d[:], chars)
+	return crypt.Uint64(d[:])
+}
+
+// sealRecord encrypts the four 64-bit fields of a record.
+func (c *Codec) sealRecord(f0, f1, f2, f3 uint64) ([]byte, error) {
+	var pt [recordBytes]byte
+	crypt.PutUint64(pt[0:8], f0)
+	crypt.PutUint64(pt[8:16], f1)
+	crypt.PutUint64(pt[16:24], f2)
+	crypt.PutUint64(pt[24:32], f3)
+	rec := make([]byte, recordBytes)
+	if err := c.wide.Encrypt(rec, pt[:]); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// openRecord decrypts a record into its four 64-bit fields.
+func (c *Codec) openRecord(rec []byte) (f0, f1, f2, f3 uint64, err error) {
+	if len(rec) != recordBytes {
+		return 0, 0, 0, 0, fmt.Errorf("%w: record of %d bytes", blockdoc.ErrCorrupt, len(rec))
+	}
+	var pt [recordBytes]byte
+	if err := c.wide.Decrypt(pt[:], rec); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return crypt.Uint64(pt[0:8]), crypt.Uint64(pt[8:16]), crypt.Uint64(pt[16:24]), crypt.Uint64(pt[24:32]), nil
+}
+
+// meta packs the record type and character count into the meta field.
+func meta(typ byte, count int) uint64 {
+	return uint64(typ)<<56 | uint64(byte(count))<<48
+}
+
+func unpackMeta(m uint64) (typ byte, count int, rest uint64) {
+	return byte(m >> 56), int(byte(m >> 48)), m & 0x0000FFFFFFFFFFFF
+}
+
+// encryptData builds the record W(r_i, d_i, meta, next) for a data block.
+func (c *Codec) encryptData(chars []byte, ri, next uint64) ([]byte, error) {
+	if len(chars) == 0 || len(chars) > maxChars {
+		return nil, fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(chars))
+	}
+	return c.sealRecord(ri, padChars(chars), meta(typeData, len(chars)), next)
+}
+
+// encryptStart builds the start block W(r0, α, meta, next).
+func (c *Codec) encryptStart(next uint64) ([]byte, error) {
+	return c.sealRecord(c.r0, crypt.Uint64(alpha[:]), meta(typeStart, 0), next)
+}
+
+// encryptTrailer builds the checksum block from the current aggregates.
+func (c *Codec) encryptTrailer() ([]byte, error) {
+	return c.sealRecord(c.xorAllR, c.xorD, c.count, c.xorRTail)
+}
+
+// EncryptAll implements blockdoc.Codec: fresh ring, all aggregates rebuilt.
+func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.Block, trailer []byte, err error) {
+	c.r0 = c.nonces.Nonce64()
+	c.xorAllR = c.r0
+	c.xorD = 0
+	c.xorRTail = 0
+	c.count = uint64(len(chunks))
+
+	ris := make([]uint64, len(chunks))
+	for i := range ris {
+		ris[i] = c.nonces.Nonce64()
+		c.xorAllR ^= ris[i]
+		c.xorRTail ^= ris[i]
+	}
+	blocks = make([]*blockdoc.Block, len(chunks))
+	for i, ch := range chunks {
+		next := c.r0
+		if i+1 < len(chunks) {
+			next = ris[i+1]
+		}
+		rec, err := c.encryptData(ch, ris[i], next)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		own := make([]byte, len(ch))
+		copy(own, ch)
+		blocks[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+		c.xorD ^= padChars(ch)
+	}
+	first := c.r0
+	if len(ris) > 0 {
+		first = ris[0]
+	}
+	if prefix, err = c.encryptStart(first); err != nil {
+		return nil, nil, nil, err
+	}
+	if trailer, err = c.encryptTrailer(); err != nil {
+		return nil, nil, nil, err
+	}
+	return prefix, blocks, trailer, nil
+}
+
+// DecryptAll implements blockdoc.Codec, performing the full integrity
+// verification: start marker, nonce ring closure, per-block structure,
+// and the checksum block including the document length.
+func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*blockdoc.Block, error) {
+	if len(prefix) != prefixBytes {
+		return nil, fmt.Errorf("%w: prefix of %d bytes", blockdoc.ErrCorrupt, len(prefix))
+	}
+	f0, f1, f2, f3, err := c.openRecord(prefix)
+	if err != nil {
+		return nil, err
+	}
+	typ, cnt, rest := unpackMeta(f2)
+	if typ != typeStart || cnt != 0 || rest != 0 || f1 != crypt.Uint64(alpha[:]) {
+		return nil, fmt.Errorf("%w: malformed start block", blockdoc.ErrIntegrity)
+	}
+	r0 := f0
+	expected := f3
+
+	var xorAllR, xorD, xorRTail uint64
+	xorAllR = r0
+	blocks := make([]*blockdoc.Block, 0, len(records))
+	for i, rec := range records {
+		ri, d, m, next, err := c.openRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		typ, count, rest := unpackMeta(m)
+		if typ != typeData || rest != 0 || count < 1 || count > maxChars {
+			return nil, fmt.Errorf("%w: record %d malformed", blockdoc.ErrIntegrity, i)
+		}
+		if ri != expected {
+			return nil, fmt.Errorf("%w: record %d breaks the nonce chain", blockdoc.ErrIntegrity, i)
+		}
+		var db [8]byte
+		crypt.PutUint64(db[:], d)
+		if !bytes.Equal(db[count:], make([]byte, 8-count)) {
+			return nil, fmt.Errorf("%w: record %d has nonzero padding", blockdoc.ErrIntegrity, i)
+		}
+		chars := make([]byte, count)
+		copy(chars, db[:count])
+		recOwn := make([]byte, recordBytes)
+		copy(recOwn, rec)
+		blocks = append(blocks, &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: ri})
+		xorAllR ^= ri
+		xorRTail ^= ri
+		xorD ^= d
+		expected = next
+	}
+	if expected != r0 {
+		return nil, fmt.Errorf("%w: nonce ring does not close", blockdoc.ErrIntegrity)
+	}
+	if trailer == nil {
+		return nil, fmt.Errorf("%w: missing checksum block", blockdoc.ErrIntegrity)
+	}
+	t0, t1, t2, t3, err := c.openRecord(trailer)
+	if err != nil {
+		return nil, err
+	}
+	if t0 != xorAllR || t1 != xorD || t2 != uint64(len(records)) || t3 != xorRTail {
+		return nil, fmt.Errorf("%w: checksum block mismatch", blockdoc.ErrIntegrity)
+	}
+
+	c.r0 = r0
+	c.xorAllR = xorAllR
+	c.xorD = xorD
+	c.xorRTail = xorRTail
+	c.count = uint64(len(records))
+	return blocks, nil
+}
+
+// Splice implements blockdoc.Codec. The replacement blocks are chained
+// between the surviving neighbors: the left neighbor (or the start block,
+// when the edit touches the document head) is re-encrypted to point at the
+// first new nonce, the last new block points at the right neighbor's nonce
+// (or r0, closing the ring), and the checksum aggregates are updated by
+// XOR-ing the removed blocks out and the new blocks in.
+func (c *Codec) Splice(left *blockdoc.Block, removed []*blockdoc.Block, chunks [][]byte, right *blockdoc.Block) (
+	added []*blockdoc.Block, newLeftRecord, newPrefix, newTrailer []byte, err error) {
+	for _, b := range removed {
+		c.xorAllR ^= b.Nonce
+		c.xorRTail ^= b.Nonce
+		c.xorD ^= padChars(b.Chars)
+		c.count--
+	}
+
+	rightNonce := c.r0
+	if right != nil {
+		rightNonce = right.Nonce
+	}
+
+	ris := make([]uint64, len(chunks))
+	for i := range ris {
+		ris[i] = c.nonces.Nonce64()
+		c.xorAllR ^= ris[i]
+		c.xorRTail ^= ris[i]
+	}
+	added = make([]*blockdoc.Block, len(chunks))
+	for i, ch := range chunks {
+		next := rightNonce
+		if i+1 < len(chunks) {
+			next = ris[i+1]
+		}
+		rec, err := c.encryptData(ch, ris[i], next)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		own := make([]byte, len(ch))
+		copy(own, ch)
+		added[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+		c.xorD ^= padChars(ch)
+		c.count++
+	}
+
+	first := rightNonce
+	if len(added) > 0 {
+		first = added[0].Nonce
+	}
+	if left != nil {
+		if newLeftRecord, err = c.encryptData(left.Chars, left.Nonce, first); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	} else {
+		if newPrefix, err = c.encryptStart(first); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	if newTrailer, err = c.encryptTrailer(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return added, newLeftRecord, newPrefix, newTrailer, nil
+}

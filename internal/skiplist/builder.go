@@ -1,0 +1,68 @@
+package skiplist
+
+// Builder constructs a List by appending elements in order, in O(1)
+// amortized time per element (the incremental InsertAt pays O(log n) per
+// element, which matters when a whole document is loaded: §VII's
+// initial-load cost). The builder keeps the rightmost node and prefix sums
+// at every level, so each append only touches the new node's tower.
+type Builder[V any] struct {
+	list *List[V]
+
+	tails   [MaxLevel]*node[V]
+	tailPos [MaxLevel]int // ordinal of tails[i] (-1 for head)
+	tailW1  [MaxLevel]int // prefix W1 through tails[i]
+	tailW2  [MaxLevel]int // prefix W2 through tails[i]
+}
+
+// NewBuilder starts building a list with the given structure seed.
+func NewBuilder[V any](seed uint64) *Builder[V] {
+	b := &Builder[V]{list: New[V](seed)}
+	for i := range b.tails {
+		b.tails[i] = b.list.head
+		b.tailPos[i] = -1
+	}
+	return b
+}
+
+// Append adds an element after all existing ones.
+func (b *Builder[V]) Append(value V, w1, w2 int) {
+	l := b.list
+	n := l.length // ordinal of the new node
+	h := l.randomLevel()
+	if h > l.level {
+		l.level = h
+	}
+	z := &node[V]{
+		value:     value,
+		w1:        w1,
+		w2:        w2,
+		forward:   make([]*node[V], h),
+		spanElems: make([]int, h),
+		spanW1:    make([]int, h),
+		spanW2:    make([]int, h),
+	}
+	newW1 := l.sumW1 + w1
+	newW2 := l.sumW2 + w2
+	for i := 0; i < h; i++ {
+		t := b.tails[i]
+		t.forward[i] = z
+		t.spanElems[i] = n - b.tailPos[i]
+		t.spanW1[i] = newW1 - b.tailW1[i]
+		t.spanW2[i] = newW2 - b.tailW2[i]
+		b.tails[i] = z
+		b.tailPos[i] = n
+		b.tailW1[i] = newW1
+		b.tailW2[i] = newW2
+	}
+	l.length++
+	l.sumW1 = newW1
+	l.sumW2 = newW2
+}
+
+// List finalizes and returns the built list. The builder must not be used
+// afterwards.
+func (b *Builder[V]) List() *List[V] {
+	l := b.list
+	b.list = nil
+	return l
+}

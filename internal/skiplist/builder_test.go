@@ -1,0 +1,91 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderMatchesIncrementalBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{0, 1, 2, 7, 100, 2000} {
+		b := NewBuilder[int](9)
+		ref := New[int](9) // same seed: identical tower heights
+		for i := 0; i < n; i++ {
+			w1 := 1 + rng.Intn(8)
+			w2 := 1 + rng.Intn(50)
+			b.Append(i, w1, w2)
+			if err := ref.InsertAt(i, i, w1, w2); err != nil {
+				t.Fatalf("InsertAt: %v", err)
+			}
+		}
+		l := b.List()
+		if err := l.Validate(); err != nil {
+			t.Fatalf("n=%d: Validate: %v", n, err)
+		}
+		if l.Len() != ref.Len() || l.TotalPrimary() != ref.TotalPrimary() || l.TotalSecondary() != ref.TotalSecondary() {
+			t.Fatalf("n=%d: totals differ", n)
+		}
+		for k := 0; k < l.Len(); k++ {
+			got, err := l.FindOrdinal(k)
+			if err != nil {
+				t.Fatalf("FindOrdinal(%d): %v", k, err)
+			}
+			want, err := ref.FindOrdinal(k)
+			if err != nil {
+				t.Fatalf("ref FindOrdinal(%d): %v", k, err)
+			}
+			if got.Value != want.Value || got.W1 != want.W1 || got.BeforeW2 != want.BeforeW2 {
+				t.Fatalf("n=%d k=%d: built %+v, ref %+v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestBuilderListSupportsEdits(t *testing.T) {
+	b := NewBuilder[string](13)
+	for i := 0; i < 500; i++ {
+		b.Append("v", 2, 3)
+	}
+	l := b.List()
+	if err := l.InsertAt(250, "mid", 1, 1); err != nil {
+		t.Fatalf("InsertAt: %v", err)
+	}
+	if _, _, _, err := l.DeleteAt(100); err != nil {
+		t.Fatalf("DeleteAt: %v", err)
+	}
+	if err := l.SetAt(0, "head", 5, 5); err != nil {
+		t.Fatalf("SetAt: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate after edits: %v", err)
+	}
+	pos, err := l.FindPrimary(0)
+	if err != nil || pos.Value != "head" {
+		t.Errorf("FindPrimary(0) = (%+v, %v)", pos, err)
+	}
+}
+
+func BenchmarkBuildSequential(b *testing.B) {
+	const n = 10000
+	b.Run("builder", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bu := NewBuilder[int](7)
+			for j := 0; j < n; j++ {
+				bu.Append(j, 8, 28)
+			}
+			if bu.List().Len() != n {
+				b.Fatal("bad length")
+			}
+		}
+	})
+	b.Run("insertAt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l := New[int](7)
+			for j := 0; j < n; j++ {
+				if err := l.InsertAt(j, j, 8, 28); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package skiplist_test
+
+import (
+	"fmt"
+
+	"privedit/internal/skiplist"
+)
+
+// The paper's Figure 3: an IndexedSkipList over the blocks of
+// "abcfghijk", then inserting "xy" at character index 3.
+func ExampleList() {
+	l := skiplist.New[string](42)
+	for i, block := range []string{"abc", "fgh", "ijk"} {
+		if err := l.InsertAt(i, block, len(block), 16); err != nil {
+			panic(err)
+		}
+	}
+
+	// Find the block containing character index 3 (Algorithm 1).
+	pos, err := l.FindPrimary(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("index 3 is block %d (%q) at offset %d\n", pos.Ordinal, pos.Value, pos.Offset)
+
+	// Insert a new block there.
+	if err := l.InsertAt(pos.Ordinal, "xy", 2, 16); err != nil {
+		panic(err)
+	}
+	var doc string
+	_ = l.Each(0, func(_ int, v string, _, _ int) bool {
+		doc += v
+		return true
+	})
+	fmt.Println(doc)
+	// Output:
+	// index 3 is block 1 ("fgh") at offset 0
+	// abcxyfghijk
+}

@@ -1,0 +1,419 @@
+// Package skiplist implements the IndexedSkipList of Huang & Evans §V-C:
+// a skip list whose forward pointers carry skip counts so that elements can
+// be found, inserted, and deleted *by position* rather than by key, in
+// expected O(log n) time (Algorithm 1 and Figure 3 of the paper).
+//
+// This implementation generalizes the paper's single skip_count to three
+// parallel counts per pointer:
+//
+//   - element count (how many list elements a pointer skips),
+//   - primary weight (plaintext characters held by the skipped elements),
+//   - secondary weight (ciphertext units produced by the skipped elements).
+//
+// The dual weighting is what lets the mediating extension translate a
+// plaintext character position into the corresponding ciphertext offset in
+// a single traversal, which §V-B's transform_delta needs to emit ciphertext
+// deltas without scanning the document.
+package skiplist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxLevel bounds the tower height. 2^32 elements is far beyond the 500 KB
+// document limit the Google Documents service enforced.
+const MaxLevel = 32
+
+// ErrIndexRange reports an out-of-range ordinal or weight index.
+var ErrIndexRange = errors.New("skiplist: index out of range")
+
+type node[V any] struct {
+	value V
+	w1    int // primary weight (plaintext characters)
+	w2    int // secondary weight (ciphertext units)
+
+	forward []*node[V]
+	// Parallel to forward: aggregate over the elements in (this, forward[i]],
+	// i.e. everything the pointer skips including its destination.
+	spanElems []int
+	spanW1    []int
+	spanW2    []int
+}
+
+// List is an indexed skip list. The zero value is not usable; construct
+// with New. A List is not safe for concurrent use; the document model
+// serializes access.
+type List[V any] struct {
+	head   *node[V]
+	level  int // highest level in use, >= 1
+	length int
+	sumW1  int
+	sumW2  int
+	rng    uint64 // SplitMix64 state for tower heights
+}
+
+// New returns an empty list. Tower heights are drawn from a deterministic
+// generator seeded with seed, making structure (and therefore benchmarks)
+// reproducible; the seed has no security role.
+func New[V any](seed uint64) *List[V] {
+	return &List[V]{
+		head: &node[V]{
+			forward:   make([]*node[V], MaxLevel),
+			spanElems: make([]int, MaxLevel),
+			spanW1:    make([]int, MaxLevel),
+			spanW2:    make([]int, MaxLevel),
+		},
+		level: 1,
+		rng:   seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// Len returns the number of elements.
+func (l *List[V]) Len() int { return l.length }
+
+// TotalPrimary returns the sum of primary weights (total plaintext chars).
+func (l *List[V]) TotalPrimary() int { return l.sumW1 }
+
+// TotalSecondary returns the sum of secondary weights (total cipher units).
+func (l *List[V]) TotalSecondary() int { return l.sumW2 }
+
+func (l *List[V]) randomLevel() int {
+	// SplitMix64 step; one draw gives 64 coin flips, plenty for p = 1/2.
+	l.rng += 0x9e3779b97f4a7c15
+	z := l.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	level := 1
+	for z&1 == 1 && level < MaxLevel {
+		level++
+		z >>= 1
+	}
+	return level
+}
+
+// Pos describes an element located by a search.
+type Pos[V any] struct {
+	Ordinal int // element index, 0-based
+	Value   V
+	W1      int // the element's primary weight
+	W2      int // the element's secondary weight
+
+	// Prefix sums over all elements strictly before this one.
+	BeforeW1 int
+	BeforeW2 int
+
+	// Offset of the searched primary index within the element
+	// (only meaningful for FindPrimary).
+	Offset int
+}
+
+// FindPrimary locates the element containing primary index p
+// (0 <= p < TotalPrimary). This is Algorithm 1 of the paper, with the
+// prefix sums of both weight dimensions accumulated along the way.
+func (l *List[V]) FindPrimary(p int) (Pos[V], error) {
+	if p < 0 || p >= l.sumW1 {
+		return Pos[V]{}, fmt.Errorf("%w: primary index %d, total %d", ErrIndexRange, p, l.sumW1)
+	}
+	x := l.head
+	rem := p
+	ordinal, beforeW1, beforeW2 := 0, 0, 0
+	for i := l.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && rem >= x.spanW1[i] {
+			rem -= x.spanW1[i]
+			beforeW1 += x.spanW1[i]
+			beforeW2 += x.spanW2[i]
+			ordinal += x.spanElems[i]
+			x = x.forward[i]
+		}
+	}
+	target := x.forward[0]
+	if target == nil {
+		// Unreachable while invariants hold (p < sumW1 guarantees a
+		// containing element); guard against corruption anyway.
+		return Pos[V]{}, fmt.Errorf("%w: primary index %d fell off the list", ErrIndexRange, p)
+	}
+	return Pos[V]{
+		Ordinal:  ordinal,
+		Value:    target.value,
+		W1:       target.w1,
+		W2:       target.w2,
+		BeforeW1: beforeW1,
+		BeforeW2: beforeW2,
+		Offset:   rem,
+	}, nil
+}
+
+// FindOrdinal locates the k-th element (0-based).
+func (l *List[V]) FindOrdinal(k int) (Pos[V], error) {
+	if k < 0 || k >= l.length {
+		return Pos[V]{}, fmt.Errorf("%w: ordinal %d, length %d", ErrIndexRange, k, l.length)
+	}
+	x := l.head
+	rem := k
+	beforeW1, beforeW2 := 0, 0
+	for i := l.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && rem >= x.spanElems[i] {
+			rem -= x.spanElems[i]
+			beforeW1 += x.spanW1[i]
+			beforeW2 += x.spanW2[i]
+			x = x.forward[i]
+		}
+	}
+	target := x.forward[0]
+	if target == nil {
+		return Pos[V]{}, fmt.Errorf("%w: ordinal %d fell off the list", ErrIndexRange, k)
+	}
+	return Pos[V]{
+		Ordinal:  k,
+		Value:    target.value,
+		W1:       target.w1,
+		W2:       target.w2,
+		BeforeW1: beforeW1,
+		BeforeW2: beforeW2,
+	}, nil
+}
+
+// searchPath captures the descent toward element ordinal k: for each level,
+// the last node strictly before ordinal k, its element rank, and the prefix
+// weight sums accumulated when leaving that level. bottomW1/bottomW2 are the
+// weight sums of all elements strictly before ordinal k.
+type searchPath[V any] struct {
+	update             []*node[V]
+	ranks              []int
+	prefW1, prefW2     []int
+	bottomW1, bottomW2 int
+}
+
+// pathTo computes the search path toward element ordinal k
+// (so inserting after update[0] places a node at ordinal k).
+func (l *List[V]) pathTo(k int) searchPath[V] {
+	p := searchPath[V]{
+		update: make([]*node[V], MaxLevel),
+		ranks:  make([]int, MaxLevel),
+		prefW1: make([]int, MaxLevel),
+		prefW2: make([]int, MaxLevel),
+	}
+	x := l.head
+	rank, aw1, aw2 := 0, 0, 0
+	for i := l.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && rank+x.spanElems[i] <= k {
+			rank += x.spanElems[i]
+			aw1 += x.spanW1[i]
+			aw2 += x.spanW2[i]
+			x = x.forward[i]
+		}
+		p.update[i] = x
+		p.ranks[i] = rank
+		p.prefW1[i] = aw1
+		p.prefW2[i] = aw2
+	}
+	for i := l.level; i < MaxLevel; i++ {
+		p.update[i] = l.head
+	}
+	p.bottomW1, p.bottomW2 = aw1, aw2
+	return p
+}
+
+// InsertAt inserts value with the given weights so that it becomes element
+// ordinal k (0 <= k <= Len()). Expected O(log n).
+func (l *List[V]) InsertAt(k int, value V, w1, w2 int) error {
+	if k < 0 || k > l.length {
+		return fmt.Errorf("%w: insert ordinal %d, length %d", ErrIndexRange, k, l.length)
+	}
+	if w1 < 0 || w2 < 0 {
+		return fmt.Errorf("%w: negative weight (%d, %d)", ErrIndexRange, w1, w2)
+	}
+	p := l.pathTo(k)
+
+	h := l.randomLevel()
+	if h > l.level {
+		l.level = h
+	}
+	z := &node[V]{
+		value:     value,
+		w1:        w1,
+		w2:        w2,
+		forward:   make([]*node[V], h),
+		spanElems: make([]int, h),
+		spanW1:    make([]int, h),
+		spanW2:    make([]int, h),
+	}
+
+	for i := 0; i < h; i++ {
+		up := p.update[i]
+		// Elements and weights strictly between update[i] and the new node:
+		// the bottom prefix minus the prefix where the descent left level i.
+		between := k - p.ranks[i]
+		bw1 := p.bottomW1 - p.prefW1[i]
+		bw2 := p.bottomW2 - p.prefW2[i]
+
+		old := up.forward[i]
+		z.forward[i] = old
+		up.forward[i] = z
+		if old != nil {
+			z.spanElems[i] = up.spanElems[i] - between
+			z.spanW1[i] = up.spanW1[i] - bw1
+			z.spanW2[i] = up.spanW2[i] - bw2
+		}
+		up.spanElems[i] = between + 1
+		up.spanW1[i] = bw1 + w1
+		up.spanW2[i] = bw2 + w2
+	}
+	for i := h; i < l.level; i++ {
+		if p.update[i].forward[i] != nil {
+			p.update[i].spanElems[i]++
+			p.update[i].spanW1[i] += w1
+			p.update[i].spanW2[i] += w2
+		}
+	}
+
+	l.length++
+	l.sumW1 += w1
+	l.sumW2 += w2
+	return nil
+}
+
+// DeleteAt removes element ordinal k and returns its value and weights.
+func (l *List[V]) DeleteAt(k int) (value V, w1, w2 int, err error) {
+	if k < 0 || k >= l.length {
+		var zero V
+		return zero, 0, 0, fmt.Errorf("%w: delete ordinal %d, length %d", ErrIndexRange, k, l.length)
+	}
+	p := l.pathTo(k)
+	target := p.update[0].forward[0]
+	for i := 0; i < l.level; i++ {
+		up := p.update[i]
+		if up.forward[i] == target {
+			up.spanElems[i] += target.spanElems[i] - 1
+			up.spanW1[i] += target.spanW1[i] - target.w1
+			up.spanW2[i] += target.spanW2[i] - target.w2
+			up.forward[i] = target.forward[i]
+		} else if up.forward[i] != nil {
+			up.spanElems[i]--
+			up.spanW1[i] -= target.w1
+			up.spanW2[i] -= target.w2
+		}
+	}
+	for l.level > 1 && l.head.forward[l.level-1] == nil {
+		l.level--
+	}
+	l.length--
+	l.sumW1 -= target.w1
+	l.sumW2 -= target.w2
+	return target.value, target.w1, target.w2, nil
+}
+
+// SetAt replaces the value and weights of element ordinal k, updating every
+// span that covers it. Expected O(log n).
+func (l *List[V]) SetAt(k int, value V, w1, w2 int) error {
+	if k < 0 || k >= l.length {
+		return fmt.Errorf("%w: set ordinal %d, length %d", ErrIndexRange, k, l.length)
+	}
+	if w1 < 0 || w2 < 0 {
+		return fmt.Errorf("%w: negative weight (%d, %d)", ErrIndexRange, w1, w2)
+	}
+	p := l.pathTo(k)
+	target := p.update[0].forward[0]
+	d1 := w1 - target.w1
+	d2 := w2 - target.w2
+	for i := 0; i < l.level; i++ {
+		if p.update[i].forward[i] != nil {
+			// The span (update[i], forward[i]] always contains ordinal k:
+			// update[i] sits strictly before it, forward[i] at or after it.
+			p.update[i].spanW1[i] += d1
+			p.update[i].spanW2[i] += d2
+		}
+	}
+	target.value = value
+	target.w1 = w1
+	target.w2 = w2
+	l.sumW1 += d1
+	l.sumW2 += d2
+	return nil
+}
+
+// Each calls fn for every element starting at ordinal from, in order, until
+// fn returns false or the list is exhausted. The walk is O(len) from the
+// located start.
+func (l *List[V]) Each(from int, fn func(ordinal int, value V, w1, w2 int) bool) error {
+	if from < 0 || from > l.length {
+		return fmt.Errorf("%w: each from %d, length %d", ErrIndexRange, from, l.length)
+	}
+	p := l.pathTo(from)
+	x := p.update[0].forward[0]
+	for k := from; x != nil; k++ {
+		if !fn(k, x.value, x.w1, x.w2) {
+			break
+		}
+		x = x.forward[0]
+	}
+	return nil
+}
+
+// Validate checks every structural invariant: span sums at every level must
+// agree with the bottom-level truth, totals must match, and forward chains
+// must be properly nested. Used by property tests; O(n · level).
+func (l *List[V]) Validate() error {
+	// Bottom-level truth: ordered nodes with their weights.
+	var nodes []*node[V]
+	for x := l.head.forward[0]; x != nil; x = x.forward[0] {
+		nodes = append(nodes, x)
+	}
+	if len(nodes) != l.length {
+		return fmt.Errorf("skiplist: length %d, bottom walk found %d", l.length, len(nodes))
+	}
+	sum1, sum2 := 0, 0
+	index := make(map[*node[V]]int, len(nodes))
+	for i, n := range nodes {
+		sum1 += n.w1
+		sum2 += n.w2
+		index[n] = i
+	}
+	if sum1 != l.sumW1 || sum2 != l.sumW2 {
+		return fmt.Errorf("skiplist: totals (%d,%d), walk found (%d,%d)", l.sumW1, l.sumW2, sum1, sum2)
+	}
+	for lev := 0; lev < l.level; lev++ {
+		x := l.head
+		at := -1 // ordinal of x; head = -1
+		for x.forward[lev] != nil {
+			y := x.forward[lev]
+			j, ok := index[y]
+			if !ok {
+				return fmt.Errorf("skiplist: level %d points to unknown node", lev)
+			}
+			if j <= at {
+				return fmt.Errorf("skiplist: level %d not ascending (%d -> %d)", lev, at, j)
+			}
+			wantElems := j - at
+			want1, want2 := 0, 0
+			for t := at + 1; t <= j; t++ {
+				want1 += nodes[t].w1
+				want2 += nodes[t].w2
+			}
+			if x.spanElems[lev] != wantElems || x.spanW1[lev] != want1 || x.spanW2[lev] != want2 {
+				return fmt.Errorf("skiplist: level %d span at ordinal %d = (%d,%d,%d), want (%d,%d,%d)",
+					lev, at, x.spanElems[lev], x.spanW1[lev], x.spanW2[lev], wantElems, want1, want2)
+			}
+			x = y
+			at = j
+		}
+	}
+	return nil
+}
+
+// String renders the tower structure for debugging, in the spirit of the
+// paper's Figure 3.
+func (l *List[V]) String() string {
+	var b strings.Builder
+	for i := l.level - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "L%-2d head", i)
+		for x := l.head; x != nil && x.forward[i] != nil; x = x.forward[i] {
+			fmt.Fprintf(&b, " -(%d,%d,%d)-> %v", x.spanElems[i], x.spanW1[i], x.spanW2[i], x.forward[i].value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

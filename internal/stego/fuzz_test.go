@@ -1,0 +1,27 @@
+package stego
+
+import "testing"
+
+// FuzzDecode must never panic, and anything it accepts must re-encode to
+// the identical prose.
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode("KBLEKRBRAEE234XYZ")
+	f.Add(good)
+	f.Add("")
+	f.Add("time year ")
+	f.Add("timeXyear ")
+	f.Add("zzzz ")
+	f.Fuzz(func(t *testing.T, text string) {
+		transport, err := Decode(text)
+		if err != nil {
+			return
+		}
+		re, err := Encode(transport)
+		if err != nil {
+			t.Fatalf("decoded %q but cannot re-encode %q: %v", text, transport, err)
+		}
+		if re != text {
+			t.Fatalf("unstable round trip: %q -> %q -> %q", text, transport, re)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package stego implements the extension §VI of the paper sketches under
+// "Availability": "The server could recognize the use of encryption and
+// refuse to store any content that appears to be encrypted. To cope with
+// this situation, our tool could be extended using existing results in
+// stenography to make it difficult for the server [to] identify encrypted
+// documents."
+//
+// The encoding maps each Base32 transport symbol to a common four-letter
+// English word, producing documents that read as (nonsensical but
+// plausible-looking) prose instead of a wall of Base32. Because every
+// symbol maps to a fixed five-character token ("word "), ciphertext
+// offsets scale by exactly 5, so the incremental ciphertext deltas keep
+// working: TransformDelta rescales a delta on the Base32 transport into
+// the equivalent delta on the stego text.
+//
+// Scope, honestly stated (the paper: "it may be impractical for realistic
+// applications"): this defeats charset- and format-based classifiers, not
+// statistical analysis — a 32-word vocabulary in fixed positions is
+// detectable by anyone who looks for it.
+package stego
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"privedit/internal/delta"
+)
+
+// SymbolWidth is the stego characters emitted per transport character.
+const SymbolWidth = 5
+
+// vocabulary maps each of the 32 Base32 symbols to a four-letter word.
+var vocabulary = [32]string{
+	"time", "year", "work", "life", "hand", "part", "eyes", "week",
+	"case", "line", "city", "area", "team", "game", "book", "road",
+	"food", "door", "wind", "rain", "fire", "snow", "tree", "bird",
+	"fish", "moon", "star", "lake", "hill", "rock", "sand", "wave",
+}
+
+// symbolIndex inverts the Base32 alphabet (A-Z, 2-7).
+func symbolIndex(c byte) (int, bool) {
+	switch {
+	case c >= 'A' && c <= 'Z':
+		return int(c - 'A'), true
+	case c >= '2' && c <= '7':
+		return int(c-'2') + 26, true
+	default:
+		return 0, false
+	}
+}
+
+func indexSymbol(i int) byte {
+	if i < 26 {
+		return byte('A' + i)
+	}
+	return byte('2' + i - 26)
+}
+
+var wordIndex = func() map[string]int {
+	m := make(map[string]int, len(vocabulary))
+	for i, w := range vocabulary {
+		m[w] = i
+	}
+	return m
+}()
+
+// Errors.
+var (
+	ErrNotTransport = errors.New("stego: input is not Base32 transport text")
+	ErrNotStego     = errors.New("stego: input is not stego prose")
+)
+
+// Encode converts Base32 transport text into word prose. Every input
+// character becomes exactly SymbolWidth output characters.
+func Encode(transport string) (string, error) {
+	var b strings.Builder
+	b.Grow(len(transport) * SymbolWidth)
+	for i := 0; i < len(transport); i++ {
+		idx, ok := symbolIndex(transport[i])
+		if !ok {
+			return "", fmt.Errorf("%w: byte %q at %d", ErrNotTransport, transport[i], i)
+		}
+		b.WriteString(vocabulary[idx])
+		b.WriteByte(' ')
+	}
+	return b.String(), nil
+}
+
+// Decode converts word prose back into Base32 transport text.
+func Decode(text string) (string, error) {
+	if len(text)%SymbolWidth != 0 {
+		return "", fmt.Errorf("%w: length %d not a multiple of %d", ErrNotStego, len(text), SymbolWidth)
+	}
+	var b strings.Builder
+	b.Grow(len(text) / SymbolWidth)
+	for i := 0; i < len(text); i += SymbolWidth {
+		tok := text[i : i+SymbolWidth]
+		if tok[SymbolWidth-1] != ' ' {
+			return "", fmt.Errorf("%w: token %q at %d", ErrNotStego, tok, i)
+		}
+		idx, ok := wordIndex[tok[:SymbolWidth-1]]
+		if !ok {
+			return "", fmt.Errorf("%w: unknown word %q at %d", ErrNotStego, tok[:SymbolWidth-1], i)
+		}
+		b.WriteByte(indexSymbol(idx))
+	}
+	return b.String(), nil
+}
+
+// TransformDelta rescales a ciphertext delta expressed against the Base32
+// transport into the equivalent delta against the stego prose: retain and
+// delete counts multiply by SymbolWidth; insert payloads are re-encoded.
+func TransformDelta(cd delta.Delta) (delta.Delta, error) {
+	out := make(delta.Delta, 0, len(cd))
+	for _, op := range cd {
+		switch op.Kind {
+		case delta.Retain:
+			out = append(out, delta.RetainOp(op.N*SymbolWidth))
+		case delta.Delete:
+			out = append(out, delta.DeleteOp(op.N*SymbolWidth))
+		case delta.Insert:
+			enc, err := Encode(op.Str)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, delta.InsertOp(enc))
+		default:
+			return nil, fmt.Errorf("stego: invalid op kind %d", op.Kind)
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// LooksInnocuous reports whether text consists only of lowercase words and
+// spaces — the property that defeats a charset-based ciphertext detector.
+func LooksInnocuous(text string) bool {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c != ' ' && (c < 'a' || c > 'z') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package stego
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"privedit/internal/crypt"
+	"privedit/internal/delta"
+)
+
+func randomTransport(n int) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+	src := crypt.NewSeededNonceSource(uint64(n))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[src.Nonce64()%32])
+	}
+	return b.String()
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		transport := crypt.EncodeTransport(raw)
+		text, err := Encode(transport)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(text)
+		return err == nil && back == transport
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+}
+
+func TestEncodeWidth(t *testing.T) {
+	transport := randomTransport(137)
+	text, err := Encode(transport)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(text) != len(transport)*SymbolWidth {
+		t.Errorf("width %d, want %d", len(text), len(transport)*SymbolWidth)
+	}
+}
+
+func TestEncodedTextLooksInnocuous(t *testing.T) {
+	text, err := Encode(randomTransport(500))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !LooksInnocuous(text) {
+		t.Error("stego text fails its own innocuousness check")
+	}
+	// A naive ciphertext detector: long runs without spaces, uppercase,
+	// digits. None present.
+	if strings.ContainsAny(text, "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ=+/") {
+		t.Error("stego text contains ciphertext-looking bytes")
+	}
+	for _, w := range strings.Fields(text) {
+		if len(w) != 4 {
+			t.Fatalf("word %q not 4 letters", w)
+		}
+	}
+}
+
+func TestBase32TransportIsNotInnocuous(t *testing.T) {
+	if LooksInnocuous(randomTransport(100)) {
+		t.Error("raw transport passes the innocuousness check; test is vacuous")
+	}
+}
+
+func TestEncodeRejectsNonTransport(t *testing.T) {
+	for _, s := range []string{"lowercase", "has space", "punct!", "digit01"} {
+		if _, err := Encode(s); !errors.Is(err, ErrNotTransport) {
+			t.Errorf("Encode(%q) = %v, want ErrNotTransport", s, err)
+		}
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	text, err := Encode(randomTransport(20))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := []string{
+		text[:len(text)-1],                 // bad length
+		"zzzz " + text[SymbolWidth:],       // unknown word
+		strings.Replace(text, " ", "x", 1), // missing separator
+	}
+	for i, s := range cases {
+		if _, err := Decode(s); !errors.Is(err, ErrNotStego) {
+			t.Errorf("case %d: Decode = %v, want ErrNotStego", i, err)
+		}
+	}
+}
+
+func TestVocabularyDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range vocabulary {
+		if len(w) != SymbolWidth-1 {
+			t.Errorf("word %q has length %d", w, len(w))
+		}
+		if seen[w] {
+			t.Errorf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("vocabulary has %d distinct words", len(seen))
+	}
+}
+
+func TestSymbolMapBijective(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		c := indexSymbol(i)
+		j, ok := symbolIndex(c)
+		if !ok || j != i {
+			t.Errorf("symbol %d -> %q -> %d", i, c, j)
+		}
+	}
+	if _, ok := symbolIndex('a'); ok {
+		t.Error("lowercase accepted as Base32 symbol")
+	}
+	if _, ok := symbolIndex('0'); ok {
+		t.Error("'0' accepted as Base32 symbol")
+	}
+}
+
+func TestTransformDeltaEquivalence(t *testing.T) {
+	// Applying cd to transport, then encoding, must equal encoding the
+	// transport and applying the transformed delta — for arbitrary
+	// aligned deltas.
+	transport := randomTransport(300)
+	cases := []delta.Delta{
+		{delta.RetainOp(10), delta.DeleteOp(20), delta.InsertOp(randomTransport(15))},
+		{delta.InsertOp(randomTransport(5))},
+		{delta.RetainOp(299), delta.DeleteOp(1)},
+		{delta.DeleteOp(300), delta.InsertOp(randomTransport(7))},
+		{delta.RetainOp(1), delta.InsertOp(randomTransport(1)), delta.RetainOp(200), delta.DeleteOp(50)},
+	}
+	for i, cd := range cases {
+		newTransport, err := cd.Apply(transport)
+		if err != nil {
+			t.Fatalf("case %d: apply: %v", i, err)
+		}
+		wantText, err := Encode(newTransport)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		oldText, err := Encode(transport)
+		if err != nil {
+			t.Fatalf("case %d: encode old: %v", i, err)
+		}
+		sd, err := TransformDelta(cd)
+		if err != nil {
+			t.Fatalf("case %d: TransformDelta: %v", i, err)
+		}
+		gotText, err := sd.Apply(oldText)
+		if err != nil {
+			t.Fatalf("case %d: apply stego delta: %v", i, err)
+		}
+		if gotText != wantText {
+			t.Errorf("case %d: stego delta diverges", i)
+		}
+	}
+}
+
+func TestTransformDeltaRejectsInvalid(t *testing.T) {
+	if _, err := TransformDelta(delta.Delta{{Kind: 0}}); err == nil {
+		t.Error("invalid op accepted")
+	}
+	if _, err := TransformDelta(delta.Delta{delta.InsertOp("not base32!")}); err == nil {
+		t.Error("non-transport insert accepted")
+	}
+}

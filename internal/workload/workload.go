@@ -1,0 +1,209 @@
+// Package workload generates the documents and edit scripts used by the
+// paper's evaluation (§VII):
+//
+//   - Micro-benchmark test cases (§VII-B): pairs (D, D′) with lengths
+//     uniform in [100, 10000] and a delta transforming D into D′. The
+//     paper does not say how D′ relates to D; we derive D′ from D by a
+//     random edit script (the realistic interpretation — an editing
+//     session), and also offer independent pairs (the literal reading,
+//     where the delta degenerates to a full replacement).
+//
+//   - Macro-benchmark test cases (§VII-C): "a whole document save followed
+//     by either replacing an existing sentence with a different one or
+//     inserting or deleting an arbitrary sentence or group of sentences,"
+//     on small (≈500 chars) and large (≈10000 chars) files.
+//
+// All randomness is seeded, so experiments are reproducible.
+package workload
+
+import (
+	"math/rand"
+	"strings"
+
+	"privedit/internal/delta"
+	"privedit/internal/diff"
+)
+
+// words is the vocabulary for generated prose.
+var words = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"cloud", "service", "document", "editing", "private", "secure",
+	"encryption", "incremental", "block", "cipher", "nonce", "update",
+	"client", "server", "extension", "browser", "delta", "skip", "list",
+	"confidential", "integrity", "provider", "storage", "session",
+}
+
+// Gen is a seeded workload generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen creates a generator with the given seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Word returns one random vocabulary word.
+func (g *Gen) Word() string { return words[g.rng.Intn(len(words))] }
+
+// Sentence returns a random sentence of 4..14 words.
+func (g *Gen) Sentence() string {
+	n := 4 + g.rng.Intn(11)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.Word()
+	}
+	s := strings.Join(parts, " ") + ". "
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// Document returns prose of exactly n characters.
+func (g *Gen) Document(n int) string {
+	var b strings.Builder
+	b.Grow(n + 80)
+	for b.Len() < n {
+		b.WriteString(g.Sentence())
+	}
+	return b.String()[:n]
+}
+
+// Intn exposes the generator's uniform integer draw.
+func (g *Gen) Intn(n int) int { return g.rng.Intn(n) }
+
+// Splice is one edit: delete Del characters at Pos, then insert Ins.
+type Splice struct {
+	Pos int
+	Del int
+	Ins string
+}
+
+// Apply performs the splice on doc.
+func (sp Splice) Apply(doc string) string {
+	return doc[:sp.Pos] + sp.Ins + doc[sp.Pos+sp.Del:]
+}
+
+// Delta converts the splice to a delta.
+func (sp Splice) Delta() delta.Delta {
+	return delta.Delta{
+		delta.RetainOp(sp.Pos),
+		delta.DeleteOp(sp.Del),
+		delta.InsertOp(sp.Ins),
+	}.Normalize()
+}
+
+// Kind selects the edit mix of a script, matching the rows of the paper's
+// macro-benchmark tables (Figures 5 and 8).
+type Kind int
+
+// Edit mixes.
+const (
+	InsertsOnly Kind = iota + 1
+	DeletesOnly
+	InsertsAndDeletes
+	SentenceReplace
+)
+
+// String names the kind as the paper's tables do.
+func (k Kind) String() string {
+	switch k {
+	case InsertsOnly:
+		return "inserts only"
+	case DeletesOnly:
+		return "deletes only"
+	case InsertsAndDeletes:
+		return "inserts & deletes"
+	case SentenceReplace:
+		return "sentence replace"
+	default:
+		return "unknown"
+	}
+}
+
+// Edit produces one random edit of the given kind against doc. Sentence
+// granularity follows §VII-C (sentences or groups of sentences).
+func (g *Gen) Edit(doc string, kind Kind) Splice {
+	n := len(doc)
+	switch kind {
+	case InsertsOnly:
+		return Splice{Pos: g.rng.Intn(n + 1), Ins: g.Sentence()}
+	case DeletesOnly:
+		if n == 0 {
+			return Splice{}
+		}
+		pos := g.rng.Intn(n)
+		del := 20 + g.rng.Intn(60)
+		if pos+del > n {
+			del = n - pos
+		}
+		return Splice{Pos: pos, Del: del}
+	case InsertsAndDeletes:
+		if n == 0 || g.rng.Intn(2) == 0 {
+			return g.Edit(doc, InsertsOnly)
+		}
+		return g.Edit(doc, DeletesOnly)
+	case SentenceReplace:
+		if n == 0 {
+			return Splice{Ins: g.Sentence()}
+		}
+		pos := g.rng.Intn(n)
+		del := 30 + g.rng.Intn(50)
+		if pos+del > n {
+			del = n - pos
+		}
+		return Splice{Pos: pos, Del: del, Ins: g.Sentence()}
+	default:
+		return Splice{}
+	}
+}
+
+// Script produces count edits of the given kind. Each splice's position is
+// valid against the document after the previous splices; ApplyScript
+// replays them.
+func (g *Gen) Script(doc string, kind Kind, count int) []Splice {
+	out := make([]Splice, 0, count)
+	cur := doc
+	for i := 0; i < count; i++ {
+		sp := g.Edit(cur, kind)
+		out = append(out, sp)
+		cur = sp.Apply(cur)
+	}
+	return out
+}
+
+// ApplyScript replays a script.
+func ApplyScript(doc string, script []Splice) string {
+	for _, sp := range script {
+		doc = sp.Apply(doc)
+	}
+	return doc
+}
+
+// ScriptDelta expresses a whole script as one delta against the original
+// document. Splices may move backwards, so they cannot be concatenated
+// into a single left-to-right delta directly; instead the delta is derived
+// from the before/after documents, which is also what the real client does
+// between autosaves.
+func ScriptDelta(doc string, script []Splice) delta.Delta {
+	after := ApplyScript(doc, script)
+	return diff.Diff(doc, after)
+}
+
+// EditedPair is the micro-benchmark generator (§VII-B, realistic reading):
+// D random with |D| uniform in [minLen, maxLen]; D′ derived from D by
+// `edits` random sentence-level edits; the returned delta transforms D
+// into D′.
+func (g *Gen) EditedPair(minLen, maxLen, edits int) (d, dPrime string, dl delta.Delta) {
+	n := minLen + g.rng.Intn(maxLen-minLen+1)
+	d = g.Document(n)
+	script := g.Script(d, InsertsAndDeletes, edits)
+	dPrime = ApplyScript(d, script)
+	return d, dPrime, diff.Diff(d, dPrime)
+}
+
+// IndependentPair is the literal reading of §VII-B: D and D′ drawn
+// independently, with the delta degenerating to a near-full replacement.
+func (g *Gen) IndependentPair(minLen, maxLen int) (d, dPrime string, dl delta.Delta) {
+	d = g.Document(minLen + g.rng.Intn(maxLen-minLen+1))
+	dPrime = g.Document(minLen + g.rng.Intn(maxLen-minLen+1))
+	return d, dPrime, diff.Diff(d, dPrime)
+}

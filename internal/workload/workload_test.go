@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDocumentLengthExact(t *testing.T) {
+	g := NewGen(1)
+	for _, n := range []int{1, 10, 100, 500, 10000} {
+		if doc := g.Document(n); len(doc) != n {
+			t.Errorf("Document(%d) has length %d", n, len(doc))
+		}
+	}
+}
+
+func TestDocumentIsProse(t *testing.T) {
+	g := NewGen(2)
+	doc := g.Document(1000)
+	if !strings.Contains(doc, " ") || !strings.Contains(doc, ".") {
+		t.Error("document does not look like prose")
+	}
+}
+
+func TestSentenceShape(t *testing.T) {
+	g := NewGen(3)
+	for i := 0; i < 50; i++ {
+		s := g.Sentence()
+		if !strings.HasSuffix(s, ". ") {
+			t.Fatalf("sentence %q has no terminator", s)
+		}
+		if s[0] < 'A' || s[0] > 'Z' {
+			t.Fatalf("sentence %q not capitalized", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGen(7).Document(500)
+	b := NewGen(7).Document(500)
+	if a != b {
+		t.Error("same seed, different documents")
+	}
+	c := NewGen(8).Document(500)
+	if a == c {
+		t.Error("different seeds, same document")
+	}
+}
+
+func TestSpliceApplyAndDelta(t *testing.T) {
+	sp := Splice{Pos: 3, Del: 2, Ins: "XY"}
+	doc := "abcdefg"
+	want := "abcXYfg"
+	if got := sp.Apply(doc); got != want {
+		t.Errorf("Apply = %q", got)
+	}
+	got, err := sp.Delta().Apply(doc)
+	if err != nil || got != want {
+		t.Errorf("Delta().Apply = (%q, %v)", got, err)
+	}
+}
+
+func TestEditKinds(t *testing.T) {
+	g := NewGen(11)
+	doc := g.Document(2000)
+	for _, kind := range []Kind{InsertsOnly, DeletesOnly, InsertsAndDeletes, SentenceReplace} {
+		for i := 0; i < 100; i++ {
+			sp := g.Edit(doc, kind)
+			if sp.Pos < 0 || sp.Pos+sp.Del > len(doc) {
+				t.Fatalf("%v: splice out of range: %+v", kind, sp)
+			}
+			switch kind {
+			case InsertsOnly:
+				if sp.Del != 0 || sp.Ins == "" {
+					t.Fatalf("InsertsOnly produced %+v", sp)
+				}
+			case DeletesOnly:
+				if sp.Ins != "" || sp.Del == 0 {
+					t.Fatalf("DeletesOnly produced %+v", sp)
+				}
+			case SentenceReplace:
+				if sp.Ins == "" {
+					t.Fatalf("SentenceReplace produced %+v", sp)
+				}
+			}
+		}
+	}
+}
+
+func TestEditOnEmptyDocument(t *testing.T) {
+	g := NewGen(12)
+	for _, kind := range []Kind{InsertsOnly, DeletesOnly, InsertsAndDeletes, SentenceReplace} {
+		sp := g.Edit("", kind)
+		if got := sp.Apply(""); kind == DeletesOnly && got != "" {
+			t.Errorf("%v on empty doc = %q", kind, got)
+		}
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	g := NewGen(13)
+	doc := g.Document(1500)
+	script := g.Script(doc, InsertsAndDeletes, 20)
+	after := ApplyScript(doc, script)
+	d := ScriptDelta(doc, script)
+	got, err := d.Apply(doc)
+	if err != nil {
+		t.Fatalf("ScriptDelta apply: %v", err)
+	}
+	if got != after {
+		t.Error("ScriptDelta does not reproduce the script result")
+	}
+}
+
+func TestEditedPair(t *testing.T) {
+	g := NewGen(14)
+	for i := 0; i < 10; i++ {
+		d, dPrime, dl := g.EditedPair(100, 2000, 5)
+		if len(d) < 100 || len(d) > 2000 {
+			t.Fatalf("|D| = %d outside bounds", len(d))
+		}
+		got, err := dl.Apply(d)
+		if err != nil || got != dPrime {
+			t.Fatalf("pair delta does not transform D into D': %v", err)
+		}
+		// Derived pairs share most content: the delta is much smaller
+		// than a full replacement.
+		if dl.InsertLen()+dl.DeleteLen() > len(d)+len(dPrime) {
+			t.Error("edited pair delta larger than full replacement")
+		}
+	}
+}
+
+func TestIndependentPair(t *testing.T) {
+	g := NewGen(15)
+	d, dPrime, dl := g.IndependentPair(100, 400)
+	got, err := dl.Apply(d)
+	if err != nil || got != dPrime {
+		t.Fatalf("independent pair delta broken: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if InsertsOnly.String() == "unknown" || Kind(99).String() != "unknown" {
+		t.Error("Kind.String broken")
+	}
+}
