@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz examples clean
+.PHONY: all build vet test race cover bench experiments fuzz examples metrics-smoke clean
 
 all: build vet test
 
@@ -37,6 +37,24 @@ fuzz:
 	$(GO) test -fuzz=FuzzTransform -fuzztime=30s ./internal/delta/
 	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=30s ./internal/blockdoc/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/stego/
+
+# End-to-end check of the telemetry surface: start privedit-server, hit
+# /metrics, and require every headline metric family to be exported.
+METRICS_ADDR ?= 127.0.0.1:8747
+metrics-smoke:
+	$(GO) build -o /tmp/privedit-server ./cmd/privedit-server
+	/tmp/privedit-server -addr $(METRICS_ADDR) & echo $$! > /tmp/privedit-server.pid; \
+	trap 'kill $$(cat /tmp/privedit-server.pid)' EXIT; \
+	for i in 1 2 3 4 5 6 7 8 9 10; do \
+		curl -sf http://$(METRICS_ADDR)/metrics -o /tmp/privedit-metrics.txt && break; \
+		sleep 0.5; \
+	done; \
+	for m in privedit_http_requests_total privedit_http_request_seconds \
+		privedit_transform_delta_seconds privedit_block_splits_total \
+		privedit_fragmentation_ratio; do \
+		grep -q "^# TYPE $$m " /tmp/privedit-metrics.txt || { echo "missing metric $$m"; exit 1; }; \
+	done; \
+	echo "metrics-smoke: all expected families exported"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -16,9 +16,11 @@
 //	:save            save (first save full, then incremental deltas)
 //	:cipher          show what the server currently stores
 //	:stats           extension statistics
+//	:metrics         live telemetry snapshot (Prometheus text)
 //	:quit            exit
 //
-// Any other line is appended to the document.
+// Any other line is appended to the document. Run with -metrics-dump to
+// write the session's full metric catalog on exit.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"privedit/internal/covert"
 	"privedit/internal/gdocs"
 	"privedit/internal/mediator"
+	"privedit/internal/obs"
 )
 
 func main() {
@@ -44,7 +47,13 @@ func main() {
 	blockChars := flag.Int("b", core.DefaultBlockChars, "characters per cipher block (1..8)")
 	mitigate := flag.Bool("mitigate", false, "enable covert-channel mitigations")
 	useStego := flag.Bool("stego", false, "store the document as word prose instead of Base32")
+	metricsDump := flag.String("metrics-dump", "", "on exit, write Prometheus text metrics to this path (\"-\" for stdout)")
 	flag.Parse()
+
+	if *metricsDump != "" {
+		obs.Enable()
+		defer dumpMetrics(*metricsDump)
+	}
 
 	if *password == "" {
 		fmt.Fprintln(os.Stderr, "privedit-edit: -password is required (the paper's per-document password dialog)")
@@ -94,6 +103,24 @@ func main() {
 
 var errQuit = fmt.Errorf("quit")
 
+// dumpMetrics writes the session's metric catalog in Prometheus text
+// exposition to path ("-" for stdout).
+func dumpMetrics(path string) {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privedit-edit: metrics-dump: %v\n", err)
+			return
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := obs.Default.WritePrometheus(out); err != nil {
+		fmt.Fprintf(os.Stderr, "privedit-edit: metrics-dump: %v\n", err)
+	}
+}
+
 func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -142,6 +169,15 @@ func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 		fmt.Printf("server stores %d chars of ciphertext:\n%.120s...\n", len(transport), transport)
 	case ":stats":
 		fmt.Printf("%+v\n", ext.Stats())
+	case ":metrics":
+		if !obs.Default.Enabled() {
+			obs.Enable() // first use turns collection on mid-session
+			fmt.Println("metrics collection enabled (counts start now)")
+			return nil
+		}
+		if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
 	default:
 		return client.Insert(len(client.Text()), line+"\n")
 	}

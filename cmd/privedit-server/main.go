@@ -7,6 +7,11 @@
 // The server is the *untrusted* party: run with -observe to dump
 // everything it sees on exit, demonstrating what a curious provider learns
 // (nothing but Base32 ciphertext, when clients use the extension).
+//
+// Telemetry is always on: every request is counted and timed (with a
+// request id echoed as X-Request-ID and one structured log line), and
+// GET /metrics returns the full metric catalog as Prometheus text
+// exposition (?format=json for JSON).
 package main
 
 import (
@@ -19,6 +24,13 @@ import (
 	"time"
 
 	"privedit/internal/gdocs"
+	"privedit/internal/obs"
+
+	// Register the client-side metric families (core, blockdoc, skiplist,
+	// mediator, netsim) so /metrics exports the complete catalog even
+	// before any in-process tooling touches them.
+	_ "privedit/internal/mediator"
+	_ "privedit/internal/netsim"
 )
 
 func main() {
@@ -26,14 +38,20 @@ func main() {
 	observe := flag.Bool("observe", false, "record and dump all content the server sees")
 	flag.Parse()
 
+	obs.Enable()
+
 	server := gdocs.NewServer()
 	if *observe {
 		server.EnableObservation()
 	}
 
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/", server)
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(server),
+		Handler:           obs.Middleware(obs.Default, mux, log.Default(), pathLabel),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -49,17 +67,20 @@ func main() {
 	}()
 
 	log.Printf("privedit-server: simulated Google Documents service on http://%s", *addr)
-	log.Printf("privedit-server: endpoints %s %s %s %s %s %s",
+	log.Printf("privedit-server: endpoints %s %s %s %s %s %s, metrics on /metrics",
 		gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate, gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport)
 	if err := httpServer.ListenAndServe(); err != nil {
 		log.Fatalf("privedit-server: %v", err)
 	}
 }
 
-func logging(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+// pathLabel collapses unknown request paths to one label value so a
+// scanning client cannot blow up the per-path series cardinality.
+func pathLabel(p string) string {
+	switch p {
+	case gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate,
+		gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport, "/metrics":
+		return p
+	}
+	return "other"
 }

@@ -6,6 +6,21 @@ import (
 
 	"privedit/internal/crypt"
 	"privedit/internal/delta"
+	"privedit/internal/obs"
+)
+
+// Telemetry for §V-C block behaviour: how often edits split blocks apart or
+// merge them away, and how fragmented the block store is. No-ops until
+// obs.Enable().
+var (
+	metricSplices = obs.NewCounter("privedit_block_splices_total",
+		"Block-range replacements performed by transform_delta.")
+	metricSplits = obs.NewCounter("privedit_block_splits_total",
+		"Net blocks gained by splices that rewrote existing blocks (block splits).")
+	metricMerges = obs.NewCounter("privedit_block_merges_total",
+		"Net blocks lost by splices that kept data blocks (block merges).")
+	metricFragmentation = obs.NewGauge("privedit_fragmentation_ratio",
+		"Unused block capacity fraction, 1 - chars/(blocks*b), sampled after each transform_delta.")
 )
 
 // rangeEdit records that source blocks [srcLo, srcHi) were replaced by the
@@ -173,6 +188,14 @@ func (t *tx) splice(pos, del int, ins string) error {
 		t.trailerChanged = true
 	}
 
+	metricSplices.Inc()
+	if len(removed) > 0 && len(added) > len(removed) {
+		metricSplits.Add(int64(len(added) - len(removed)))
+	}
+	if len(added) > 0 && len(removed) > len(added) {
+		metricMerges.Add(int64(len(removed) - len(added)))
+	}
+
 	t.record(curA, curB, len(added), leftRewritten)
 	return nil
 }
@@ -237,6 +260,11 @@ func (t *tx) record(curA, curB, addedCnt int, leftRewritten bool) {
 // transaction began.
 func (t *tx) commit() (delta.Delta, error) {
 	d := t.doc
+	if n := d.list.Len(); n > 0 {
+		metricFragmentation.Set(1 - float64(d.Len())/float64(n*d.blockChars))
+	} else {
+		metricFragmentation.Set(0)
+	}
 	var out delta.Delta
 
 	// Prefix region.

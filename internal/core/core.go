@@ -20,8 +20,24 @@ import (
 	"privedit/internal/blockdoc"
 	"privedit/internal/crypt"
 	"privedit/internal/delta"
+	"privedit/internal/obs"
 	"privedit/internal/recb"
 	"privedit/internal/rpcmode"
+)
+
+// Telemetry: the paper's §VII micro-benchmark operations, timed in situ.
+// No-ops until obs.Enable() is called.
+var (
+	metricEncrypt = obs.NewHistogram("privedit_core_encrypt_seconds",
+		"Whole-document encryption (Enc) latency in seconds.", obs.TimeBuckets)
+	metricTransform = obs.NewHistogram("privedit_transform_delta_seconds",
+		"transform_delta (IncE) latency in seconds: plaintext delta to ciphertext delta.", obs.TimeBuckets)
+	metricSplice = obs.NewHistogram("privedit_splice_seconds",
+		"Single programmatic splice latency in seconds.", obs.TimeBuckets)
+	metricRekey = obs.NewHistogram("privedit_rekey_seconds",
+		"Password change (full re-encryption) latency in seconds.", obs.TimeBuckets)
+	metricOpen = obs.NewHistogram("privedit_core_open_seconds",
+		"Container open (Dec + integrity verification) latency in seconds.", obs.TimeBuckets)
 )
 
 // Scheme selects the protection level, mirroring the prototype's dialog:
@@ -136,6 +152,7 @@ func NewEditor(password string, opts Options) (*Editor, error) {
 // header; the key is re-derived from the password and checked before any
 // decryption is attempted. nonces may be nil for the default secure source.
 func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error) {
+	defer metricOpen.Start().End()
 	if nonces == nil {
 		nonces = crypt.CryptoNonceSource{}
 	}
@@ -181,6 +198,7 @@ func (e *Editor) BlockChars() int { return e.doc.BlockChars() }
 // full ciphertext container (Enc). This is what the mediator does with the
 // docContents field of the first save in an editing session.
 func (e *Editor) Encrypt(plaintext string) (string, error) {
+	defer metricEncrypt.Start().End()
 	if err := e.doc.LoadPlaintext(plaintext); err != nil {
 		return "", err
 	}
@@ -208,7 +226,7 @@ func (e *Editor) TransformDelta(wire string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cd, err := e.doc.TransformDelta(pd)
+	cd, err := e.TransformDeltaOps(pd)
 	if err != nil {
 		return "", err
 	}
@@ -217,13 +235,19 @@ func (e *Editor) TransformDelta(wire string) (string, error) {
 
 // TransformDeltaOps is TransformDelta on parsed operations.
 func (e *Editor) TransformDeltaOps(pd delta.Delta) (delta.Delta, error) {
-	return e.doc.TransformDelta(pd)
+	sp := metricTransform.Start()
+	cd, err := e.doc.TransformDelta(pd)
+	sp.End()
+	return cd, err
 }
 
 // Splice performs a single programmatic edit (delete del characters at
 // pos, insert ins) and returns the ciphertext delta.
 func (e *Editor) Splice(pos, del int, ins string) (delta.Delta, error) {
-	return e.doc.Splice(pos, del, ins)
+	sp := metricSplice.Start()
+	cd, err := e.doc.Splice(pos, del, ins)
+	sp.End()
+	return cd, err
 }
 
 // Rekey re-encrypts the document under a new password: a fresh salt is
@@ -232,6 +256,7 @@ func (e *Editor) Splice(pos, del int, ins string) (delta.Delta, error) {
 // key change cannot be expressed as an incremental delta without leaking
 // that the key did not really change). Scheme and block size carry over.
 func (e *Editor) Rekey(newPassword string, nonces crypt.NonceSource) (string, error) {
+	defer metricRekey.Start().End()
 	if nonces == nil {
 		nonces = crypt.CryptoNonceSource{}
 	}

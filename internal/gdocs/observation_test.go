@@ -1,0 +1,67 @@
+package gdocs
+
+import (
+	"strings"
+	"testing"
+
+	"privedit/internal/obs"
+)
+
+// TestObservationLogBounded verifies the honest-but-curious observation
+// log drops its oldest bytes once it hits the cap, keeps the most recent
+// content, and counts each truncation.
+func TestObservationLogBounded(t *testing.T) {
+	obs.Enable()
+	s := NewServer()
+	s.EnableObservation()
+	s.SetObservationCap(64)
+
+	before := obs.Default.Sum("privedit_observation_truncations_total")
+
+	if err := s.Create("d"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Each save appends 32+1 bytes, so the third one must truncate.
+	for i, chunk := range []string{
+		strings.Repeat("a", 32),
+		strings.Repeat("b", 32),
+		strings.Repeat("c", 32),
+	} {
+		if _, err := s.SetContents("d", chunk, -1); err != nil {
+			t.Fatalf("SetContents %d: %v", i, err)
+		}
+	}
+
+	got := s.Observed()
+	if len(got) > 64 {
+		t.Errorf("observation log has %d bytes, cap is 64", len(got))
+	}
+	if !strings.Contains(got, strings.Repeat("c", 32)) {
+		t.Errorf("log lost the most recent content: %q", got)
+	}
+	if strings.Contains(got, "a") {
+		t.Errorf("log kept the oldest content past the cap: %q", got)
+	}
+	if d := obs.Default.Sum("privedit_observation_truncations_total") - before; d < 1 {
+		t.Errorf("truncation counter moved by %v, want >= 1", d)
+	}
+}
+
+// TestObservationLogUnbounded checks cap <= 0 disables the bound (tests
+// rely on this to inspect everything the server saw).
+func TestObservationLogUnbounded(t *testing.T) {
+	s := NewServer()
+	s.EnableObservation()
+	s.SetObservationCap(0)
+	if err := s.Create("d"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.SetContents("d", strings.Repeat("x", MaxDocBytes), -1); err != nil {
+			t.Fatalf("SetContents %d: %v", i, err)
+		}
+	}
+	if len(s.Observed()) < 2*DefaultObservationCap {
+		t.Errorf("unbounded log held only %d bytes", len(s.Observed()))
+	}
+}

@@ -9,6 +9,17 @@ import (
 	"sync"
 
 	"privedit/internal/delta"
+	"privedit/internal/obs"
+)
+
+// Telemetry for the simulated service. No-ops until obs.Enable().
+var (
+	metricConflicts = obs.NewCounter("privedit_version_conflicts_total",
+		"Optimistic-concurrency rejections: the client's base version no longer matched the stored one.")
+	metricDocs = obs.NewGauge("privedit_server_documents",
+		"Documents currently stored by the simulated service.")
+	metricObservedTruncations = obs.NewCounter("privedit_observation_truncations_total",
+		"Times the honest-but-curious observation log hit its cap and dropped its oldest bytes.")
 )
 
 // MaxDocBytes is the document size limit: "Google currently enforces a
@@ -37,17 +48,28 @@ type Server struct {
 	docs     map[string]*serverDoc
 	maxBytes int
 
-	// observed collects every byte of document content the server has
-	// seen, for the leak-detector tests: with the extension installed, no
-	// plaintext substring may ever show up here.
-	observed strings.Builder
-	observe  bool
+	// observed collects document content the server has seen, for the
+	// leak-detector tests: with the extension installed, no plaintext
+	// substring may ever show up here. It is bounded by observedCap: when
+	// full, the oldest bytes are dropped (and counted), so observation can
+	// stay on in long-running servers without growing without bound.
+	observed    []byte
+	observedCap int
+	observe     bool
 }
+
+// DefaultObservationCap bounds the observation log: enough for several
+// maximum-size documents of history, small enough to leave on forever.
+const DefaultObservationCap = 4 * MaxDocBytes
 
 // NewServer creates an empty document store with the 500 KB per-document
 // limit.
 func NewServer() *Server {
-	return &Server{docs: make(map[string]*serverDoc), maxBytes: MaxDocBytes}
+	return &Server{
+		docs:        make(map[string]*serverDoc),
+		maxBytes:    MaxDocBytes,
+		observedCap: DefaultObservationCap,
+	}
 }
 
 // SetMaxBytes overrides the per-document size limit (tests).
@@ -65,17 +87,33 @@ func (s *Server) EnableObservation() {
 	s.observe = true
 }
 
-// Observed returns everything the (honest-but-curious) server has seen.
+// SetObservationCap overrides the observation log's byte cap. n <= 0
+// removes the bound entirely (tests only; an unbounded log in a
+// long-running server is the leak this cap exists to prevent).
+func (s *Server) SetObservationCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observedCap = n
+}
+
+// Observed returns what the (honest-but-curious) server has seen — the
+// most recent observedCap bytes of it.
 func (s *Server) Observed() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.observed.String()
+	return string(s.observed)
 }
 
 func (s *Server) see(content string) {
-	if s.observe {
-		s.observed.WriteString(content)
-		s.observed.WriteByte('\n')
+	if !s.observe {
+		return
+	}
+	s.observed = append(s.observed, content...)
+	s.observed = append(s.observed, '\n')
+	if s.observedCap > 0 && len(s.observed) > s.observedCap {
+		drop := len(s.observed) - s.observedCap
+		s.observed = append(s.observed[:0], s.observed[drop:]...)
+		metricObservedTruncations.Inc()
 	}
 }
 
@@ -87,6 +125,7 @@ func (s *Server) Create(docID string) error {
 		return fmt.Errorf("gdocs: document %q already exists", docID)
 	}
 	s.docs[docID] = &serverDoc{}
+	metricDocs.Set(float64(len(s.docs)))
 	return nil
 }
 
@@ -112,6 +151,7 @@ func (s *Server) SetContents(docID, content string, baseVersion int) (Ack, error
 		return Ack{}, errNotFound
 	}
 	if baseVersion >= 0 && baseVersion != doc.version {
+		metricConflicts.Inc()
 		return Ack{}, errConflict
 	}
 	if len(content) > s.maxBytes {
@@ -138,6 +178,7 @@ func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
 		return Ack{}, errNotFound
 	}
 	if baseVersion >= 0 && baseVersion != doc.version {
+		metricConflicts.Inc()
 		return Ack{}, errConflict
 	}
 	d, err := delta.Parse(wire)
@@ -149,6 +190,7 @@ func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
 	if err != nil {
 		// A delta computed against a stale version: the conflict case the
 		// paper hits during simultaneous editing (§VII-A).
+		metricConflicts.Inc()
 		return Ack{}, errConflict
 	}
 	if len(updated) > s.maxBytes {

@@ -13,6 +13,7 @@
 package mediator
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,7 +25,33 @@ import (
 	"privedit/internal/covert"
 	"privedit/internal/delta"
 	"privedit/internal/gdocs"
+	"privedit/internal/obs"
 	"privedit/internal/stego"
+)
+
+// Telemetry for the extension's request mediation (Figure 2). No-ops until
+// obs.Enable().
+var (
+	metricOps = func(op string) *obs.Counter {
+		return obs.NewCounter("privedit_mediator_ops_total",
+			"Requests mediated by the extension, by outcome.", "op", op)
+	}
+	metricOpFull    = metricOps("full_encrypt")
+	metricOpDelta   = metricOps("delta_transform")
+	metricOpLoad    = metricOps("load_decrypt")
+	metricOpPass    = metricOps("pass")
+	metricOpBlocked = metricOps("blocked")
+
+	metricEncryptLatency = obs.NewHistogram("privedit_mediator_encrypt_seconds",
+		"Full-content encryption latency inside the extension (incl. stego), seconds.", obs.TimeBuckets)
+	metricDecryptLatency = obs.NewHistogram("privedit_mediator_decrypt_seconds",
+		"Document-load decryption latency inside the extension (incl. stego), seconds.", obs.TimeBuckets)
+	metricPasswordFailures = obs.NewCounter("privedit_mediator_password_failures_total",
+		"Failed attempts to derive or verify a document key (wrong password or provider error).")
+	metricDeltaPlainBytes = obs.NewCounter("privedit_mediator_delta_plain_bytes_total",
+		"Plaintext delta bytes submitted by the client application.")
+	metricDeltaCipherBytes = obs.NewCounter("privedit_mediator_delta_cipher_bytes_total",
+		"Ciphertext delta bytes actually sent to the server.")
 )
 
 // PasswordProvider supplies the per-document password and encryption
@@ -122,6 +149,7 @@ func (e *Extension) editorFor(docID string) (*core.Editor, error) {
 	e.mu.Unlock()
 	password, opts, err := e.passwords(docID)
 	if err != nil {
+		metricPasswordFailures.Inc()
 		return nil, err
 	}
 	ed, err := core.NewEditor(password, opts)
@@ -141,10 +169,14 @@ func (e *Extension) editorFor(docID string) (*core.Editor, error) {
 func (e *Extension) openEditor(docID, transport string) (*core.Editor, error) {
 	password, _, err := e.passwords(docID)
 	if err != nil {
+		metricPasswordFailures.Inc()
 		return nil, err
 	}
 	ed, err := core.Open(password, transport, nil)
 	if err != nil {
+		if errors.Is(err, core.ErrWrongPassword) {
+			metricPasswordFailures.Inc()
+		}
 		return nil, err
 	}
 	e.mu.Lock()
@@ -189,6 +221,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		e.mu.Lock()
 		e.stats.Blocked++
 		e.mu.Unlock()
+		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: request blocked by extension"), nil
 	}
 }
@@ -216,6 +249,7 @@ func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
 	e.mu.Lock()
 	e.stats.Passed++
 	e.mu.Unlock()
+	metricOpPass.Inc()
 	return e.forward(req, form)
 }
 
@@ -233,6 +267,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 		}
 		content := form.Get(gdocs.FieldDocContents)
+		sp := metricEncryptLatency.Start()
 		ctxt, err := ed.Encrypt(content)
 		if err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: encrypt: "+err.Error()), nil
@@ -242,6 +277,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 				return synthesize(req, http.StatusForbidden, "privedit: stego: "+err.Error()), nil
 			}
 		}
+		sp.End()
 		form.Set(gdocs.FieldDocContents, ctxt)
 		e.applyPadding(form, len(ctxt))
 		e.applyDelay()
@@ -250,6 +286,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		e.stats.PlainBytesIn += len(content)
 		e.stats.CipherBytesOut += len(ctxt)
 		e.mu.Unlock()
+		metricOpFull.Inc()
 		return e.mediateAck(req, form)
 
 	case form.Has(gdocs.FieldDelta): // incremental update
@@ -288,12 +325,16 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		e.stats.PlainBytesIn += len(wire)
 		e.stats.CipherBytesOut += len(cwire)
 		e.mu.Unlock()
+		metricOpDelta.Inc()
+		metricDeltaPlainBytes.Add(int64(len(wire)))
+		metricDeltaCipherBytes.Add(int64(len(cwire)))
 		return e.mediateAck(req, form)
 
 	default:
 		e.mu.Lock()
 		e.stats.Blocked++
 		e.mu.Unlock()
+		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: unrecognized update"), nil
 	}
 }
@@ -341,6 +382,7 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 		return nil, fmt.Errorf("mediator: read load: %w", err)
 	}
 	transport := string(raw)
+	sp := metricDecryptLatency.Start()
 	if e.useStego && transport != "" {
 		decoded, err := stego.Decode(transport)
 		if err != nil {
@@ -361,9 +403,11 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return synthesize(req, http.StatusForbidden, "privedit: open: "+err.Error()), nil
 	}
+	sp.End()
 	e.mu.Lock()
 	e.stats.LoadsDecrypted++
 	e.mu.Unlock()
+	metricOpLoad.Inc()
 	replaceBody(resp, ed.Plaintext())
 	return resp, nil
 }

@@ -12,6 +12,18 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"privedit/internal/obs"
+)
+
+// Telemetry for the simulated network. No-ops until obs.Enable().
+var (
+	metricDelay = obs.NewHistogram("privedit_netsim_delay_seconds",
+		"Simulated network+server latency injected per request, seconds.", obs.TimeBuckets)
+	metricRequests = obs.NewCounter("privedit_netsim_requests_total",
+		"Requests routed through the delay transport.")
+	metricBytes = obs.NewCounter("privedit_netsim_bytes_total",
+		"Request+response body bytes carried over the simulated link.")
 )
 
 // Profile describes one network/server environment.
@@ -99,6 +111,9 @@ func (d *DelayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if d.Scale > 1 {
 		delay /= time.Duration(d.Scale)
 	}
+	metricRequests.Inc()
+	metricBytes.Add(int64(reqBytes + respBytes))
+	metricDelay.Observe(delay.Seconds())
 	time.Sleep(delay)
 	return resp, nil
 }

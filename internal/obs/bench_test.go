@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsDisabled measures the cost of an instrumentation call site
+// when its registry is disabled — the always-on price every hot path in
+// the repository pays. The acceptance budget is <10ns per call site; the
+// actual cost is one pointer load, one atomic flag load, and a branch.
+func BenchmarkObsDisabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.NewCounter("bench_total", "")
+	h := r.NewHistogram("bench_seconds", "", nil)
+	g := r.NewGauge("bench_gauge", "")
+
+	b.Run("CounterInc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(1.0)
+		}
+	})
+	b.Run("SpanStartEnd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Start().End()
+		}
+	})
+	b.Run("GaugeSet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Set(1.0)
+		}
+	})
+	b.Run("NilCounterInc", func(b *testing.B) {
+		var nc *Counter
+		for i := 0; i < b.N; i++ {
+			nc.Inc()
+		}
+	})
+}
+
+// BenchmarkObsEnabled is the companion: what the same call sites cost with
+// collection on.
+func BenchmarkObsEnabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_total", "")
+	h := r.NewHistogram("bench_seconds", "", nil)
+
+	b.Run("CounterInc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("HistogramObserve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(1e-5)
+		}
+	})
+	b.Run("SpanStartEnd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Start().End()
+		}
+	})
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// quantiles exported for every histogram family.
+var exportQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are sorted by name and series by label
+// key, so output is deterministic. Histograms render as summaries:
+// quantile series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.children {
+			if err := writeSeries(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f famSnapshot, c labeledChild) error {
+	switch m := c.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(c.labels, "", 0), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(c.labels, "", 0), formatFloat(m.Value()))
+		return err
+	case *Histogram:
+		for _, q := range exportQuantiles {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(c.labels, "quantile", q), formatFloat(m.Quantile(q))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(c.labels, "", 0), formatFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(c.labels, "", 0), m.Count())
+		return err
+	}
+	return nil
+}
+
+// famSnapshot is a point-in-time copy of a family's structure (the metric
+// values themselves stay live atomics).
+type famSnapshot struct {
+	name     string
+	help     string
+	kind     Kind
+	children []labeledChild
+}
+
+func (r *Registry) snapshotFamilies() []famSnapshot {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make([]famSnapshot, 0, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		children := append([]labeledChild(nil), f.ordered...)
+		f.mu.Unlock()
+		sort.Slice(children, func(i, j int) bool {
+			return labelKey(children[i].labels) < labelKey(children[j].labels)
+		})
+		out = append(out, famSnapshot{name: f.name, help: f.help, kind: f.kind, children: children})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// labelString renders {k="v",...}; extraKey/extraVal append a quantile
+// label when extraKey is non-empty.
+func labelString(labels []string, extraKey string, extraVal float64) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i+1 < len(labels); i += 2 {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSONSeries is one series in the JSON rendering.
+type JSONSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"` // counter / gauge
+	Count  *int64            `json:"count,omitempty"` // histogram
+	Sum    *float64          `json:"sum,omitempty"`
+	P50    *float64          `json:"p50,omitempty"`
+	P95    *float64          `json:"p95,omitempty"`
+	P99    *float64          `json:"p99,omitempty"`
+}
+
+// JSONFamily is one metric family in the JSON rendering.
+type JSONFamily struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []JSONSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as a JSON document, the machine-readable
+// twin of WritePrometheus.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	fams := r.snapshotFamilies()
+	out := make([]JSONFamily, 0, len(fams))
+	for _, f := range fams {
+		jf := JSONFamily{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, c := range f.children {
+			s := JSONSeries{}
+			if len(c.labels) > 0 {
+				s.Labels = make(map[string]string, len(c.labels)/2)
+				for i := 0; i+1 < len(c.labels); i += 2 {
+					s.Labels[c.labels[i]] = c.labels[i+1]
+				}
+			}
+			switch m := c.metric.(type) {
+			case *Counter:
+				v := float64(m.Value())
+				s.Value = &v
+			case *Gauge:
+				v := m.Value()
+				s.Value = &v
+			case *Histogram:
+				count, sum := m.Count(), m.Sum()
+				p50, p95, p99 := m.Quantile(0.5), m.Quantile(0.95), m.Quantile(0.99)
+				s.Count, s.Sum, s.P50, s.P95, s.P99 = &count, &sum, &p50, &p95, &p99
+			}
+			jf.Series = append(jf.Series, s)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// JSON with ?format=json.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition. The histogram's
+// observations all land in the overflow bucket so every quantile clamps to
+// the largest bound and the expected text is stable.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("privedit_demo_total", "Demo counter.", "path", "/Doc", "code", "200")
+	c.Add(3)
+	g := r.NewGauge("privedit_demo_ratio", "Demo gauge.")
+	g.Set(0.25)
+	h := r.NewHistogram("privedit_demo_seconds", "Demo latency.", []float64{1, 2, 4})
+	for _, v := range []float64{5, 6, 7} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP privedit_demo_ratio Demo gauge.",
+		"# TYPE privedit_demo_ratio gauge",
+		"privedit_demo_ratio 0.25",
+		"# HELP privedit_demo_seconds Demo latency.",
+		"# TYPE privedit_demo_seconds summary",
+		`privedit_demo_seconds{quantile="0.5"} 4`,
+		`privedit_demo_seconds{quantile="0.95"} 4`,
+		`privedit_demo_seconds{quantile="0.99"} 4`,
+		"privedit_demo_seconds_sum 18",
+		"privedit_demo_seconds_count 3",
+		"# HELP privedit_demo_total Demo counter.",
+		"# TYPE privedit_demo_total counter",
+		`privedit_demo_total{path="/Doc",code="200"} 3`,
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "", "v", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("json_total", "help", "k", "v").Add(7)
+	r.NewHistogram("json_seconds", "", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []JSONFamily
+	if err := json.Unmarshal([]byte(b.String()), &fams); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	byName := map[string]JSONFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	cf := byName["json_total"]
+	if len(cf.Series) != 1 || cf.Series[0].Value == nil || *cf.Series[0].Value != 7 {
+		t.Errorf("counter family wrong: %+v", cf)
+	}
+	if cf.Series[0].Labels["k"] != "v" {
+		t.Errorf("labels wrong: %+v", cf.Series[0].Labels)
+	}
+	hf := byName["json_seconds"]
+	if len(hf.Series) != 1 || hf.Series[0].Count == nil || *hf.Series[0].Count != 1 {
+		t.Errorf("histogram family wrong: %+v", hf)
+	}
+}
+
+func TestHandlerServesBothFormats(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("handler_total", "").Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Errorf("text body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var fams []JSONFamily
+	if err := json.Unmarshal(rec.Body.Bytes(), &fams); err != nil {
+		t.Errorf("json body invalid: %v", err)
+	}
+}
+
+func TestMiddlewareInstrumentsAndLogs(t *testing.T) {
+	r := NewRegistry()
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+
+	handler := Middleware(r, httptestHandler(201, "created"), logger, func(p string) string {
+		if p == "/known" {
+			return p
+		}
+		return "other"
+	})
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/known", strings.NewReader("hello"))
+	handler.ServeHTTP(rec, req)
+
+	if rec.Code != 201 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID header")
+	}
+	if got := r.Value("privedit_http_requests_total", "method", "POST", "path", "/known", "code", "201"); got != 1 {
+		t.Errorf("requests_total = %v, want 1", got)
+	}
+	if got := r.Value("privedit_http_request_seconds", "path", "/known"); got != 1 {
+		t.Errorf("request_seconds count = %v, want 1", got)
+	}
+	if got := r.Value("privedit_http_request_bytes_in_total", "path", "/known"); got != 5 {
+		t.Errorf("bytes_in = %v, want 5", got)
+	}
+	if got := r.Value("privedit_http_request_bytes_out_total", "path", "/known"); got != 7 {
+		t.Errorf("bytes_out = %v, want 7", got)
+	}
+	line := logged.String()
+	for _, frag := range []string{"req id=", "method=POST", "path=/known", "status=201", "bytes_in=5", "bytes_out=7", "dur="} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("log line missing %q: %s", frag, line)
+		}
+	}
+	if strings.Count(line, "\n") != 1 {
+		t.Errorf("want exactly one log line, got: %q", line)
+	}
+
+	// Unknown paths collapse to the bounded label.
+	handler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/random/cardinality/bomb", nil))
+	if got := r.Value("privedit_http_request_seconds", "path", "other"); got != 1 {
+		t.Errorf("collapsed path count = %v, want 1", got)
+	}
+}
+
+func httptestHandler(status int, body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	})
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// TimeBuckets is the default bucket layout for latency histograms: roughly
+// exponential from 1µs to 10s, wide enough for both Go crypto (sub-µs) and
+// simulated network round trips (tens of ms).
+var TimeBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// SizeBuckets is a generic power-of-two layout for counts and byte sizes.
+var SizeBuckets = ExpBuckets(1, 2, 16)
+
+// ExpBuckets returns n upper bounds starting at start, each factor times
+// the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// Histogram is a bounded-bucket distribution metric. Observations land in
+// the first bucket whose upper bound is >= the value, or an implicit
+// overflow bucket. Quantile estimates interpolate linearly within a bucket
+// and clamp overflow observations to the largest bound. All methods are
+// safe on a nil receiver and for concurrent use.
+type Histogram struct {
+	reg    *Registry
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram registers (or fetches) a histogram on a registry. bounds
+// must be sorted ascending; nil selects TimeBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = TimeBuckets
+	}
+	f := r.familyFor(name, help, KindHistogram, bounds)
+	return f.child(labels, func() any {
+		return &Histogram{reg: r, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return Default.NewHistogram(name, help, bounds, labels...)
+}
+
+// Observe records one value. No-op when nil or disabled.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.reg.enabled.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return floatFrom(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts: linear interpolation within the containing bucket, overflow
+// clamped to the largest bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			last := h.bounds[len(h.bounds)-1]
+			if i >= len(h.bounds) {
+				return last // overflow bucket: clamp
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ------------------------------------------------------------------ spans
+
+// Span is an in-flight timing measurement from Histogram.Start. The zero
+// Span is valid and End on it is a no-op, which is how the disabled path
+// avoids even the time.Now call.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins a span that will record elapsed seconds into the histogram
+// on End. When the histogram is nil or its registry disabled, the returned
+// zero Span makes the whole pair cost a few nanoseconds.
+func (h *Histogram) Start() Span {
+	if h == nil || !h.reg.enabled.Load() {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time since Start.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// ---------------------------------------------------------------- helpers
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+
+// addFloat atomically adds d to a float64 stored as bits in u.
+func addFloat(u *atomic.Uint64, d float64) {
+	for {
+		old := u.Load()
+		if u.CompareAndSwap(old, floatBits(floatFrom(old)+d)) {
+			return
+		}
+	}
+}

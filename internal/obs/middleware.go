@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP server metric family names and help strings, shared between the
+// per-request accessors and the init-time pre-registration.
+const (
+	httpRequestsName = "privedit_http_requests_total"
+	httpRequestsHelp = "HTTP requests served, by method, path, and status code."
+	httpLatencyName  = "privedit_http_request_seconds"
+	httpLatencyHelp  = "HTTP request handling latency in seconds, by path."
+	httpBytesInName  = "privedit_http_request_bytes_in_total"
+	httpBytesInHelp  = "HTTP request body bytes received, by path."
+	httpBytesOutName = "privedit_http_request_bytes_out_total"
+	httpBytesOutHelp = "HTTP response body bytes sent, by path."
+)
+
+// Pre-register the families (with no series yet) on the Default registry
+// so /metrics lists them before the first request arrives.
+func init() {
+	Default.familyFor(httpRequestsName, httpRequestsHelp, KindCounter, nil)
+	Default.familyFor(httpLatencyName, httpLatencyHelp, KindHistogram, TimeBuckets)
+	Default.familyFor(httpBytesInName, httpBytesInHelp, KindCounter, nil)
+	Default.familyFor(httpBytesOutName, httpBytesOutHelp, KindCounter, nil)
+}
+
+// reqID assigns monotonically increasing request ids across all mounted
+// middlewares in the process.
+var reqID atomic.Uint64
+
+// statusWriter captures the status code and bytes written.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through to the underlying writer when it supports it.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with per-request instrumentation: it assigns a
+// request id (echoed as X-Request-ID), counts requests by method/path/
+// status, observes handling latency, accumulates body bytes in/out on reg,
+// and — when logger is non-nil — emits one structured log line per
+// request. pathLabel maps a URL path to a bounded label value (nil for
+// identity); callers with open-ended path spaces should collapse unknown
+// paths to a constant to bound series cardinality.
+func Middleware(reg *Registry, next http.Handler, logger *log.Logger, pathLabel func(string) string) http.Handler {
+	if pathLabel == nil {
+		pathLabel = func(p string) string { return p }
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqID.Add(1)
+		w.Header().Set("X-Request-ID", formatID(id))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		bytesIn := int64(0)
+		if r.ContentLength > 0 {
+			bytesIn = r.ContentLength
+		}
+		if reg.Enabled() {
+			p := pathLabel(r.URL.Path)
+			reg.NewCounter(httpRequestsName, httpRequestsHelp,
+				"method", r.Method, "path", p, "code", strconv.Itoa(sw.status)).Inc()
+			reg.NewHistogram(httpLatencyName, httpLatencyHelp, TimeBuckets, "path", p).Observe(elapsed.Seconds())
+			reg.NewCounter(httpBytesInName, httpBytesInHelp, "path", p).Add(bytesIn)
+			reg.NewCounter(httpBytesOutName, httpBytesOutHelp, "path", p).Add(sw.bytes)
+		}
+		if logger != nil {
+			logger.Printf("req id=%s method=%s path=%s status=%d bytes_in=%d bytes_out=%d dur=%s",
+				formatID(id), r.Method, r.URL.Path, sw.status, bytesIn, sw.bytes,
+				elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// formatID renders a request id as fixed-width hex so log lines stay
+// aligned and ids sort lexically.
+func formatID(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}

@@ -1,0 +1,344 @@
+// Package obs is the repository's telemetry layer: always-on, low-overhead
+// counters, gauges, bounded-bucket latency histograms, and lightweight
+// spans, behind a registry that renders both Prometheus text exposition and
+// JSON. It is stdlib-only by design.
+//
+// The package exists because the paper's headline claims are quantitative
+// (§VII measures per-keystroke transform_delta latency, ciphertext blowup,
+// and block split behaviour) while the reproduction previously could not
+// report what it did at runtime. Every layer of the client→mediator→server
+// path registers metric families here; cmd/privedit-server exposes them on
+// /metrics and the CLI tools via -metrics-dump.
+//
+// Cost model: instrumented packages register their metrics once at init
+// against the Default registry, which starts *disabled*. Every mutating
+// method first loads one atomic flag and returns immediately when the
+// registry is nil or disabled, so an un-enabled call site costs a couple of
+// nanoseconds (see BenchmarkObsDisabled). Binaries that want telemetry call
+// obs.Enable().
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind. Histograms are
+// exposed as summaries (pre-computed quantiles, _sum, _count).
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry holds an ordered set of metric families. The zero value is not
+// usable; construct with NewRegistry. All methods are safe for concurrent
+// use, and all metric mutations are nil-safe no-ops when the registry is
+// nil or disabled.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	byName  map[string]*family
+	ordered []*family
+}
+
+// family is one metric name: a kind, help text, and one child per label
+// set.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	bounds  []float64 // histogram bucket upper bounds
+	mu      sync.Mutex
+	byLabel map[string]any // label key -> *Counter | *Gauge | *Histogram
+	ordered []labeledChild
+}
+
+type labeledChild struct {
+	labels []string // flattened k,v pairs as given at registration
+	metric any
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]*family)}
+	r.enabled.Store(true)
+	return r
+}
+
+// Default is the process-wide registry that instrumented packages register
+// against at init. It starts disabled: until Enable is called, every
+// instrumentation call site is a nanosecond-scale no-op.
+var Default = func() *Registry {
+	r := NewRegistry()
+	r.enabled.Store(false)
+	return r
+}()
+
+// Enable turns on the Default registry.
+func Enable() { Default.SetEnabled(true) }
+
+// SetEnabled flips metric collection. Registration is always allowed; only
+// mutations (Add, Set, Observe, spans) are gated.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether mutations are being recorded.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// labelKey serializes label pairs into a canonical child key, sorted by
+// label name so {a=1,b=2} and {b=2,a=1} are the same series.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	return b.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyFor finds or creates the named family. Kind conflicts are
+// programmer errors and panic.
+func (r *Registry) familyFor(name, help string, kind Kind, bounds []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, bounds: bounds, byLabel: make(map[string]any)}
+	r.byName[name] = f
+	r.ordered = append(r.ordered, f)
+	return f
+}
+
+// child finds or creates the series for the given label pairs, using make
+// to build a fresh metric when absent.
+func (f *family) child(labels []string, make func() any) any {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q: odd label list %v", f.name, labels))
+	}
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.byLabel[key]; ok {
+		return m
+	}
+	m := make()
+	f.byLabel[key] = m
+	f.ordered = append(f.ordered, labeledChild{labels: append([]string(nil), labels...), metric: m})
+	return m
+}
+
+// ---------------------------------------------------------------- Counter
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe on a nil receiver (no-op).
+type Counter struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// NewCounter registers (or fetches) a counter on a registry. labels are
+// alternating name/value pairs; the same name+labels returns the same
+// series.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindCounter, nil)
+	return f.child(labels, func() any { return &Counter{reg: r} }).(*Counter)
+}
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string, labels ...string) *Counter {
+	return Default.NewCounter(name, help, labels...)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n is ignored; counters are
+// monotone). No-op when nil or the owning registry is disabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.reg.enabled.Load() || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// ------------------------------------------------------------------ Gauge
+
+// Gauge is a float64 metric that can go up and down. All methods are safe
+// on a nil receiver.
+type Gauge struct {
+	reg *Registry
+	v   atomic.Uint64 // float64 bits
+}
+
+// NewGauge registers (or fetches) a gauge on a registry.
+func (r *Registry) NewGauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindGauge, nil)
+	return f.child(labels, func() any { return &Gauge{reg: r} }).(*Gauge)
+}
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string, labels ...string) *Gauge {
+	return Default.NewGauge(name, help, labels...)
+}
+
+// Set stores v. No-op when nil or disabled.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.reg.enabled.Load() {
+		return
+	}
+	g.v.Store(floatBits(v))
+}
+
+// Add increments the gauge by d. No-op when nil or disabled.
+func (g *Gauge) Add(d float64) {
+	if g == nil || !g.reg.enabled.Load() {
+		return
+	}
+	addFloat(&g.v, d)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.v.Load())
+}
+
+// ------------------------------------------------------------- inspection
+
+// Sum returns the aggregate value of every series in the named family:
+// counter and gauge values summed, or the total observation count for
+// histograms. It returns 0 for unknown families. Intended for tests and
+// dashboards, not hot paths.
+func (r *Registry) Sum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	f, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0.0
+	for _, c := range f.ordered {
+		switch m := c.metric.(type) {
+		case *Counter:
+			total += float64(m.Value())
+		case *Gauge:
+			total += m.Value()
+		case *Histogram:
+			total += float64(m.Count())
+		}
+	}
+	return total
+}
+
+// Value returns the value of the single series with the given name and
+// exact label pairs (counter/gauge value, histogram observation count), or
+// 0 if no such series exists.
+func (r *Registry) Value(name string, labels ...string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	f, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	key := labelKey(labels)
+	f.mu.Lock()
+	m, ok := f.byLabel[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	switch m := m.(type) {
+	case *Counter:
+		return float64(m.Value())
+	case *Gauge:
+		return m.Value()
+	case *Histogram:
+		return float64(m.Count())
+	}
+	return 0
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+	c.Add(-5) // counters are monotone; negative adds are dropped
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value after negative Add = %d, want 42", got)
+	}
+	// Same name+labels returns the same series.
+	if r.NewCounter("test_total", "help") != c {
+		t.Error("re-registration returned a different series")
+	}
+	// Different labels are a different series of the same family.
+	c2 := r.NewCounter("test_total", "help", "k", "v")
+	c2.Add(8)
+	if got := r.Sum("test_total"); got != 50 {
+		t.Errorf("Sum = %v, want 50", got)
+	}
+	if got := r.Value("test_total", "k", "v"); got != 8 {
+		t.Errorf("Value(k=v) = %v, want 8", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "help")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Errorf("Value = %v, want 2.25", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("canon_total", "", "a", "1", "b", "2")
+	b := r.NewCounter("canon_total", "", "b", "2", "a", "1")
+	if a != b {
+		t.Error("label order should not create distinct series")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "help", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 3.5, 5, 6, 7, 7.5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if got := h.Sum(); math.Abs(got-135.6) > 1e-9 {
+		t.Errorf("Sum = %v, want 135.6", got)
+	}
+	// Bucket counts: (0,1]:1 (1,2]:2 (2,4]:2 (4,8]:4 overflow:1.
+	// p50 rank 5 falls in (4,8]; interpolation stays within the bucket.
+	if p50 := h.Quantile(0.5); p50 < 2 || p50 > 8 {
+		t.Errorf("p50 = %v, want within (2, 8]", p50)
+	}
+	// p99 rank 9.9 falls in the overflow bucket, clamped to the last bound.
+	if p99 := h.Quantile(0.99); p99 != 8 {
+		t.Errorf("p99 = %v, want clamp to 8", p99)
+	}
+	if q := h.Quantile(0.0001); q < 0 || q > 1 {
+		t.Errorf("tiny quantile = %v, want within first bucket", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("empty_seconds", "", nil)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.NewCounter("off_total", "")
+	g := r.NewGauge("off_gauge", "")
+	h := r.NewHistogram("off_seconds", "", nil)
+	c.Inc()
+	g.Set(9)
+	h.Observe(1)
+	sp := h.Start()
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("disabled registry recorded a value")
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("re-enabled registry did not record")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x_total", "")
+	g := r.NewGauge("x", "")
+	h := r.NewHistogram("x_seconds", "", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.Start().End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil metrics should read zero")
+	}
+	if r.Sum("x_total") != 0 || r.Value("x_total") != 0 {
+		t.Error("nil registry should read zero")
+	}
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestSpanObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("span_seconds", "", nil)
+	sp := h.Start()
+	sp.End()
+	if h.Count() != 1 {
+		t.Errorf("Count after span = %d, want 1", h.Count())
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race this is the data-race
+// check, and the totals check catches lost updates.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "")
+	g := r.NewGauge("conc_gauge", "")
+	h := r.NewHistogram("conc_seconds", "", []float64{1, 2, 4})
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%5) + 0.5)
+				// Concurrent registration of the same family must be safe too.
+				r.NewCounter("conc_labeled_total", "", "w", "shared").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * perWorker)
+	if c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != float64(want) {
+		t.Errorf("gauge = %v, want %v", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if got := r.Value("conc_labeled_total", "w", "shared"); got != float64(want) {
+		t.Errorf("labeled counter = %v, want %v", got, want)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind conflict")
+		}
+	}()
+	r.NewGauge("kind_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid metric name")
+		}
+	}()
+	r.NewCounter("bad name!", "")
+}

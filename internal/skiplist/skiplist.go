@@ -20,7 +20,17 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"privedit/internal/obs"
 )
+
+// metricSeekSteps records how many forward-pointer hops a positional seek
+// takes — the observable form of the paper's expected-O(log n) claim for
+// Algorithm 1. Shared by all lists in the process; a no-op until
+// obs.Enable().
+var metricSeekSteps = obs.NewHistogram("privedit_skiplist_seek_steps",
+	"Forward-pointer hops per FindPrimary positional seek.",
+	obs.ExpBuckets(1, 2, 10))
 
 // MaxLevel bounds the tower height. 2^32 elements is far beyond the 500 KB
 // document limit the Google Documents service enforced.
@@ -120,6 +130,7 @@ func (l *List[V]) FindPrimary(p int) (Pos[V], error) {
 	x := l.head
 	rem := p
 	ordinal, beforeW1, beforeW2 := 0, 0, 0
+	steps := 0
 	for i := l.level - 1; i >= 0; i-- {
 		for x.forward[i] != nil && rem >= x.spanW1[i] {
 			rem -= x.spanW1[i]
@@ -127,8 +138,10 @@ func (l *List[V]) FindPrimary(p int) (Pos[V], error) {
 			beforeW2 += x.spanW2[i]
 			ordinal += x.spanElems[i]
 			x = x.forward[i]
+			steps++
 		}
 	}
+	metricSeekSteps.Observe(float64(steps))
 	target := x.forward[0]
 	if target == nil {
 		// Unreachable while invariants hold (p < sumW1 guarantees a
