@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz examples metrics-smoke clean
+.PHONY: all build vet test race cover bench experiments fuzz examples metrics-smoke load-smoke clean
 
 all: build vet test
 
@@ -55,6 +55,11 @@ metrics-smoke:
 		grep -q "^# TYPE $$m " /tmp/privedit-metrics.txt || { echo "missing metric $$m"; exit 1; }; \
 	done; \
 	echo "metrics-smoke: all expected families exported"
+
+# Short concurrent-load run: many sessions through one extension, with the
+# serial-vs-parallel crypto kernel comparison. Writes /tmp/BENCH_load.json.
+load-smoke:
+	$(GO) run ./cmd/privedit-load -sessions 8 -docs 4 -duration 2s -workers 4 -json /tmp/BENCH_load.json
 
 examples:
 	$(GO) run ./examples/quickstart

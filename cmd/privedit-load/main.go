@@ -1,0 +1,130 @@
+// Command privedit-load drives many concurrent encrypted editing sessions
+// through one mediating extension against the simulated service, and
+// reports sustained throughput and latency quantiles. It is the
+// concurrency companion to privedit-bench: where that tool reproduces the
+// paper's single-session figures, this one measures how the sharded store,
+// the per-document mediator sessions, and the parallel crypto kernels
+// behave under contention.
+//
+// Usage:
+//
+//	privedit-load                          # 8 sessions, 8 docs, 5 s
+//	privedit-load -sessions 32 -docs 8     # 4 sessions per document
+//	privedit-load -duration 2s -json BENCH_load.json
+//	privedit-load -net-scale 1000          # with scaled netsim delays
+//
+// The -json artifact also embeds a serial-vs-parallel comparison of the
+// whole-document encrypt kernel across document sizes, pinning where the
+// parallel path starts to win.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"privedit/internal/bench"
+	"privedit/internal/core"
+	"privedit/internal/parallel"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 8, "concurrent editing sessions")
+	docs := flag.Int("docs", 0, "distinct documents (0 = one per session)")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length")
+	docChars := flag.Int("doc-chars", 20_000, "initial document size, characters")
+	blockChars := flag.Int("block-chars", core.DefaultBlockChars, "block size b (1..8)")
+	schemeName := flag.String("scheme", "rpc", "encryption scheme: recb|rpc")
+	workers := flag.Int("workers", 0, "crypto worker bound (0 = GOMAXPROCS)")
+	reloadEvery := flag.Int("reload-every", 16, "every n-th op is a full document reload/decrypt (0 = deltas only)")
+	netScale := flag.Int("net-scale", 0, "enable netsim Broadband2009 delays divided by this factor (0 = off)")
+	seed := flag.Int64("seed", 2011, "workload seed")
+	jsonPath := flag.String("json", "", "write BENCH_load.json artifact to this path")
+	encBench := flag.Bool("enc-bench", true, "include serial-vs-parallel encrypt kernel comparison in -json output")
+	flag.Parse()
+
+	scheme := core.ConfidentialityIntegrity
+	switch *schemeName {
+	case "rpc":
+	case "recb":
+		scheme = core.ConfidentialityOnly
+	default:
+		fmt.Fprintf(os.Stderr, "privedit-load: unknown scheme %q (want recb or rpc)\n", *schemeName)
+		os.Exit(2)
+	}
+
+	cfg := bench.LoadConfig{
+		Sessions:    *sessions,
+		Docs:        *docs,
+		Duration:    *duration,
+		DocChars:    *docChars,
+		Scheme:      scheme,
+		BlockChars:  *blockChars,
+		Workers:     *workers,
+		ReloadEvery: *reloadEvery,
+		NetScale:    *netScale,
+		Seed:        *seed,
+	}
+
+	effDocs := *docs
+	if effDocs <= 0 {
+		effDocs = *sessions
+	}
+	fmt.Printf("privedit-load: %d sessions on %d docs, %v, %d-char docs, scheme=%s b=%d workers=%d (GOMAXPROCS=%d)\n",
+		*sessions, effDocs, *duration, *docChars, scheme, *blockChars,
+		parallel.Workers(*workers), runtime.GOMAXPROCS(0))
+
+	report, err := bench.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("  ops        %d (%.1f reloads, %.1f delta saves/s)\n",
+		report.Ops,
+		float64(report.Reloads)/report.DurationS,
+		float64(report.DeltaSaves)/report.DurationS)
+	fmt.Printf("  throughput %.1f ops/s over %.2fs\n", report.OpsPerSec, report.DurationS)
+	fmt.Printf("  latency    p50=%.2fms p95=%.2fms p99=%.2fms\n", report.P50Ms, report.P95Ms, report.P99Ms)
+	fmt.Printf("  conflicts  %d version conflicts, %d errored ops\n", report.Conflicts, report.Errors)
+	fmt.Printf("  mediator   %d sessions, %d full encrypts, %d deltas, %d loads\n",
+		report.MediatorSessions, report.MediatorFullEncrypts, report.MediatorDeltas, report.MediatorLoads)
+
+	if *jsonPath == "" {
+		return
+	}
+	artifact := bench.LoadArtifact{
+		Title:     "Concurrent load: sharded store + parallel crypto kernels",
+		Crossover: parallel.MinParallelBlocks,
+		Load:      report,
+	}
+	if *encBench {
+		rows, err := bench.EncKernelBench(scheme, *blockChars, *workers,
+			[]int{1_000, 10_000, 100_000, 400_000}, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load: enc bench:", err)
+			os.Exit(1)
+		}
+		artifact.EncBench = rows
+		fmt.Println("  enc kernel serial vs parallel:")
+		for _, r := range rows {
+			mode := "serial (below crossover)"
+			if r.UsedParallel {
+				mode = "parallel"
+			}
+			fmt.Printf("    %7d chars  serial %8.3fms  parallel %8.3fms  speedup %.2fx  [%s]\n",
+				r.Chars, r.SerialMs, r.ParallelMs, r.Speedup, mode)
+		}
+	}
+	out, err := artifact.MarshalIndent()
+	if err == nil {
+		err = os.WriteFile(*jsonPath, out, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println("  wrote", *jsonPath)
+}

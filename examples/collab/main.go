@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -52,7 +53,7 @@ func main() {
 	fmt.Printf("bob refreshes: %q\n", bob.Text())
 
 	// Eve (no password) gets nothing useful.
-	stored, _, err := server.Content("meeting-notes")
+	stored, _, err := server.Content(context.Background(), "meeting-notes")
 	must(err)
 	if _, err := core.Decrypt("guessed-password", stored); err != nil {
 		fmt.Printf("eve (wrong password): %v\n", err)

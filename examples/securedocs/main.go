@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -51,7 +52,7 @@ func main() {
 
 	fmt.Printf("the user sees:   %q\n\n", client.Text())
 
-	stored, _, err := server.Content("tax-return")
+	stored, _, err := server.Content(context.Background(), "tax-return")
 	must(err)
 	fmt.Printf("the server sees: %.100s... (%d chars)\n\n", stored, len(stored))
 
@@ -77,7 +78,7 @@ func main() {
 	tampered := []byte(stored)
 	tampered[len(tampered)/2] ^= 1
 	// (the provider can always write to its own store)
-	_, err = server.SetContents("tax-return", string(tampered), -1)
+	_, err = server.SetContents(context.Background(), "tax-return", string(tampered), -1)
 	must(err)
 
 	// ...and the next session refuses the document.

@@ -1,0 +1,344 @@
+// Load harness: drives many concurrent editing sessions through the
+// mediating extension against the simulated service, exercising the
+// sharded document store, the per-document mediator sessions, and the
+// parallel Enc/Dec kernels all at once. This is the concurrency
+// counterpart of the paper's single-session macro benchmarks (§VII-C):
+// instead of asking "how slow is one encrypted editing session", it asks
+// "how many encrypted editing sessions can one extension and one server
+// sustain".
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privedit/internal/core"
+	"privedit/internal/gdocs"
+	"privedit/internal/mediator"
+	"privedit/internal/netsim"
+	"privedit/internal/obs"
+	"privedit/internal/parallel"
+	"privedit/internal/workload"
+)
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// Sessions is the number of concurrent editing sessions.
+	Sessions int
+	// Docs is the number of distinct documents; sessions share documents
+	// round-robin when Sessions > Docs, which provokes version conflicts.
+	Docs int
+	// Duration is how long the measured phase runs.
+	Duration time.Duration
+	// DocChars is the initial size of every document.
+	DocChars int
+	// Scheme and BlockChars select the encryption mode (defaults:
+	// ConfidentialityIntegrity, DefaultBlockChars).
+	Scheme     core.Scheme
+	BlockChars int
+	// Workers bounds the parallel crypto kernels (0 = GOMAXPROCS).
+	Workers int
+	// ReloadEvery makes every n-th operation a full document reload — a
+	// whole-document decrypt through the mediator — instead of an
+	// incremental delta save. 0 disables reloads.
+	ReloadEvery int
+	// NetScale enables the simulated Broadband2009 network, dividing its
+	// delays by the given factor (e.g. 1000 for a fast smoke run). 0
+	// disables network simulation entirely.
+	NetScale int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Docs <= 0 {
+		c.Docs = c.Sessions
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.DocChars <= 0 {
+		c.DocChars = 20_000
+	}
+	if c.Scheme == 0 {
+		c.Scheme = core.ConfidentialityIntegrity
+	}
+	if c.BlockChars <= 0 {
+		c.BlockChars = core.DefaultBlockChars
+	}
+	return c
+}
+
+// LoadReport is the outcome of one load run, serializable as the
+// BENCH_load.json artifact.
+type LoadReport struct {
+	Sessions   int     `json:"sessions"`
+	Docs       int     `json:"docs"`
+	DurationS  float64 `json:"duration_s"`
+	DocChars   int     `json:"doc_chars"`
+	Scheme     string  `json:"scheme"`
+	BlockChars int     `json:"block_chars"`
+	Workers    int     `json:"workers"`
+
+	Ops        int64   `json:"ops"`
+	Reloads    int64   `json:"reloads"`
+	DeltaSaves int64   `json:"delta_saves"`
+	Errors     int64   `json:"errors"`
+	Conflicts  int64   `json:"version_conflicts"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+
+	MediatorFullEncrypts   int `json:"mediator_full_encrypts"`
+	MediatorDeltas         int `json:"mediator_deltas_transformed"`
+	MediatorLoads          int `json:"mediator_loads_decrypted"`
+	MediatorSessions       int `json:"mediator_sessions"`
+	MediatorPlainBytesIn   int `json:"mediator_plain_bytes_in"`
+	MediatorCipherBytesOut int `json:"mediator_cipher_bytes_out"`
+}
+
+// RunLoad stands up a gdocs server plus one mediating extension and drives
+// cfg.Sessions concurrent sessions against it for cfg.Duration. Latency
+// quantiles come from an internal/obs histogram; version-conflict counts
+// from the server's obs counter.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+
+	server := gdocs.NewServer()
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	var transport http.RoundTripper = ts.Client().Transport
+	if cfg.NetScale > 0 {
+		transport = &netsim.DelayTransport{
+			Base:    transport,
+			Profile: netsim.Broadband2009(),
+			Scale:   cfg.NetScale,
+		}
+	}
+	opts := core.Options{
+		Scheme:     cfg.Scheme,
+		BlockChars: cfg.BlockChars,
+		Workers:    cfg.Workers,
+	}
+	ext := mediator.New(transport, mediator.StaticPassword("load-pw", opts), nil)
+	httpc := ext.Client()
+
+	// Latency histogram in a private registry so repeated runs in one
+	// process don't pollute each other; conflicts from the server's
+	// counter in the default registry.
+	reg := obs.NewRegistry()
+	lat := reg.NewHistogram("privedit_load_op_seconds",
+		"End-to-end latency of one mediated save operation.", obs.TimeBuckets)
+	obs.Enable()
+	conflictsBefore := obs.Default.Value("privedit_version_conflicts_total")
+
+	// Seed every document serially before the clock starts.
+	gen := workload.NewGen(cfg.Seed)
+	docText := make([]string, cfg.Docs)
+	for d := 0; d < cfg.Docs; d++ {
+		docText[d] = gen.Document(cfg.DocChars)
+		c := gdocs.NewClient(httpc, ts.URL, fmt.Sprintf("load-doc-%d", d))
+		if err := c.Create(); err != nil {
+			return LoadReport{}, fmt.Errorf("seed create doc %d: %w", d, err)
+		}
+		c.SetText(docText[d])
+		if err := c.Save(); err != nil {
+			return LoadReport{}, fmt.Errorf("seed save doc %d: %w", d, err)
+		}
+	}
+
+	var (
+		ops, reloads, deltaSaves, errs atomic.Int64
+		wg                             sync.WaitGroup
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for s := 0; s < cfg.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			docID := fmt.Sprintf("load-doc-%d", s%cfg.Docs)
+			g := workload.NewGen(cfg.Seed + int64(s) + 1)
+			c := gdocs.NewClient(httpc, ts.URL, docID)
+			if err := c.Load(); err != nil {
+				errs.Add(1)
+				return
+			}
+			for op := 1; time.Now().Before(deadline); op++ {
+				reload := cfg.ReloadEvery > 0 && op%cfg.ReloadEvery == 0
+				t0 := time.Now()
+				var err error
+				if reload {
+					// Fresh load: the mediator decrypts the whole document
+					// (the parallel Dec kernel for large docs).
+					err = c.Load()
+				} else {
+					sp := g.Edit(c.Text(), workload.InsertsAndDeletes)
+					if err = c.Replace(sp.Pos, sp.Del, sp.Ins); err == nil {
+						err = c.Sync()
+					}
+				}
+				lat.Observe(time.Since(t0).Seconds())
+				if err != nil {
+					// Conflict storms and transform rejections on shared
+					// documents are expected; resynchronize and go on.
+					errs.Add(1)
+					if lerr := c.Load(); lerr != nil {
+						return
+					}
+					continue
+				}
+				ops.Add(1)
+				if reload {
+					reloads.Add(1)
+				} else {
+					deltaSaves.Add(1)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := ext.Stats()
+	conflictsAfter := obs.Default.Value("privedit_version_conflicts_total")
+	report := LoadReport{
+		Sessions:   cfg.Sessions,
+		Docs:       cfg.Docs,
+		DurationS:  elapsed.Seconds(),
+		DocChars:   cfg.DocChars,
+		Scheme:     cfg.Scheme.String(),
+		BlockChars: cfg.BlockChars,
+		Workers:    parallel.Workers(cfg.Workers),
+
+		Ops:        ops.Load(),
+		Reloads:    reloads.Load(),
+		DeltaSaves: deltaSaves.Load(),
+		Errors:     errs.Load(),
+		Conflicts:  int64(conflictsAfter - conflictsBefore),
+		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
+		P50Ms:      lat.Quantile(0.50) * 1000,
+		P95Ms:      lat.Quantile(0.95) * 1000,
+		P99Ms:      lat.Quantile(0.99) * 1000,
+
+		MediatorFullEncrypts:   stats.FullEncrypts,
+		MediatorDeltas:         stats.DeltasTransformed,
+		MediatorLoads:          stats.LoadsDecrypted,
+		MediatorSessions:       ext.Sessions(),
+		MediatorPlainBytesIn:   stats.PlainBytesIn,
+		MediatorCipherBytesOut: stats.CipherBytesOut,
+	}
+	return report, nil
+}
+
+// EncRow compares the serial and parallel whole-document encrypt kernel at
+// one document size.
+type EncRow struct {
+	Chars        int     `json:"chars"`
+	Blocks       int     `json:"blocks"`
+	UsedParallel bool    `json:"used_parallel"`
+	SerialMs     float64 `json:"serial_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// EncKernelBench times whole-document encryption serially (Workers=1) and
+// in parallel (Workers=workers) at each size, for the given scheme. Sizes
+// below the crossover threshold take the serial path in both editors — the
+// row's UsedParallel reports whether the parallel editor actually fanned
+// out.
+func EncKernelBench(scheme core.Scheme, blockChars, workers int, sizes []int, seed int64) ([]EncRow, error) {
+	runtime.GC() // level the field when a load phase ran in this process
+	gen := workload.NewGen(seed)
+	rows := make([]EncRow, 0, len(sizes))
+	for _, chars := range sizes {
+		doc := gen.Document(chars)
+		trials := 12
+		if chars <= 16_384 {
+			trials = 30
+		}
+		serial, par, err := timeEncrypt(scheme, blockChars, workers, doc, trials)
+		if err != nil {
+			return nil, err
+		}
+		blocks := (len(doc) + blockChars - 1) / blockChars
+		rows = append(rows, EncRow{
+			Chars:        len(doc),
+			Blocks:       blocks,
+			UsedParallel: !parallel.UseSerial(blocks, workers, parallel.MinParallelBlocks),
+			SerialMs:     serial.Seconds() * 1000,
+			ParallelMs:   par.Seconds() * 1000,
+			Speedup:      serial.Seconds() / par.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// timeEncrypt returns the fastest serial and parallel whole-document
+// encrypt over trials rounds. Trials interleave the two modes so GC and
+// scheduler drift hit both equally.
+func timeEncrypt(scheme core.Scheme, blockChars, workers int, doc string, trials int) (serial, par time.Duration, err error) {
+	serialEd, err := core.NewEditor("bench-pw", core.Options{
+		Scheme: scheme, BlockChars: blockChars, Workers: 1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	parEd, err := core.NewEditor("bench-pw", core.Options{
+		Scheme: scheme, BlockChars: blockChars, Workers: workers,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	one := func(ed *core.Editor) (time.Duration, error) {
+		t0 := time.Now()
+		if _, err := ed.Encrypt(doc); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+	for i := 0; i < trials; i++ {
+		d, err := one(serialEd)
+		if err != nil {
+			return 0, 0, err
+		}
+		if serial == 0 || d < serial {
+			serial = d
+		}
+		if d, err = one(parEd); err != nil {
+			return 0, 0, err
+		}
+		if par == 0 || d < par {
+			par = d
+		}
+	}
+	return serial, par, nil
+}
+
+// LoadArtifact is the combined BENCH_load.json document.
+type LoadArtifact struct {
+	Title     string     `json:"title"`
+	EncBench  []EncRow   `json:"enc_kernel_serial_vs_parallel"`
+	Crossover int        `json:"crossover_blocks"`
+	Load      LoadReport `json:"load"`
+}
+
+// MarshalIndent renders the artifact for the committed JSON file.
+func (a LoadArtifact) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"privedit/internal/crypt"
+	"privedit/internal/parallel"
 	"privedit/internal/skiplist"
 )
 
@@ -23,6 +24,11 @@ type Document struct {
 	prefixChars  int // transport chars of header+scheme prefix
 	recordChars  int // transport chars per record
 	trailerChars int // transport chars of trailer
+
+	// workers bounds the goroutines used when (de)serializing the record
+	// stream (0 = GOMAXPROCS, 1 = serial). Small documents always take
+	// the serial path; see internal/parallel.
+	workers int
 }
 
 // New creates an empty encrypted document for the given codec.
@@ -56,6 +62,11 @@ func New(codec Codec, blockChars int, salt [SaltLen]byte, keyCheck [KeyCheckLen]
 	}
 	return d, nil
 }
+
+// SetWorkers bounds the worker goroutines used by the container
+// (de)serialization kernels: 0 selects GOMAXPROCS, 1 forces serial. The
+// serialized container is identical either way.
+func (d *Document) SetWorkers(n int) { d.workers = n }
 
 // Header returns the container header.
 func (d *Document) Header() Header { return d.header }
@@ -155,12 +166,22 @@ func (d *Document) LoadTransport(transport string) error {
 
 	n := len(body) / d.recordChars
 	records := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		rec, err := crypt.DecodeTransport(body[i*d.recordChars : (i+1)*d.recordChars])
-		if err != nil {
-			return fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+	decodeRange := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rec, err := crypt.DecodeTransport(body[i*d.recordChars : (i+1)*d.recordChars])
+			if err != nil {
+				return fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+			}
+			records[i] = rec
 		}
-		records[i] = rec
+		return nil
+	}
+	if parallel.UseSerial(n, d.workers, parallel.MinParallelBlocks) {
+		if err := decodeRange(0, n); err != nil {
+			return err
+		}
+	} else if err := parallel.Range(n, d.workers, decodeRange); err != nil {
+		return err
 	}
 
 	blocks, err := d.codec.DecryptAll(schemePrefix, records, trailerRaw)
@@ -190,20 +211,48 @@ func (d *Document) Plaintext() string {
 }
 
 // Transport serializes the full ciphertext container: what the server
-// stores in place of the plaintext document.
+// stores in place of the plaintext document. Every record occupies a fixed
+// character slot, so large documents encode their record stream in parallel
+// into one shared buffer.
 func (d *Document) Transport() string {
-	var b strings.Builder
-	b.Grow(d.TransportLen())
-	prefixRaw := append(d.header.encode(), d.schemePrefix...)
-	b.WriteString(crypt.EncodeTransport(prefixRaw))
+	n := d.list.Len()
+	if parallel.UseSerial(n, d.workers, parallel.MinParallelBlocks) {
+		var b strings.Builder
+		b.Grow(d.TransportLen())
+		prefixRaw := append(d.header.encode(), d.schemePrefix...)
+		b.WriteString(crypt.EncodeTransport(prefixRaw))
+		_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
+			b.WriteString(crypt.EncodeTransport(blk.Record))
+			return true
+		})
+		if d.trailerChars > 0 {
+			b.WriteString(crypt.EncodeTransport(d.trailer))
+		}
+		return b.String()
+	}
+
+	// Parallel path: gather the block pointers with one cheap list walk,
+	// then let each worker Base32-encode its record range directly into
+	// the record's fixed offset of the output buffer.
+	blocks := make([]*Block, 0, n)
 	_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
-		b.WriteString(crypt.EncodeTransport(blk.Record))
+		blocks = append(blocks, blk)
 		return true
 	})
+	buf := make([]byte, d.TransportLen())
+	prefixRaw := append(d.header.encode(), d.schemePrefix...)
+	crypt.EncodeTransportInto(buf[:d.prefixChars], prefixRaw)
+	_ = parallel.Range(n, d.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			off := d.prefixChars + i*d.recordChars
+			crypt.EncodeTransportInto(buf[off:off+d.recordChars], blocks[i].Record)
+		}
+		return nil
+	})
 	if d.trailerChars > 0 {
-		b.WriteString(crypt.EncodeTransport(d.trailer))
+		crypt.EncodeTransportInto(buf[len(buf)-d.trailerChars:], d.trailer)
 	}
-	return b.String()
+	return string(buf)
 }
 
 // SelfCheck round-trips the document through its own serialized form,

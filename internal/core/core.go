@@ -74,16 +74,26 @@ var (
 	ErrBadScheme     = errors.New("core: unknown scheme")
 )
 
-// Options configures an Editor.
+// Options configures an Editor. It is the single options path shared by
+// every constructor-shaped entry point — NewEditor, OpenWith, DecryptWith,
+// and RekeyWith — replacing the ad-hoc positional NonceSource parameters
+// the old Open/Rekey/Decrypt signatures carried.
 type Options struct {
 	// Scheme selects rECB or RPC. Default: ConfidentialityIntegrity.
+	// Ignored by OpenWith/DecryptWith, which read it from the container.
 	Scheme Scheme
 	// BlockChars is the b parameter (1..8). Default: DefaultBlockChars.
+	// Ignored by OpenWith/DecryptWith, which read it from the container.
 	BlockChars int
 	// Nonces supplies block nonces and the document salt. Default:
 	// crypt.CryptoNonceSource{}. Override only in tests and reproducible
 	// benchmarks.
 	Nonces crypt.NonceSource
+	// Workers bounds the goroutines the whole-document Enc/Dec kernels
+	// may use: 0 selects GOMAXPROCS, 1 forces the serial path. Documents
+	// below the crossover threshold (internal/parallel) run serially
+	// regardless. The ciphertext is identical either way.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -99,10 +109,13 @@ func (o *Options) fill() {
 }
 
 // Editor is the client-side encryption state for one document: the
-// enc_scheme object of Figure 2.
+// enc_scheme object of Figure 2. An Editor is NOT safe for concurrent use;
+// callers that share one document across goroutines (the mediator's
+// per-document sessions) serialize access themselves.
 type Editor struct {
-	scheme Scheme
-	doc    *blockdoc.Document
+	scheme  Scheme
+	doc     *blockdoc.Document
+	workers int
 }
 
 // keyCheck computes the header password verifier for a derived key.
@@ -116,15 +129,26 @@ func keyCheck(key, salt []byte) [blockdoc.KeyCheckLen]byte {
 	return kc
 }
 
-func newCodec(scheme Scheme, key []byte, nonces crypt.NonceSource) (blockdoc.Codec, error) {
+func newCodec(scheme Scheme, key []byte, nonces crypt.NonceSource, workers int) (blockdoc.Codec, error) {
+	var (
+		codec blockdoc.Codec
+		err   error
+	)
 	switch scheme {
 	case ConfidentialityOnly:
-		return recb.New(crypt.Subkey(key, "recb"), nonces)
+		codec, err = recb.New(crypt.Subkey(key, "recb"), nonces)
 	case ConfidentialityIntegrity:
-		return rpcmode.New(crypt.Subkey(key, "rpc"), nonces)
+		codec, err = rpcmode.New(crypt.Subkey(key, "rpc"), nonces)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadScheme, scheme)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if w, ok := codec.(interface{ SetWorkers(int) }); ok {
+		w.SetWorkers(workers)
+	}
+	return codec, nil
 }
 
 // NewEditor creates the encryption state for a brand-new document: a fresh
@@ -136,7 +160,7 @@ func NewEditor(password string, opts Options) (*Editor, error) {
 	crypt.PutUint64(salt[:8], opts.Nonces.Nonce64())
 	crypt.PutUint64(salt[8:], opts.Nonces.Nonce64())
 	key := crypt.DeriveDocumentKey(password, salt[:])
-	codec, err := newCodec(opts.Scheme, key, opts.Nonces)
+	codec, err := newCodec(opts.Scheme, key, opts.Nonces, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -144,17 +168,19 @@ func NewEditor(password string, opts Options) (*Editor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Editor{scheme: opts.Scheme, doc: doc}, nil
+	doc.SetWorkers(opts.Workers)
+	return &Editor{scheme: opts.Scheme, doc: doc, workers: opts.Workers}, nil
 }
 
-// Open restores the encryption state from an existing ciphertext container
-// (Dec): the scheme, block size, and salt are read from the container
-// header; the key is re-derived from the password and checked before any
-// decryption is attempted. nonces may be nil for the default secure source.
-func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error) {
+// OpenWith restores the encryption state from an existing ciphertext
+// container (Dec): the scheme, block size, and salt are read from the
+// container header; the key is re-derived from the password and checked
+// before any decryption is attempted. Only opts.Nonces and opts.Workers
+// are consulted — scheme and block size always come from the container.
+func OpenWith(password, transport string, opts Options) (*Editor, error) {
 	defer metricOpen.Start().End()
-	if nonces == nil {
-		nonces = crypt.CryptoNonceSource{}
+	if opts.Nonces == nil {
+		opts.Nonces = crypt.CryptoNonceSource{}
 	}
 	h, err := blockdoc.PeekHeader(transport)
 	if err != nil {
@@ -174,7 +200,7 @@ func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error)
 	if kc != h.KeyCheck {
 		return nil, ErrWrongPassword
 	}
-	codec, err := newCodec(scheme, key, nonces)
+	codec, err := newCodec(scheme, key, opts.Nonces, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +208,19 @@ func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error)
 	if err != nil {
 		return nil, err
 	}
+	doc.SetWorkers(opts.Workers)
 	if err := doc.LoadTransport(transport); err != nil {
 		return nil, err
 	}
-	return &Editor{scheme: scheme, doc: doc}, nil
+	return &Editor{scheme: scheme, doc: doc, workers: opts.Workers}, nil
+}
+
+// Open restores the encryption state from an existing container. nonces may
+// be nil for the default secure source.
+//
+// Deprecated: use OpenWith, which shares the Options path with NewEditor.
+func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error) {
+	return OpenWith(password, transport, Options{Nonces: nonces})
 }
 
 // Scheme returns the editor's protection level.
@@ -250,20 +285,27 @@ func (e *Editor) Splice(pos, del int, ins string) (delta.Delta, error) {
 	return cd, err
 }
 
-// Rekey re-encrypts the document under a new password: a fresh salt is
+// RekeyWith re-encrypts the document under a new password: a fresh salt is
 // drawn, a new key derived, and every block re-encrypted with fresh
 // nonces. The returned container replaces the server's copy wholesale (a
 // key change cannot be expressed as an incremental delta without leaking
-// that the key did not really change). Scheme and block size carry over.
-func (e *Editor) Rekey(newPassword string, nonces crypt.NonceSource) (string, error) {
+// that the key did not really change). Zero-valued options inherit from
+// the current editor: scheme and block size always carry over, and
+// opts.Workers == 0 keeps the editor's worker bound.
+func (e *Editor) RekeyWith(newPassword string, opts Options) (string, error) {
 	defer metricRekey.Start().End()
-	if nonces == nil {
-		nonces = crypt.CryptoNonceSource{}
+	if opts.Nonces == nil {
+		opts.Nonces = crypt.CryptoNonceSource{}
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = e.workers
 	}
 	replacement, err := NewEditor(newPassword, Options{
 		Scheme:     e.scheme,
 		BlockChars: e.BlockChars(),
-		Nonces:     nonces,
+		Nonces:     opts.Nonces,
+		Workers:    workers,
 	})
 	if err != nil {
 		return "", err
@@ -273,7 +315,16 @@ func (e *Editor) Rekey(newPassword string, nonces crypt.NonceSource) (string, er
 		return "", err
 	}
 	e.doc = replacement.doc
+	e.workers = workers
 	return transport, nil
+}
+
+// Rekey re-encrypts the document under a new password. nonces may be nil
+// for the default secure source.
+//
+// Deprecated: use RekeyWith, which shares the Options path with NewEditor.
+func (e *Editor) Rekey(newPassword string, nonces crypt.NonceSource) (string, error) {
+	return e.RekeyWith(newPassword, Options{Nonces: nonces})
 }
 
 // Reload replaces the editor's state from a container produced under the
@@ -291,11 +342,18 @@ func (e *Editor) Stats() blockdoc.Stats { return e.doc.Stats() }
 // full integrity verification).
 func (e *Editor) SelfCheck() error { return e.doc.SelfCheck() }
 
-// Decrypt is a convenience for one-shot decryption of a container.
-func Decrypt(password, transport string) (string, error) {
-	ed, err := Open(password, transport, nil)
+// DecryptWith is a one-shot decryption of a container under explicit
+// options (only Nonces and Workers are consulted).
+func DecryptWith(password, transport string, opts Options) (string, error) {
+	ed, err := OpenWith(password, transport, opts)
 	if err != nil {
 		return "", err
 	}
 	return ed.Plaintext(), nil
+}
+
+// Decrypt is a convenience for one-shot decryption of a container with
+// default options.
+func Decrypt(password, transport string) (string, error) {
+	return DecryptWith(password, transport, Options{})
 }

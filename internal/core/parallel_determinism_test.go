@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"privedit/internal/crypt"
+)
+
+// The parallel Enc/Dec kernels must be byte-identical to the serial path:
+// nonces are drawn serially in document order before the fan-out, so the
+// only thing parallelism changes is which goroutine does the arithmetic.
+// These tests pin that property for both schemes, on documents large
+// enough to clear the crossover threshold.
+
+func parallelTestDoc() string {
+	var b strings.Builder
+	for b.Len() < 120_000 {
+		b.WriteString("the quick brown fox jumps over the lazy dog 0123456789 ")
+	}
+	return b.String()
+}
+
+func TestParallelEncryptMatchesSerial(t *testing.T) {
+	doc := parallelTestDoc()
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		for _, blockChars := range []int{1, 8} {
+			serialEd, err := NewEditor("pw", Options{
+				Scheme: scheme, BlockChars: blockChars,
+				Nonces: crypt.NewSeededNonceSource(42), Workers: 1,
+			})
+			if err != nil {
+				t.Fatalf("NewEditor serial: %v", err)
+			}
+			parallelEd, err := NewEditor("pw", Options{
+				Scheme: scheme, BlockChars: blockChars,
+				Nonces: crypt.NewSeededNonceSource(42), Workers: 8,
+			})
+			if err != nil {
+				t.Fatalf("NewEditor parallel: %v", err)
+			}
+			serialCT, err := serialEd.Encrypt(doc)
+			if err != nil {
+				t.Fatalf("serial Encrypt: %v", err)
+			}
+			parallelCT, err := parallelEd.Encrypt(doc)
+			if err != nil {
+				t.Fatalf("parallel Encrypt: %v", err)
+			}
+			if serialCT != parallelCT {
+				t.Errorf("scheme=%v b=%d: parallel ciphertext differs from serial (len %d vs %d)",
+					scheme, blockChars, len(parallelCT), len(serialCT))
+			}
+		}
+	}
+}
+
+func TestParallelDecryptMatchesSerial(t *testing.T) {
+	doc := parallelTestDoc()
+	for _, scheme := range []Scheme{ConfidentialityOnly, ConfidentialityIntegrity} {
+		ed, err := NewEditor("pw", Options{
+			Scheme: scheme, BlockChars: 4,
+			Nonces: crypt.NewSeededNonceSource(7), Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("NewEditor: %v", err)
+		}
+		ct, err := ed.Encrypt(doc)
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		serialPT, err := DecryptWith("pw", ct, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("serial DecryptWith: %v", err)
+		}
+		parallelPT, err := DecryptWith("pw", ct, Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("parallel DecryptWith: %v", err)
+		}
+		if serialPT != doc || parallelPT != doc {
+			t.Errorf("scheme=%v: decrypt mismatch (serial ok=%v parallel ok=%v)",
+				scheme, serialPT == doc, parallelPT == doc)
+		}
+		// Parallel open must leave a fully working editor behind.
+		opened, err := OpenWith("pw", ct, Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("parallel OpenWith: %v", err)
+		}
+		if opened.Plaintext() != doc {
+			t.Error("parallel OpenWith produced wrong plaintext")
+		}
+	}
+}

@@ -17,6 +17,14 @@ func EncodeTransport(raw []byte) string {
 	return transportEncoding.EncodeToString(raw)
 }
 
+// EncodeTransportInto encodes raw into dst without allocating. dst must be
+// exactly TransportLen(len(raw)) bytes. It exists for the parallel
+// container-serialization kernel, which writes each record's characters
+// directly into its fixed-offset slot of one shared buffer.
+func EncodeTransportInto(dst, raw []byte) {
+	transportEncoding.Encode(dst, raw)
+}
+
 // DecodeTransport decodes the printable Base32 form back to raw bytes.
 // Only canonical encodings are accepted: a final symbol with nonzero
 // padding bits decodes leniently in encoding/base32 but would not

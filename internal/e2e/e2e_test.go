@@ -5,6 +5,7 @@
 package e2e
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -86,7 +87,7 @@ func TestFullStackLongSession(t *testing.T) {
 				}
 			}
 			// (b) the stored container decrypts to the final text.
-			stored, _, err := server.Content("long-session")
+			stored, _, err := server.Content(context.Background(), "long-session")
 			if err != nil {
 				t.Fatalf("content: %v", err)
 			}
@@ -177,7 +178,7 @@ func TestStegoOverDelayedNetwork(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
 		t.Errorf("network delays not applied: %v", elapsed)
 	}
-	stored, _, err := server.Content("slow-doc")
+	stored, _, err := server.Content(context.Background(), "slow-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -230,7 +231,7 @@ func TestReplicatedEncryptedEditing(t *testing.T) {
 	}
 
 	// Provider B goes rogue: zeroes out its copy.
-	if _, err := servers[1].SetContents("triplicated", "VANDALIZED", -1); err != nil {
+	if _, err := servers[1].SetContents(context.Background(), "triplicated", "VANDALIZED", -1); err != nil {
 		t.Fatalf("vandalize: %v", err)
 	}
 
@@ -244,7 +245,7 @@ func TestReplicatedEncryptedEditing(t *testing.T) {
 		t.Fatalf("SaveDelta: %v", err)
 	}
 	for i, s := range servers {
-		c, _, err := s.Content("triplicated")
+		c, _, err := s.Content(context.Background(), "triplicated")
 		if err != nil {
 			t.Fatalf("provider %d content: %v", i, err)
 		}
@@ -277,7 +278,7 @@ func TestWrongSchemeContainersNeverConfused(t *testing.T) {
 	}
 	// The containers self-describe their scheme; Open picks it up.
 	for _, id := range []string{"recb-doc", "rpc-doc"} {
-		stored, _, err := server.Content(id)
+		stored, _, err := server.Content(context.Background(), id)
 		if err != nil {
 			t.Fatalf("content: %v", err)
 		}

@@ -1,6 +1,7 @@
 package gdocs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ type Client struct {
 	httpc *http.Client
 	base  string
 	docID string
+	ctx   context.Context // base context for outgoing requests
 
 	local     string // what the user sees and edits
 	lastSaved string // content as of the last acknowledged save
@@ -52,7 +54,21 @@ type Client struct {
 // NewClient creates a client for one document. httpc may carry the
 // mediating extension as its Transport; base is the server URL.
 func NewClient(httpc *http.Client, base, docID string) *Client {
-	return &Client{httpc: httpc, base: base, docID: docID}
+	return &Client{httpc: httpc, base: base, docID: docID, ctx: context.Background()}
+}
+
+// WithContext sets the base context attached to every outgoing request and
+// returns the client. Cancelling the context aborts in-flight requests —
+// including the simulated netsim delay and the server-side store operation
+// — which is how the load harness enforces per-session deadlines.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.ctx = ctx
+	return c
 }
 
 // DocID returns the document id.
@@ -81,6 +97,16 @@ func (c *Client) Dirty() bool {
 
 func (c *Client) dirtyLocked() bool { return c.local != c.lastSaved }
 
+// getDoc issues the document GET under the client's base context.
+func (c *Client) getDoc() (*http.Response, error) {
+	u := c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode()
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.httpc.Do(req)
+}
+
 func (c *Client) checkStatus(resp *http.Response, body string) error {
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -99,8 +125,13 @@ func (c *Client) checkStatus(resp *http.Response, body string) error {
 }
 
 func (c *Client) post(path string, form url.Values) (string, error) {
-	resp, err := c.httpc.Post(c.base+path, "application/x-www-form-urlencoded",
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+path,
 		strings.NewReader(form.Encode()))
+	if err != nil {
+		return "", fmt.Errorf("gdocs: post %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("gdocs: post %s: %w", path, err)
 	}
@@ -137,7 +168,7 @@ func (c *Client) Create() error {
 func (c *Client) Load() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	resp, err := c.getDoc()
 	if err != nil {
 		return fmt.Errorf("gdocs: load: %w", err)
 	}
@@ -170,7 +201,7 @@ func (c *Client) Refresh() error {
 	if c.dirtyLocked() {
 		return ErrConflict
 	}
-	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	resp, err := c.getDoc()
 	if err != nil {
 		return fmt.Errorf("gdocs: refresh: %w", err)
 	}
@@ -334,7 +365,7 @@ func (c *Client) StartAutosave(interval time.Duration, onErr func(error)) (stop 
 // fetchLocked re-reads the server's current content and version without
 // altering the session state.
 func (c *Client) fetchLocked() (string, int, error) {
-	resp, err := c.httpc.Get(c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode())
+	resp, err := c.getDoc()
 	if err != nil {
 		return "", 0, fmt.Errorf("gdocs: fetch: %w", err)
 	}

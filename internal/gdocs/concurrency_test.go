@@ -1,6 +1,7 @@
 package gdocs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,7 +60,7 @@ func TestManyConcurrentWriters(t *testing.T) {
 		}
 	}
 
-	final, _, err := s.Content("busy")
+	final, _, err := s.Content(context.Background(), "busy")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
@@ -100,7 +101,7 @@ func TestConcurrentAutosaveAndEdits(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatalf("final save: %v", err)
 	}
-	content, _, err := s.Content("autosaved")
+	content, _, err := s.Content(context.Background(), "autosaved")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}

@@ -1,0 +1,127 @@
+package gdocs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConfigConcurrentWithRequests is the regression test for the
+// config-vs-ServeHTTP race: SetMaxBytes, EnableObservation and
+// SetObservationCap used to write plain fields that in-flight request
+// handlers read without synchronization. Run with -race: one goroutine
+// flips every config knob in a tight loop while writer goroutines stream
+// updates through the store.
+func TestConfigConcurrentWithRequests(t *testing.T) {
+	s := NewServer()
+	ctx := context.Background()
+
+	const writers = 4
+	const rounds = 200
+	for w := 0; w < writers; w++ {
+		if err := s.Create(ctx, fmt.Sprintf("doc-%d", w)); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+	}
+
+	done := make(chan struct{})
+	var cfgWG, wg sync.WaitGroup
+	cfgWG.Add(1)
+	go func() {
+		defer cfgWG.Done()
+		toggle := false
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			toggle = !toggle
+			if toggle {
+				s.SetMaxBytes(MaxDocBytes)
+				s.EnableObservation()
+				s.SetObservationCap(1 << 10)
+			} else {
+				s.SetMaxBytes(64)
+				s.SetObservationCap(DefaultObservationCap)
+			}
+			_ = s.Observed()
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			docID := fmt.Sprintf("doc-%d", w)
+			for i := 0; i < rounds; i++ {
+				// Tolerate errTooLarge while the config goroutine has the
+				// limit pinned low; the point is memory safety, not success.
+				_, _ = s.SetContents(ctx, docID, strings.Repeat("x", 32), -1)
+				_, _, _ = s.Content(ctx, docID)
+				_, _ = s.ApplyDelta(ctx, docID, "=32", -1)
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(done)
+	cfgWG.Wait()
+}
+
+// TestShardedStoreIsolation checks that documents landing on the same and
+// different shards never observe each other's content, under parallel
+// writers.
+func TestShardedStoreIsolation(t *testing.T) {
+	s := NewServer()
+	ctx := context.Background()
+
+	const docs = 3 * NumShards // guarantees shard collisions
+	var wg sync.WaitGroup
+	for d := 0; d < docs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			docID := fmt.Sprintf("iso-%d", d)
+			if err := s.Create(ctx, docID); err != nil {
+				t.Errorf("Create %s: %v", docID, err)
+				return
+			}
+			want := fmt.Sprintf("content-of-%d", d)
+			if _, err := s.SetContents(ctx, docID, want, -1); err != nil {
+				t.Errorf("SetContents %s: %v", docID, err)
+				return
+			}
+			got, version, err := s.Content(ctx, docID)
+			if err != nil || got != want || version != 1 {
+				t.Errorf("doc %s: got %q v%d err=%v, want %q v1", docID, got, version, err, want)
+			}
+		}(d)
+	}
+	wg.Wait()
+}
+
+// TestContextCancelledRejected checks every Server method refuses a dead
+// context instead of doing work for an abandoned caller.
+func TestContextCancelledRejected(t *testing.T) {
+	s := NewServer()
+	if err := s.Create(context.Background(), "live"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Create(ctx, "dead"); err == nil {
+		t.Error("Create with cancelled context succeeded")
+	}
+	if _, _, err := s.Content(ctx, "live"); err == nil {
+		t.Error("Content with cancelled context succeeded")
+	}
+	if _, err := s.SetContents(ctx, "live", "x", -1); err == nil {
+		t.Error("SetContents with cancelled context succeeded")
+	}
+	if _, err := s.ApplyDelta(ctx, "live", "*0x", -1); err == nil {
+		t.Error("ApplyDelta with cancelled context succeeded")
+	}
+}

@@ -1,6 +1,7 @@
 package gdocs
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -41,27 +42,27 @@ func TestParseAckErrors(t *testing.T) {
 
 func TestServerCreateAndContent(t *testing.T) {
 	s := NewServer()
-	if err := s.Create("d1"); err != nil {
+	if err := s.Create(context.Background(), "d1"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	if err := s.Create("d1"); err == nil {
+	if err := s.Create(context.Background(), "d1"); err == nil {
 		t.Error("duplicate Create accepted")
 	}
-	content, version, err := s.Content("d1")
+	content, version, err := s.Content(context.Background(), "d1")
 	if err != nil || content != "" || version != 0 {
 		t.Errorf("fresh doc = (%q,%d,%v)", content, version, err)
 	}
-	if _, _, err := s.Content("nope"); err == nil {
+	if _, _, err := s.Content(context.Background(), "nope"); err == nil {
 		t.Error("Content of unknown doc accepted")
 	}
 }
 
 func TestServerSetAndDelta(t *testing.T) {
 	s := NewServer()
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	ack, err := s.SetContents("d", "abcdefg", -1)
+	ack, err := s.SetContents(context.Background(), "d", "abcdefg", -1)
 	if err != nil {
 		t.Fatalf("SetContents: %v", err)
 	}
@@ -72,7 +73,7 @@ func TestServerSetAndDelta(t *testing.T) {
 		t.Error("ack hash mismatch")
 	}
 	// Paper example delta.
-	ack, err = s.ApplyDelta("d", "=2\t-3\t+uv\t=2\t+w", -1)
+	ack, err = s.ApplyDelta(context.Background(), "d", "=2\t-3\t+uv\t=2\t+w", -1)
 	if err != nil {
 		t.Fatalf("ApplyDelta: %v", err)
 	}
@@ -83,16 +84,16 @@ func TestServerSetAndDelta(t *testing.T) {
 
 func TestServerDeltaConflict(t *testing.T) {
 	s := NewServer()
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	if _, err := s.SetContents("d", "short", -1); err != nil {
+	if _, err := s.SetContents(context.Background(), "d", "short", -1); err != nil {
 		t.Fatalf("SetContents: %v", err)
 	}
-	if _, err := s.ApplyDelta("d", "=100\t-1", -1); err == nil {
+	if _, err := s.ApplyDelta(context.Background(), "d", "=100\t-1", -1); err == nil {
 		t.Error("stale delta accepted")
 	}
-	if _, err := s.ApplyDelta("d", "*garbage*", -1); err == nil {
+	if _, err := s.ApplyDelta(context.Background(), "d", "*garbage*", -1); err == nil {
 		t.Error("malformed delta accepted")
 	}
 }
@@ -100,16 +101,16 @@ func TestServerDeltaConflict(t *testing.T) {
 func TestServerSizeLimit(t *testing.T) {
 	s := NewServer()
 	s.SetMaxBytes(10)
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	if _, err := s.SetContents("d", strings.Repeat("x", 11), -1); err == nil {
+	if _, err := s.SetContents(context.Background(), "d", strings.Repeat("x", 11), -1); err == nil {
 		t.Error("oversized SetContents accepted")
 	}
-	if _, err := s.SetContents("d", strings.Repeat("x", 10), -1); err != nil {
+	if _, err := s.SetContents(context.Background(), "d", strings.Repeat("x", 10), -1); err != nil {
 		t.Errorf("at-limit SetContents rejected: %v", err)
 	}
-	if _, err := s.ApplyDelta("d", "+y", -1); err == nil {
+	if _, err := s.ApplyDelta(context.Background(), "d", "+y", -1); err == nil {
 		t.Error("delta pushing doc over the limit accepted")
 	}
 }
@@ -117,10 +118,10 @@ func TestServerSizeLimit(t *testing.T) {
 func TestServerObservation(t *testing.T) {
 	s := NewServer()
 	s.EnableObservation()
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
-	if _, err := s.SetContents("d", "seen-by-server", -1); err != nil {
+	if _, err := s.SetContents(context.Background(), "d", "seen-by-server", -1); err != nil {
 		t.Fatalf("SetContents: %v", err)
 	}
 	if !strings.Contains(s.Observed(), "seen-by-server") {
@@ -191,7 +192,7 @@ func TestClientDeltaSavesAreIncremental(t *testing.T) {
 	if err := c.Save(); err != nil {
 		t.Fatalf("delta save: %v", err)
 	}
-	content, _, err := s.Content("doc")
+	content, _, err := s.Content(context.Background(), "doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
@@ -332,7 +333,7 @@ func TestSaveRawDelta(t *testing.T) {
 	if ack.ContentFromServer != "ab" {
 		t.Errorf("raw delta result %q", ack.ContentFromServer)
 	}
-	content, _, err := s.Content("doc")
+	content, _, err := s.Content(context.Background(), "doc")
 	if err != nil || content != "ab" {
 		t.Errorf("server content = (%q, %v)", content, err)
 	}
@@ -355,7 +356,7 @@ func TestAutosave(t *testing.T) {
 	c.SetText("autosaved content")
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if content, _, _ := s.Content("doc"); content == "autosaved content" {
+		if content, _, _ := s.Content(context.Background(), "doc"); content == "autosaved content" {
 			mu.Lock()
 			defer mu.Unlock()
 			if len(errs) > 0 {

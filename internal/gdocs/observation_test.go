@@ -1,6 +1,7 @@
 package gdocs
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestObservationLogBounded(t *testing.T) {
 
 	before := obs.Default.Sum("privedit_observation_truncations_total")
 
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	// Each save appends 32+1 bytes, so the third one must truncate.
@@ -27,7 +28,7 @@ func TestObservationLogBounded(t *testing.T) {
 		strings.Repeat("b", 32),
 		strings.Repeat("c", 32),
 	} {
-		if _, err := s.SetContents("d", chunk, -1); err != nil {
+		if _, err := s.SetContents(context.Background(), "d", chunk, -1); err != nil {
 			t.Fatalf("SetContents %d: %v", i, err)
 		}
 	}
@@ -53,11 +54,11 @@ func TestObservationLogUnbounded(t *testing.T) {
 	s := NewServer()
 	s.EnableObservation()
 	s.SetObservationCap(0)
-	if err := s.Create("d"); err != nil {
+	if err := s.Create(context.Background(), "d"); err != nil {
 		t.Fatalf("Create: %v", err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := s.SetContents("d", strings.Repeat("x", MaxDocBytes), -1); err != nil {
+		if _, err := s.SetContents(context.Background(), "d", strings.Repeat("x", MaxDocBytes), -1); err != nil {
 			t.Fatalf("SetContents %d: %v", i, err)
 		}
 	}

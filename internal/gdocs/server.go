@@ -1,12 +1,14 @@
 package gdocs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"privedit/internal/delta"
 	"privedit/internal/obs"
@@ -34,28 +36,28 @@ var (
 	errTooLarge = errors.New("gdocs: document exceeds size limit")
 )
 
-type serverDoc struct {
-	content string
-	version int
-}
-
 // Server is the simulated Google Documents service: an in-memory document
 // store behind the reverse-engineered HTTP protocol. It never interprets
-// document text — the property the whole approach relies on. It is safe
-// for concurrent use.
+// document text — the property the whole approach relies on.
+//
+// The store is sharded (NumShards lock stripes) with a per-document RW
+// lock, so concurrent requests against distinct documents never contend on
+// a global lock, and concurrent readers of one document proceed together.
+// Configuration (SetMaxBytes, EnableObservation, SetObservationCap) uses
+// atomics and a dedicated observation-log lock, so it is safe to call while
+// requests are in flight.
 type Server struct {
-	mu       sync.Mutex
-	docs     map[string]*serverDoc
-	maxBytes int
+	store *store
 
-	// observed collects document content the server has seen, for the
-	// leak-detector tests: with the extension installed, no plaintext
-	// substring may ever show up here. It is bounded by observedCap: when
-	// full, the oldest bytes are dropped (and counted), so observation can
-	// stay on in long-running servers without growing without bound.
+	maxBytes atomic.Int64
+	observe  atomic.Bool
+
+	// The observation log is cross-document by design (it models what a
+	// curious provider accumulates over time), so it keeps its own lock
+	// rather than riding on any document's.
+	obsMu       sync.Mutex
 	observed    []byte
 	observedCap int
-	observe     bool
 }
 
 // DefaultObservationCap bounds the observation log: enough for several
@@ -65,49 +67,51 @@ const DefaultObservationCap = 4 * MaxDocBytes
 // NewServer creates an empty document store with the 500 KB per-document
 // limit.
 func NewServer() *Server {
-	return &Server{
-		docs:        make(map[string]*serverDoc),
-		maxBytes:    MaxDocBytes,
+	s := &Server{
+		store:       newStore(),
 		observedCap: DefaultObservationCap,
 	}
+	s.maxBytes.Store(MaxDocBytes)
+	return s
 }
 
-// SetMaxBytes overrides the per-document size limit (tests).
+// SetMaxBytes overrides the per-document size limit (tests). Safe to call
+// with requests in flight.
 func (s *Server) SetMaxBytes(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.maxBytes = n
+	s.maxBytes.Store(int64(n))
 }
 
 // EnableObservation turns on recording of all content the server sees,
-// supporting the confidentiality leak detector.
+// supporting the confidentiality leak detector. Safe to call with requests
+// in flight.
 func (s *Server) EnableObservation() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.observe = true
+	s.observe.Store(true)
 }
 
 // SetObservationCap overrides the observation log's byte cap. n <= 0
 // removes the bound entirely (tests only; an unbounded log in a
-// long-running server is the leak this cap exists to prevent).
+// long-running server is the leak this cap exists to prevent). Safe to
+// call with requests in flight.
 func (s *Server) SetObservationCap(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	s.observedCap = n
 }
 
 // Observed returns what the (honest-but-curious) server has seen — the
 // most recent observedCap bytes of it.
 func (s *Server) Observed() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	return string(s.observed)
 }
 
 func (s *Server) see(content string) {
-	if !s.observe {
+	if !s.observe.Load() {
 		return
 	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	s.observed = append(s.observed, content...)
 	s.observed = append(s.observed, '\n')
 	if s.observedCap > 0 && len(s.observed) > s.observedCap {
@@ -118,43 +122,49 @@ func (s *Server) see(content string) {
 }
 
 // Create makes a new empty document. It fails if the id already exists.
-func (s *Server) Create(docID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.docs[docID]; ok {
-		return fmt.Errorf("gdocs: document %q already exists", docID)
+func (s *Server) Create(ctx context.Context, docID string) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	s.docs[docID] = &serverDoc{}
-	metricDocs.Set(float64(len(s.docs)))
+	if err := s.store.create(docID); err != nil {
+		return err
+	}
+	metricDocs.Set(float64(s.store.docs()))
 	return nil
 }
 
 // Content returns the stored content and version of a document.
-func (s *Server) Content(docID string) (string, int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	doc, ok := s.docs[docID]
-	if !ok {
+func (s *Server) Content(ctx context.Context, docID string) (string, int, error) {
+	if err := ctx.Err(); err != nil {
+		return "", 0, err
+	}
+	doc := s.store.get(docID)
+	if doc == nil {
 		return "", 0, errNotFound
 	}
+	doc.mu.RLock()
+	defer doc.mu.RUnlock()
 	return doc.content, doc.version, nil
 }
 
 // SetContents replaces a document's full content (the docContents save).
 // baseVersion is the server version the client last saw; pass -1 to skip
 // the optimistic-concurrency check.
-func (s *Server) SetContents(docID, content string, baseVersion int) (Ack, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	doc, ok := s.docs[docID]
-	if !ok {
+func (s *Server) SetContents(ctx context.Context, docID, content string, baseVersion int) (Ack, error) {
+	if err := ctx.Err(); err != nil {
+		return Ack{}, err
+	}
+	doc := s.store.get(docID)
+	if doc == nil {
 		return Ack{}, errNotFound
 	}
+	doc.mu.Lock()
+	defer doc.mu.Unlock()
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
 		return Ack{}, errConflict
 	}
-	if len(content) > s.maxBytes {
+	if int64(len(content)) > s.maxBytes.Load() {
 		return Ack{}, errTooLarge
 	}
 	s.see(content)
@@ -170,13 +180,16 @@ func (s *Server) SetContents(docID, content string, baseVersion int) (Ack, error
 // ApplyDelta applies an incremental update (the delta save). The server
 // has no idea whether the stored text is plaintext or ciphertext; it just
 // executes the edit script. baseVersion as in SetContents.
-func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	doc, ok := s.docs[docID]
-	if !ok {
+func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion int) (Ack, error) {
+	if err := ctx.Err(); err != nil {
+		return Ack{}, err
+	}
+	doc := s.store.get(docID)
+	if doc == nil {
 		return Ack{}, errNotFound
 	}
+	doc.mu.Lock()
+	defer doc.mu.Unlock()
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
 		return Ack{}, errConflict
@@ -193,7 +206,7 @@ func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
 		metricConflicts.Inc()
 		return Ack{}, errConflict
 	}
-	if len(updated) > s.maxBytes {
+	if int64(len(updated)) > s.maxBytes.Load() {
 		return Ack{}, errTooLarge
 	}
 	doc.content = updated
@@ -209,8 +222,8 @@ func (s *Server) ApplyDelta(docID, wire string, baseVersion int) (Ack, error) {
 // processing the stored document text — which is gibberish once the
 // document is encrypted, and the requests never reach the server anyway
 // because the extension blocks them.
-func (s *Server) featureReply(kind, docID string) (string, error) {
-	content, _, err := s.Content(docID)
+func (s *Server) featureReply(ctx context.Context, kind, docID string) (string, error) {
+	content, _, err := s.Content(ctx, docID)
 	if err != nil {
 		return "", err
 	}
@@ -236,22 +249,25 @@ func (s *Server) featureReply(kind, docID string) (string, error) {
 	}
 }
 
-// ServeHTTP implements the wire protocol.
+// ServeHTTP implements the wire protocol. Each request runs under its own
+// context, so client-side timeouts and cancellations propagate into the
+// store operations.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	switch {
 	case r.URL.Path == PathCreate && r.Method == http.MethodPost:
 		if err := r.ParseForm(); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.Create(r.PostForm.Get(FieldDocID)); err != nil {
+		if err := s.Create(ctx, r.PostForm.Get(FieldDocID)); err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
 		fmt.Fprint(w, "ok")
 
 	case r.URL.Path == PathDoc && r.Method == http.MethodGet:
-		content, version, err := s.Content(r.URL.Query().Get(FieldDocID))
+		content, version, err := s.Content(ctx, r.URL.Query().Get(FieldDocID))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -282,9 +298,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			err error
 		)
 		if r.PostForm.Has(FieldDocContents) {
-			ack, err = s.SetContents(docID, r.PostForm.Get(FieldDocContents), baseVersion)
+			ack, err = s.SetContents(ctx, docID, r.PostForm.Get(FieldDocContents), baseVersion)
 		} else if r.PostForm.Has(FieldDelta) {
-			ack, err = s.ApplyDelta(docID, r.PostForm.Get(FieldDelta), baseVersion)
+			ack, err = s.ApplyDelta(ctx, docID, r.PostForm.Get(FieldDelta), baseVersion)
 		} else {
 			http.Error(w, "gdocs: no docContents or delta", http.StatusBadRequest)
 			return
@@ -315,7 +331,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			PathDrawing:   "drawing",
 			PathExport:    "export",
 		}[r.URL.Path]
-		out, err := s.featureReply(kind, r.PostForm.Get(FieldDocID))
+		out, err := s.featureReply(ctx, kind, r.PostForm.Get(FieldDocID))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

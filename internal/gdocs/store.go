@@ -1,0 +1,77 @@
+package gdocs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// NumShards is the lock-stripe width of the document store. Document ids
+// hash onto shards, so edits to distinct documents contend only when they
+// collide on a stripe — and even then only for the map lookup, because
+// each document carries its own RW lock for content access. 32 stripes
+// keeps collision probability low for hundreds of concurrent sessions
+// while costing a few hundred bytes of fixed overhead.
+const NumShards = 32
+
+// serverDoc is one stored document. The embedded lock serializes content
+// access per document; the owning shard's lock only guards map membership.
+type serverDoc struct {
+	mu      sync.RWMutex
+	content string
+	version int
+}
+
+// shard is one lock stripe of the store.
+type shard struct {
+	mu   sync.RWMutex
+	docs map[string]*serverDoc
+}
+
+// store is the sharded document map. Lookups take one shard read-lock;
+// creations take one shard write-lock. Nothing ever holds two shard locks
+// at once, so the striping cannot deadlock.
+type store struct {
+	shards [NumShards]shard
+	count  atomic.Int64 // total documents, for the gauge
+}
+
+func newStore() *store {
+	st := &store{}
+	for i := range st.shards {
+		st.shards[i].docs = make(map[string]*serverDoc)
+	}
+	return st
+}
+
+func (st *store) shardFor(docID string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(docID))
+	return &st.shards[h.Sum32()%NumShards]
+}
+
+// get returns the document, or nil if absent.
+func (st *store) get(docID string) *serverDoc {
+	sh := st.shardFor(docID)
+	sh.mu.RLock()
+	doc := sh.docs[docID]
+	sh.mu.RUnlock()
+	return doc
+}
+
+// create inserts an empty document, failing if the id exists.
+func (st *store) create(docID string) error {
+	sh := st.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.docs[docID]; ok {
+		return fmt.Errorf("gdocs: document %q already exists", docID)
+	}
+	sh.docs[docID] = &serverDoc{}
+	st.count.Add(1)
+	return nil
+}
+
+// docs returns the total number of stored documents.
+func (st *store) docs() int64 { return st.count.Load() }

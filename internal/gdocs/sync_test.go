@@ -1,6 +1,7 @@
 package gdocs
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestSyncNoConflictIsPlainSave(t *testing.T) {
 	if err := c.Sync(); err != nil {
 		t.Fatalf("Sync: %v", err)
 	}
-	content, _, err := s.Content("doc")
+	content, _, err := s.Content(context.Background(), "doc")
 	if err != nil || content != "plain sailing" {
 		t.Errorf("server = (%q, %v)", content, err)
 	}
@@ -53,7 +54,7 @@ func TestSyncRebasesNonOverlappingEdits(t *testing.T) {
 	if err := b.Sync(); err != nil {
 		t.Fatalf("b.Sync: %v", err)
 	}
-	content, _, err := s.Content("doc")
+	content, _, err := s.Content(context.Background(), "doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestSyncConvergesOnSevereOverlap(t *testing.T) {
 	if err := b.Sync(); err != nil {
 		t.Fatalf("b.Sync: %v", err)
 	}
-	content, _, err := s.Content("doc")
+	content, _, err := s.Content(context.Background(), "doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}

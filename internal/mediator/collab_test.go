@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestEncryptedCollaborationWithSync(t *testing.T) {
 
 	// Throughout all of this the server saw only ciphertext.
 	h.assertNoLeak(t, "HEAD middle TAIL", "FRONT middle BACK")
-	stored, _, err := h.server.Content("pad")
+	stored, _, err := h.server.Content(context.Background(), "pad")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}

@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"privedit/internal/core"
 	"privedit/internal/covert"
@@ -75,17 +76,53 @@ type Stats struct {
 	CipherBytesOut    int // ciphertext characters actually sent
 }
 
+// counters is the lock-free live form of Stats: mediation paths bump
+// atomics so concurrent round trips on distinct documents never contend.
+type counters struct {
+	fullEncrypts      atomic.Int64
+	deltasTransformed atomic.Int64
+	loadsDecrypted    atomic.Int64
+	passed            atomic.Int64
+	blocked           atomic.Int64
+	plainBytesIn      atomic.Int64
+	cipherBytesOut    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		FullEncrypts:      int(c.fullEncrypts.Load()),
+		DeltasTransformed: int(c.deltasTransformed.Load()),
+		LoadsDecrypted:    int(c.loadsDecrypted.Load()),
+		Passed:            int(c.passed.Load()),
+		Blocked:           int(c.blocked.Load()),
+		PlainBytesIn:      int(c.plainBytesIn.Load()),
+		CipherBytesOut:    int(c.cipherBytesOut.Load()),
+	}
+}
+
+// session is the per-document mediation state: one encryption editor plus
+// the lock that serializes mediation for that document. core.Editor is not
+// safe for concurrent use, and the editor's state must advance in the same
+// order the server applies the document's updates, so the lock is held
+// across the whole round trip — edits to the SAME document serialize
+// end-to-end, edits to DISTINCT documents proceed fully in parallel.
+type session struct {
+	mu sync.Mutex
+	ed *core.Editor // nil until first use
+}
+
 // Extension is the mediating extension. Install it as the Transport of the
-// client application's http.Client.
+// client application's http.Client. It is safe for concurrent use and
+// manages any number of per-document sessions behind one RoundTripper.
 type Extension struct {
 	base      http.RoundTripper
 	passwords PasswordProvider
 	mitigator *covert.Mitigator
 	useStego  bool
 
-	mu      sync.Mutex
-	editors map[string]*core.Editor
-	stats   Stats
+	mu       sync.RWMutex
+	sessions map[string]*session
+	stats    counters
 }
 
 var _ http.RoundTripper = (*Extension)(nil)
@@ -112,7 +149,7 @@ func New(base http.RoundTripper, passwords PasswordProvider, mitigator *covert.M
 		base:      base,
 		passwords: passwords,
 		mitigator: mitigator,
-		editors:   make(map[string]*core.Editor),
+		sessions:  make(map[string]*session),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -127,26 +164,55 @@ func (e *Extension) Client() *http.Client {
 
 // Stats returns a snapshot of the extension's counters.
 func (e *Extension) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return e.stats.snapshot()
 }
 
 // Editor exposes the per-document encryption state (tests and tooling).
 func (e *Extension) Editor(docID string) *core.Editor {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.editors[docID]
+	e.mu.RLock()
+	sess := e.sessions[docID]
+	e.mu.RUnlock()
+	if sess == nil {
+		return nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.ed
 }
 
-// editorFor returns the existing editor for docID or creates a fresh one.
-func (e *Extension) editorFor(docID string) (*core.Editor, error) {
-	e.mu.Lock()
-	if ed, ok := e.editors[docID]; ok {
-		e.mu.Unlock()
-		return ed, nil
+// Sessions returns the number of per-document sessions currently managed.
+func (e *Extension) Sessions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.sessions)
+}
+
+// sessionFor returns the document's session, creating the (empty) session
+// record if needed. The editor inside is created lazily under the
+// session's own lock so the extension-wide map lock is never held during
+// key derivation or encryption.
+func (e *Extension) sessionFor(docID string) *session {
+	e.mu.RLock()
+	sess := e.sessions[docID]
+	e.mu.RUnlock()
+	if sess != nil {
+		return sess
 	}
-	e.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sess = e.sessions[docID]; sess == nil {
+		sess = &session{}
+		e.sessions[docID] = sess
+	}
+	return sess
+}
+
+// editorLocked returns the session's editor, creating fresh encryption
+// state on first use. Callers must hold sess.mu.
+func (e *Extension) editorLocked(sess *session, docID string) (*core.Editor, error) {
+	if sess.ed != nil {
+		return sess.ed, nil
+	}
 	password, opts, err := e.passwords(docID)
 	if err != nil {
 		metricPasswordFailures.Inc()
@@ -156,33 +222,65 @@ func (e *Extension) editorFor(docID string) (*core.Editor, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if existing, ok := e.editors[docID]; ok {
-		return existing, nil
-	}
-	e.editors[docID] = ed
+	sess.ed = ed
 	return ed, nil
 }
 
-// openEditor (re)opens the encryption state from a server-held container.
-func (e *Extension) openEditor(docID, transport string) (*core.Editor, error) {
-	password, _, err := e.passwords(docID)
+// openEditorLocked (re)opens the encryption state from a server-held
+// container. Callers must hold sess.mu.
+func (e *Extension) openEditorLocked(sess *session, docID, transport string) (*core.Editor, error) {
+	password, opts, err := e.passwords(docID)
 	if err != nil {
 		metricPasswordFailures.Inc()
 		return nil, err
 	}
-	ed, err := core.Open(password, transport, nil)
+	ed, err := core.OpenWith(password, transport, core.Options{Workers: opts.Workers})
 	if err != nil {
 		if errors.Is(err, core.ErrWrongPassword) {
 			metricPasswordFailures.Inc()
 		}
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.editors[docID] = ed
+	sess.ed = ed
 	return ed, nil
+}
+
+// resyncLocked re-fetches the server's ciphertext and re-opens the
+// session's editor. It is called after a failed update mediation: by then
+// the editor may have advanced past a save the server rejected (a version
+// conflict from a concurrent session), and transforming the next delta
+// against diverged state would corrupt the stored ciphertext. Re-opening
+// before the session lock is released closes that window. On any failure
+// the editor is dropped instead, so the next load rebuilds it.
+// Callers must hold sess.mu.
+func (e *Extension) resyncLocked(sess *session, docID string, req *http.Request) {
+	sess.ed = nil
+	u := *req.URL
+	u.Path = gdocs.PathDoc
+	u.RawQuery = url.Values{gdocs.FieldDocID: {docID}}.Encode()
+	getReq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u.String(), nil)
+	if err != nil {
+		return
+	}
+	resp, err := e.base.RoundTrip(getReq)
+	if err != nil {
+		return
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return
+	}
+	transport := string(raw)
+	if e.useStego && transport != "" {
+		if transport, err = stego.Decode(transport); err != nil {
+			return
+		}
+	}
+	if transport == "" {
+		return
+	}
+	_, _ = e.openEditorLocked(sess, docID, transport)
 }
 
 // synthesize builds a local response without touching the network.
@@ -207,8 +305,15 @@ func replaceBody(resp *http.Response, body string) {
 }
 
 // RoundTrip mediates one request: the Go rendition of Figure 2's
-// onModifyRequest.
+// onModifyRequest. It is safe for concurrent use; requests for distinct
+// documents are mediated in parallel, requests for the same document
+// serialize on that document's session.
 func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		// Already cancelled or timed out: don't bother encrypting work the
+		// caller has abandoned.
+		return nil, err
+	}
 	switch {
 	case req.Method == http.MethodPost && req.URL.Path == gdocs.PathDoc:
 		return e.mediateUpdate(req)
@@ -218,9 +323,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		return e.mediateCreate(req)
 	default:
 		// "Drop all unknown requests."
-		e.mu.Lock()
-		e.stats.Blocked++
-		e.mu.Unlock()
+		e.stats.blocked.Add(1)
 		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: request blocked by extension"), nil
 	}
@@ -243,12 +346,14 @@ func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
 		return synthesize(req, http.StatusForbidden, "privedit: unreadable create request"), nil
 	}
 	docID := form.Get(gdocs.FieldDocID)
-	if _, err := e.editorFor(docID); err != nil {
+	sess := e.sessionFor(docID)
+	sess.mu.Lock()
+	_, err = e.editorLocked(sess, docID)
+	sess.mu.Unlock()
+	if err != nil {
 		return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 	}
-	e.mu.Lock()
-	e.stats.Passed++
-	e.mu.Unlock()
+	e.stats.passed.Add(1)
 	metricOpPass.Inc()
 	return e.forward(req, form)
 }
@@ -260,9 +365,16 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 	}
 	docID := form.Get(gdocs.FieldDocID)
 
+	// The session lock is held across the whole round trip, not just the
+	// crypto: the editor's ciphertext state must advance in the same order
+	// the server applies this document's updates, and releasing the lock
+	// between transform and forward would let a second writer interleave.
 	switch {
 	case form.Has(gdocs.FieldDocContents): // full update
-		ed, err := e.editorFor(docID)
+		sess := e.sessionFor(docID)
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		ed, err := e.editorLocked(sess, docID)
 		if err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 		}
@@ -281,18 +393,26 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		form.Set(gdocs.FieldDocContents, ctxt)
 		e.applyPadding(form, len(ctxt))
 		e.applyDelay()
-		e.mu.Lock()
-		e.stats.FullEncrypts++
-		e.stats.PlainBytesIn += len(content)
-		e.stats.CipherBytesOut += len(ctxt)
-		e.mu.Unlock()
+		e.stats.fullEncrypts.Add(1)
+		e.stats.plainBytesIn.Add(int64(len(content)))
+		e.stats.cipherBytesOut.Add(int64(len(ctxt)))
 		metricOpFull.Inc()
-		return e.mediateAck(req, form)
+		resp, err := e.mediateAck(req, form)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			e.resyncLocked(sess, docID, req)
+		}
+		return resp, err
 
 	case form.Has(gdocs.FieldDelta): // incremental update
-		e.mu.Lock()
-		ed := e.editors[docID]
-		e.mu.Unlock()
+		e.mu.RLock()
+		sess := e.sessions[docID]
+		e.mu.RUnlock()
+		if sess == nil {
+			return synthesize(req, http.StatusForbidden, "privedit: delta for unknown document"), nil
+		}
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		ed := sess.ed
 		if ed == nil {
 			return synthesize(req, http.StatusForbidden, "privedit: delta for unknown document"), nil
 		}
@@ -309,6 +429,10 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		}
 		cd, err := ed.TransformDeltaOps(pd)
 		if err != nil {
+			// The usual cause is a delta computed against a stale plaintext
+			// (a concurrent session advanced the document); drop back to the
+			// server's state so later transforms stay aligned with it.
+			e.resyncLocked(sess, docID, req)
 			return synthesize(req, http.StatusForbidden, "privedit: transform_delta: "+err.Error()), nil
 		}
 		if e.useStego {
@@ -320,20 +444,20 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		form.Set(gdocs.FieldDelta, cwire)
 		e.applyPadding(form, len(cwire))
 		e.applyDelay()
-		e.mu.Lock()
-		e.stats.DeltasTransformed++
-		e.stats.PlainBytesIn += len(wire)
-		e.stats.CipherBytesOut += len(cwire)
-		e.mu.Unlock()
+		e.stats.deltasTransformed.Add(1)
+		e.stats.plainBytesIn.Add(int64(len(wire)))
+		e.stats.cipherBytesOut.Add(int64(len(cwire)))
 		metricOpDelta.Inc()
 		metricDeltaPlainBytes.Add(int64(len(wire)))
 		metricDeltaCipherBytes.Add(int64(len(cwire)))
-		return e.mediateAck(req, form)
+		resp, err := e.mediateAck(req, form)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			e.resyncLocked(sess, docID, req)
+		}
+		return resp, err
 
 	default:
-		e.mu.Lock()
-		e.stats.Blocked++
-		e.mu.Unlock()
+		e.stats.blocked.Add(1)
 		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: unrecognized update"), nil
 	}
@@ -369,6 +493,12 @@ func (e *Extension) mediateAck(req *http.Request, form url.Values) (*http.Respon
 // so the client application renders plaintext.
 func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	docID := req.URL.Query().Get(gdocs.FieldDocID)
+	// The session lock must cover the fetch itself, not just the decrypt:
+	// re-opening the editor from a snapshot that predates a concurrent save
+	// would silently rewind the mediation state behind the server's back.
+	sess := e.sessionFor(docID)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	resp, err := e.base.RoundTrip(req)
 	if err != nil {
 		return nil, err
@@ -393,20 +523,18 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	if transport == "" {
 		// Brand-new document: nothing to decrypt, but the session needs
 		// fresh encryption state.
-		if _, err := e.editorFor(docID); err != nil {
+		if _, err := e.editorLocked(sess, docID); err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 		}
 		replaceBody(resp, "")
 		return resp, nil
 	}
-	ed, err := e.openEditor(docID, transport)
+	ed, err := e.openEditorLocked(sess, docID, transport)
 	if err != nil {
 		return synthesize(req, http.StatusForbidden, "privedit: open: "+err.Error()), nil
 	}
 	sp.End()
-	e.mu.Lock()
-	e.stats.LoadsDecrypted++
-	e.mu.Unlock()
+	e.stats.loadsDecrypted.Add(1)
 	metricOpLoad.Inc()
 	replaceBody(resp, ed.Plaintext())
 	return resp, nil

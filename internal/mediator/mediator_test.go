@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -80,7 +81,7 @@ func TestEndToEndEditingSession(t *testing.T) {
 
 			want := h.client.Text()
 			// Server stores only ciphertext.
-			stored, _, err := h.server.Content("private-doc")
+			stored, _, err := h.server.Content(context.Background(), "private-doc")
 			if err != nil {
 				t.Fatalf("server content: %v", err)
 			}
@@ -139,7 +140,7 @@ func TestLoadDecryptsForNewSession(t *testing.T) {
 	if err := client2.Save(); err != nil { // delta
 		t.Fatalf("delta save: %v", err)
 	}
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -219,7 +220,7 @@ func TestTamperedContainerRejectedOnLoad(t *testing.T) {
 	if err := h.client.Save(); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -232,7 +233,7 @@ func TestTamperedContainerRejectedOnLoad(t *testing.T) {
 	r1 := stored[prefix : prefix+recLen]
 	r2 := stored[prefix+recLen : prefix+2*recLen]
 	tampered := stored[:prefix] + r2 + r1 + stored[prefix+2*recLen:]
-	if _, err := h.server.SetContents("private-doc", tampered, -1); err != nil {
+	if _, err := h.server.SetContents(context.Background(), "private-doc", tampered, -1); err != nil {
 		t.Fatalf("tamper: %v", err)
 	}
 
@@ -271,7 +272,7 @@ func TestMaliciousClientDeltaCanonicalized(t *testing.T) {
 	if _, err := h.client.SaveRawDelta(mal); err != nil {
 		t.Fatalf("SaveRawDelta: %v", err)
 	}
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -309,7 +310,7 @@ func TestPaddingFieldIgnoredByServer(t *testing.T) {
 	if err := h.client.Save(); err != nil {
 		t.Fatalf("save with padding: %v", err)
 	}
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -343,8 +344,8 @@ func TestPerDocumentEditors(t *testing.T) {
 	if h.ext.Editor("doc-a") == h.ext.Editor("doc-b") {
 		t.Error("documents share an editor")
 	}
-	sA, _, _ := h.server.Content("doc-a")
-	sB, _, _ := h.server.Content("doc-b")
+	sA, _, _ := h.server.Content(context.Background(), "doc-a")
+	sB, _, _ := h.server.Content(context.Background(), "doc-b")
 	gA, err := core.Decrypt("hunter2", sA)
 	if err != nil || gA != "alpha" {
 		t.Errorf("doc-a = (%q, %v)", gA, err)
@@ -378,7 +379,7 @@ func TestCollaborationThroughSharedPassword(t *testing.T) {
 	}
 
 	// Server (no password) sees only ciphertext.
-	stored, _, _ := h.server.Content("private-doc")
+	stored, _, _ := h.server.Content(context.Background(), "private-doc")
 	if strings.Contains(stored, "shared") {
 		t.Error("server can read the shared doc")
 	}

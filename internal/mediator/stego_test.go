@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestStegoSessionEndToEnd(t *testing.T) {
 		t.Fatalf("delta save: %v", err)
 	}
 
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}
@@ -100,7 +101,7 @@ func TestStegoDeltasStayAligned(t *testing.T) {
 			t.Fatalf("save %d: %v", i, err)
 		}
 	}
-	stored, _, err := h.server.Content("private-doc")
+	stored, _, err := h.server.Content(context.Background(), "private-doc")
 	if err != nil {
 		t.Fatalf("content: %v", err)
 	}

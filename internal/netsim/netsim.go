@@ -9,6 +9,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -89,7 +90,10 @@ type DelayTransport struct {
 	Scale int
 }
 
-// RoundTrip implements http.RoundTripper.
+// RoundTrip implements http.RoundTripper. The simulated delay honors the
+// request's context: a cancelled or timed-out request stops sleeping
+// immediately and surfaces the context error, so callers can bound
+// end-to-end latency even though the "network" is a sleep.
 func (d *DelayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	base := d.Base
 	if base == nil {
@@ -114,6 +118,25 @@ func (d *DelayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	metricRequests.Inc()
 	metricBytes.Add(int64(reqBytes + respBytes))
 	metricDelay.Observe(delay.Seconds())
-	time.Sleep(delay)
+	if err := sleepCtx(req.Context(), delay); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
 	return resp, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the context error
+// in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

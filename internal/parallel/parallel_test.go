@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRangeCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, w := range []int{0, 1, 2, 3, 8, 100} {
+			seen := make([]atomic.Int32, n)
+			err := Range(n, w, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, w, err)
+			}
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeReturnsError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Range(100, 4, func(lo, hi int) error {
+		if lo <= 42 && 42 < hi {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestRangeSerialFallback(t *testing.T) {
+	calls := 0
+	err := Range(10, 1, func(lo, hi int) error {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("serial path got [%d,%d)", lo, hi)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestUseSerial(t *testing.T) {
+	cases := []struct {
+		n, workers, threshold int
+		want                  bool
+	}{
+		{10, 1, 0, true},     // parallelism disabled
+		{1, 8, 0, true},      // single block
+		{100, 8, 1000, true}, // below crossover
+		{5000, 8, 1000, false},
+		{5000, 0, 1000, false}, // 0 workers -> GOMAXPROCS (assumed > 1 in CI)
+	}
+	for _, c := range cases {
+		if runtime.GOMAXPROCS(0) == 1 && c.workers == 0 {
+			continue
+		}
+		if got := UseSerial(c.n, c.workers, c.threshold); got != c.want {
+			t.Errorf("UseSerial(%d,%d,%d) = %v, want %v", c.n, c.workers, c.threshold, got, c.want)
+		}
+	}
+}

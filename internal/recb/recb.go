@@ -21,6 +21,7 @@ import (
 
 	"privedit/internal/blockdoc"
 	"privedit/internal/crypt"
+	"privedit/internal/parallel"
 )
 
 // SchemeID is the container header byte identifying rECB.
@@ -37,6 +38,12 @@ type Codec struct {
 	prp    *crypt.PRP
 	nonces crypt.NonceSource
 	r0     uint64
+
+	// workers bounds the goroutines used by the whole-document kernels
+	// (0 = GOMAXPROCS, 1 = serial). Documents below threshold blocks
+	// always take the serial path.
+	workers   int
+	threshold int
 }
 
 var _ blockdoc.Codec = (*Codec)(nil)
@@ -48,8 +55,13 @@ func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("recb: %w", err)
 	}
-	return &Codec{prp: prp, nonces: nonces}, nil
+	return &Codec{prp: prp, nonces: nonces, threshold: parallel.MinParallelBlocks}, nil
 }
+
+// SetWorkers bounds the worker goroutines used by EncryptAll/DecryptAll:
+// 0 selects GOMAXPROCS, 1 forces the serial path. The ciphertext is
+// identical either way — nonces are always drawn in document order.
+func (c *Codec) SetWorkers(n int) { c.workers = n }
 
 // Name implements blockdoc.Codec.
 func (c *Codec) Name() string { return "rECB" }
@@ -78,10 +90,15 @@ func padChars(chars []byte) uint64 {
 
 // encryptBlock encrypts one block of 1..8 characters under a fresh nonce.
 func (c *Codec) encryptBlock(chars []byte) (*blockdoc.Block, error) {
+	return c.encryptBlockNonce(chars, c.nonces.Nonce64())
+}
+
+// encryptBlockNonce encrypts one block under the given nonce. It reads only
+// immutable codec state (prp, r0), so distinct calls may run concurrently.
+func (c *Codec) encryptBlockNonce(chars []byte, ri uint64) (*blockdoc.Block, error) {
 	if len(chars) == 0 || len(chars) > maxChars {
 		return nil, fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(chars))
 	}
-	ri := c.nonces.Nonce64()
 	var pt [crypt.BlockSize]byte
 	crypt.PutUint64(pt[:8], c.r0^ri)
 	crypt.PutUint64(pt[8:], ri^padChars(chars))
@@ -125,7 +142,10 @@ func (c *Codec) decryptBlock(rec []byte) (*blockdoc.Block, error) {
 }
 
 // EncryptAll implements blockdoc.Codec: fresh r0, every chunk encrypted
-// independently.
+// independently. Nonces are drawn serially in document order (so the
+// ciphertext is deterministic for a given source); the per-block AES work —
+// the bulk of Enc — is fanned out across the worker pool for documents
+// above the crossover threshold.
 func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.Block, trailer []byte, err error) {
 	c.r0 = c.nonces.Nonce64()
 	prefix = make([]byte, prefixBytes)
@@ -134,13 +154,31 @@ func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.B
 	if err := c.prp.Encrypt(prefix, pt[:]); err != nil {
 		return nil, nil, nil, err
 	}
-	blocks = make([]*blockdoc.Block, 0, len(chunks))
-	for _, ch := range chunks {
-		b, err := c.encryptBlock(ch)
-		if err != nil {
-			return nil, nil, nil, err
+	ris := make([]uint64, len(chunks))
+	for i := range ris {
+		ris[i] = c.nonces.Nonce64()
+	}
+	blocks = make([]*blockdoc.Block, len(chunks))
+	if parallel.UseSerial(len(chunks), c.workers, c.threshold) {
+		for i, ch := range chunks {
+			if blocks[i], err = c.encryptBlockNonce(ch, ris[i]); err != nil {
+				return nil, nil, nil, err
+			}
 		}
-		blocks = append(blocks, b)
+		return prefix, blocks, nil, nil
+	}
+	err = parallel.Range(len(chunks), c.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			b, err := c.encryptBlockNonce(chunks[i], ris[i])
+			if err != nil {
+				return err
+			}
+			blocks[i] = b
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return prefix, blocks, nil, nil
 }
@@ -162,13 +200,29 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 		return nil, fmt.Errorf("%w: nonzero r0 padding", blockdoc.ErrCorrupt)
 	}
 	c.r0 = crypt.Uint64(pt[:8])
-	blocks := make([]*blockdoc.Block, 0, len(records))
-	for i, rec := range records {
-		b, err := c.decryptBlock(rec)
-		if err != nil {
-			return nil, fmt.Errorf("record %d: %w", i, err)
+	blocks := make([]*blockdoc.Block, len(records))
+	if parallel.UseSerial(len(records), c.workers, c.threshold) {
+		for i, rec := range records {
+			b, err := c.decryptBlock(rec)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", i, err)
+			}
+			blocks[i] = b
 		}
-		blocks = append(blocks, b)
+		return blocks, nil
+	}
+	err := parallel.Range(len(records), c.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			b, err := c.decryptBlock(records[i])
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			blocks[i] = b
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return blocks, nil
 }

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -90,7 +91,7 @@ func TestReplicatedSession(t *testing.T) {
 	// Every provider holds the same container.
 	var contents []string
 	for _, s := range w.servers {
-		c, _, err := s.Content("replicated-doc")
+		c, _, err := s.Content(context.Background(), "replicated-doc")
 		if err != nil {
 			t.Fatalf("Content: %v", err)
 		}
@@ -116,13 +117,13 @@ func TestLoadSurvivesTamperingProvider(t *testing.T) {
 	w.saveText(t, "integrity protected and replicated")
 
 	// Provider B tampers with its copy.
-	c, _, err := w.servers[1].Content("replicated-doc")
+	c, _, err := w.servers[1].Content(context.Background(), "replicated-doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
 	tampered := []byte(c)
 	tampered[len(tampered)/2] ^= 2
-	if _, err := w.servers[1].SetContents("replicated-doc", string(tampered), -1); err != nil {
+	if _, err := w.servers[1].SetContents(context.Background(), "replicated-doc", string(tampered), -1); err != nil {
 		t.Fatalf("tamper: %v", err)
 	}
 
@@ -148,7 +149,7 @@ func TestLoadSurvivesTamperingProvider(t *testing.T) {
 	if len(repaired) != 1 || repaired[0] != "B" {
 		t.Errorf("repaired = %v", repaired)
 	}
-	cb, _, err := w.servers[1].Content("replicated-doc")
+	cb, _, err := w.servers[1].Content(context.Background(), "replicated-doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
@@ -165,14 +166,14 @@ func TestSaveDeltaRepairsDivergentReplica(t *testing.T) {
 	w.saveText(t, "base document text")
 
 	// Provider C silently replaces its copy (diverges).
-	if _, err := w.servers[2].SetContents("replicated-doc", strings.Repeat("Z", 100), -1); err != nil {
+	if _, err := w.servers[2].SetContents(context.Background(), "replicated-doc", strings.Repeat("Z", 100), -1); err != nil {
 		t.Fatalf("diverge: %v", err)
 	}
 
 	// The next delta save cannot apply on C; the store repairs it with
 	// the full container.
 	w.splice(t, 0, 4, "seed")
-	cc, _, err := w.servers[2].Content("replicated-doc")
+	cc, _, err := w.servers[2].Content(context.Background(), "replicated-doc")
 	if err != nil {
 		t.Fatalf("Content: %v", err)
 	}
@@ -195,7 +196,7 @@ func TestWritesTolerateMinorityOutage(t *testing.T) {
 
 	// The two healthy providers hold the update.
 	for i := 1; i <= 2; i++ {
-		c, _, err := w.servers[i].Content("replicated-doc")
+		c, _, err := w.servers[i].Content(context.Background(), "replicated-doc")
 		if err != nil {
 			t.Fatalf("Content: %v", err)
 		}
@@ -242,7 +243,7 @@ func TestLoadFailsWhenAllCorrupt(t *testing.T) {
 	}
 	w.saveText(t, "everything burns")
 	for _, s := range w.servers {
-		if _, err := s.SetContents("replicated-doc", "GARBAGE", -1); err != nil {
+		if _, err := s.SetContents(context.Background(), "replicated-doc", "GARBAGE", -1); err != nil {
 			t.Fatalf("corrupt: %v", err)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 
 	"privedit/internal/blockdoc"
 	"privedit/internal/crypt"
+	"privedit/internal/parallel"
 )
 
 // SchemeID is the container header byte identifying RPC.
@@ -58,6 +59,14 @@ type Codec struct {
 	xorD     uint64 // ⊕ padded d_i
 	xorRTail uint64 // ⊕ r_i for i = 1..n
 	count    uint64 // n
+
+	// workers bounds the goroutines used by the whole-document kernels
+	// (0 = GOMAXPROCS, 1 = serial). Documents below threshold blocks
+	// always take the serial path. The XOR aggregates reduce
+	// associatively, so the parallel kernels produce the same checksum
+	// block as the serial ones.
+	workers   int
+	threshold int
 }
 
 var _ blockdoc.Codec = (*Codec)(nil)
@@ -69,8 +78,13 @@ func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcmode: %w", err)
 	}
-	return &Codec{wide: wide, nonces: nonces}, nil
+	return &Codec{wide: wide, nonces: nonces, threshold: parallel.MinParallelBlocks}, nil
 }
+
+// SetWorkers bounds the worker goroutines used by EncryptAll/DecryptAll:
+// 0 selects GOMAXPROCS, 1 forces the serial path. The ciphertext is
+// identical either way — nonces are always drawn in document order.
+func (c *Codec) SetWorkers(n int) { c.workers = n }
 
 // Name implements blockdoc.Codec.
 func (c *Codec) Name() string { return "RPC" }
@@ -164,19 +178,34 @@ func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.B
 		c.xorRTail ^= ris[i]
 	}
 	blocks = make([]*blockdoc.Block, len(chunks))
-	for i, ch := range chunks {
-		next := c.r0
-		if i+1 < len(chunks) {
-			next = ris[i+1]
+	sealRange := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			ch := chunks[i]
+			next := c.r0
+			if i+1 < len(chunks) {
+				next = ris[i+1]
+			}
+			rec, err := c.encryptData(ch, ris[i], next)
+			if err != nil {
+				return err
+			}
+			own := make([]byte, len(ch))
+			copy(own, ch)
+			blocks[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
 		}
-		rec, err := c.encryptData(ch, ris[i], next)
-		if err != nil {
+		return nil
+	}
+	// The data aggregate is a cheap associative XOR; fold it serially so
+	// the parallel workers touch no shared codec state at all.
+	for _, ch := range chunks {
+		c.xorD ^= padChars(ch)
+	}
+	if parallel.UseSerial(len(chunks), c.workers, c.threshold) {
+		if err := sealRange(0, len(chunks)); err != nil {
 			return nil, nil, nil, err
 		}
-		own := make([]byte, len(ch))
-		copy(own, ch)
-		blocks[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
-		c.xorD ^= padChars(ch)
+	} else if err := parallel.Range(len(chunks), c.workers, sealRange); err != nil {
+		return nil, nil, nil, err
 	}
 	first := c.r0
 	if len(ris) > 0 {
@@ -209,23 +238,47 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 	r0 := f0
 	expected := f3
 
+	// Opening a record — the wide-PRP inversion — is the expensive step
+	// and is independent per record; fan it out above the crossover
+	// threshold. The ring verification is inherently sequential (each
+	// record's nonce must equal the previous record's next pointer), so it
+	// runs as a serial pass over the opened fields.
+	type opened struct {
+		ri, d, m, next uint64
+	}
+	fields := make([]opened, len(records))
+	openRange := func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			ri, d, m, next, err := c.openRecord(records[i])
+			if err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
+			}
+			fields[i] = opened{ri, d, m, next}
+		}
+		return nil
+	}
+	if parallel.UseSerial(len(records), c.workers, c.threshold) {
+		if err := openRange(0, len(records)); err != nil {
+			return nil, err
+		}
+	} else if err := parallel.Range(len(records), c.workers, openRange); err != nil {
+		return nil, err
+	}
+
 	var xorAllR, xorD, xorRTail uint64
 	xorAllR = r0
 	blocks := make([]*blockdoc.Block, 0, len(records))
 	for i, rec := range records {
-		ri, d, m, next, err := c.openRecord(rec)
-		if err != nil {
-			return nil, fmt.Errorf("record %d: %w", i, err)
-		}
-		typ, count, rest := unpackMeta(m)
+		f := fields[i]
+		typ, count, rest := unpackMeta(f.m)
 		if typ != typeData || rest != 0 || count < 1 || count > maxChars {
 			return nil, fmt.Errorf("%w: record %d malformed", blockdoc.ErrIntegrity, i)
 		}
-		if ri != expected {
+		if f.ri != expected {
 			return nil, fmt.Errorf("%w: record %d breaks the nonce chain", blockdoc.ErrIntegrity, i)
 		}
 		var db [8]byte
-		crypt.PutUint64(db[:], d)
+		crypt.PutUint64(db[:], f.d)
 		if !bytes.Equal(db[count:], make([]byte, 8-count)) {
 			return nil, fmt.Errorf("%w: record %d has nonzero padding", blockdoc.ErrIntegrity, i)
 		}
@@ -233,11 +286,11 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 		copy(chars, db[:count])
 		recOwn := make([]byte, recordBytes)
 		copy(recOwn, rec)
-		blocks = append(blocks, &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: ri})
-		xorAllR ^= ri
-		xorRTail ^= ri
-		xorD ^= d
-		expected = next
+		blocks = append(blocks, &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: f.ri})
+		xorAllR ^= f.ri
+		xorRTail ^= f.ri
+		xorD ^= f.d
+		expected = f.next
 	}
 	if expected != r0 {
 		return nil, fmt.Errorf("%w: nonce ring does not close", blockdoc.ErrIntegrity)
