@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz examples metrics-smoke load-smoke clean
+.PHONY: all build vet lint test race cover bench experiments fuzz examples metrics-smoke load-smoke clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the crypto & concurrency invariant
+# suite (internal/lint). Run `go run ./cmd/privedit-lint -rules` for the
+# rule list; suppress with `//lint:ignore RULE reason`.
+lint:
+	$(GO) run ./cmd/privedit-lint ./...
 
 test:
 	$(GO) test ./...
@@ -37,6 +43,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzTransform -fuzztime=30s ./internal/delta/
 	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=30s ./internal/blockdoc/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/stego/
+	$(GO) test -fuzz=FuzzDirective -fuzztime=30s ./internal/lint/
 
 # End-to-end check of the telemetry surface: start privedit-server, hit
 # /metrics, and require every headline metric family to be exported.

@@ -1,0 +1,128 @@
+// privedit-lint runs the project's static-analysis suite (internal/lint)
+// over the whole module: it loads every package with go/parser + go/types
+// and applies the crypto- and concurrency-invariant rules the paper's
+// security argument depends on. Exit status: 0 when the tree is clean,
+// 1 when any unsuppressed diagnostic is found, 2 on a load/usage error.
+//
+// Usage:
+//
+//	privedit-lint [-json] [-rules] [pattern ...]
+//
+// Patterns are module-relative package paths; "./..." (the default)
+// means the whole module. A diagnostic can be acknowledged in source
+// with `//lint:ignore RULE reason` on the offending line or the line
+// above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"privedit/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: privedit-lint [-json] [-rules] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-22s %s\n", lint.DirectiveRule, "malformed //lint:ignore directives (not suppressible)")
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := lint.Unsuppressed(m.Run(lint.Analyzers))
+	diags = filterPatterns(diags, flag.Args())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "privedit-lint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterPatterns keeps diagnostics under the given module-relative path
+// prefixes. No patterns, or "./...", means everything.
+func filterPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	var prefixes []string
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "." {
+			return diags
+		}
+		p = strings.TrimPrefix(p, "./")
+		p = strings.TrimSuffix(p, "/...")
+		prefixes = append(prefixes, p)
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if d.File == p || strings.HasPrefix(d.File, p+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("privedit-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "privedit-lint: %v\n", err)
+	os.Exit(2)
+}

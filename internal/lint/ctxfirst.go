@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the context discipline PR 2 introduced for the
+// concurrent serving core, in two layers:
+//
+//  1. Position: anywhere in the module, a function or method that takes a
+//     context.Context must take it as the first parameter (testing.T/B/F
+//     and testing.TB helper parameters may precede it, matching the
+//     convention for test helpers). A context buried mid-signature is how
+//     cancellation quietly stops being threaded through call chains.
+//
+//  2. Contract: the server-facing store API — gdocs.Server.Create,
+//     Content, SetContents, and ApplyDelta — must keep accepting a
+//     context.Context first. These are the methods every mediated
+//     round trip relies on for cancellation; dropping the parameter in a
+//     refactor would silently sever client deadlines from store work.
+var CtxFirst = &Analyzer{
+	Name: "ctx-first",
+	Doc:  "context.Context parameters must come first; gdocs.Server store methods must keep their ctx",
+	Run:  runCtxFirst,
+}
+
+// ctxContract lists, per module package, the methods that must take a
+// context.Context as their first parameter.
+var ctxContract = map[string]map[string][]string{
+	"internal/gdocs": {
+		"Server": {"Create", "Content", "SetContents", "ApplyDelta"},
+	},
+}
+
+func runCtxFirst(u *Unit, m *Module, report reporter) {
+	// Layer 1: positional check over every function and literal.
+	inspectFiles(u, false, func(f *ast.File, n ast.Node) bool {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			return true
+		}
+		checkCtxPosition(u, ft, report)
+		return true
+	})
+
+	// Layer 2: contract methods, on the non-test unit of listed packages.
+	if u.XTest {
+		return
+	}
+	contract, ok := ctxContract[modulePkg(u, m)]
+	if !ok {
+		return
+	}
+	for typeName, methods := range contract {
+		obj := u.Pkg.Scope().Lookup(typeName)
+		if obj == nil {
+			report(u.Files[0].Name.Pos(), "ctx contract: type %s not found in package %s", typeName, u.Pkg.Path())
+			continue
+		}
+		for _, methodName := range methods {
+			sel, _, _ := types.LookupFieldOrMethod(types.NewPointer(obj.Type()), true, u.Pkg, methodName)
+			fn, ok := sel.(*types.Func)
+			if !ok {
+				report(obj.Pos(), "ctx contract: %s.%s is missing; the store API must keep its context-taking methods", typeName, methodName)
+				continue
+			}
+			params := fn.Type().(*types.Signature).Params()
+			if params.Len() == 0 || !isContextType(params.At(0).Type()) {
+				report(fn.Pos(), "ctx contract: %s.%s must take context.Context as its first parameter", typeName, methodName)
+			}
+		}
+	}
+}
+
+// checkCtxPosition reports a context.Context parameter that is not first
+// (ignoring leading testing helper parameters).
+func checkCtxPosition(u *Unit, ft *ast.FuncType, report reporter) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	sawNonHelper := false
+	for _, field := range ft.Params.List {
+		tv, ok := u.Info.Types[field.Type]
+		if !ok {
+			return
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(tv.Type) {
+			if idx > 0 && sawNonHelper {
+				report(field.Type.Pos(), "context.Context must be the first parameter (found at position %d)", idx+1)
+			}
+		} else if !isTestingHelperType(tv.Type) {
+			sawNonHelper = true
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isTestingHelperType reports whether t is *testing.T, *testing.B,
+// *testing.F, or testing.TB — parameters conventionally allowed before a
+// context in test helpers.
+func isTestingHelperType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+		return false
+	}
+	switch obj.Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}

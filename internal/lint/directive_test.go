@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		in      string
+		rules   []string
+		reason  string
+		errPart string // "" = ok, "not" = ErrNotDirective, else substring of the error
+	}{
+		{"lint:ignore nonce-source seeded workload generator", []string{"nonce-source"}, "seeded workload generator", ""},
+		{" lint:ignore mutex-by-value copy is of a never-locked snapshot", []string{"mutex-by-value"}, "copy is of a never-locked snapshot", ""},
+		{"lint:ignore a,b two rules at once", []string{"a", "b"}, "two rules at once", ""},
+		{"lint:ignore metric-name  extra   spaces survive in the reason", []string{"metric-name"}, "extra   spaces survive in the reason", ""},
+		{"just a comment", nil, "", "not"},
+		{"lint comment without colon", nil, "", "not"},
+		{"nolint:foo other tool's syntax", nil, "", "not"},
+		{"lint:ignore", nil, "", "needs a rule list"},
+		{"lint:ignore nonce-source", nil, "", "missing the mandatory reason"},
+		{"lint:ignore nonce-source,", nil, "", "empty rule"},
+		{"lint:ignore a,,b double comma", nil, "", "empty rule"},
+		{"lint:ignore Rule reason", nil, "", "outside [a-z0-9-]"},
+		{"lint:file-ignore x y", nil, "", "unknown lint directive"},
+	}
+	for _, c := range cases {
+		rules, reason, err := ParseIgnoreDirective(c.in)
+		switch {
+		case c.errPart == "":
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.in, err)
+				continue
+			}
+			if !equalStrings(rules, c.rules) || reason != c.reason {
+				t.Errorf("%q: got (%v, %q), want (%v, %q)", c.in, rules, reason, c.rules, c.reason)
+			}
+		case c.errPart == "not":
+			if err != ErrNotDirective {
+				t.Errorf("%q: err = %v, want ErrNotDirective", c.in, err)
+			}
+		default:
+			if err == nil || err == ErrNotDirective || !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("%q: err = %v, want error containing %q", c.in, err, c.errPart)
+			}
+		}
+	}
+}
+
+// FuzzDirective hammers the directive parser: it must never panic, and a
+// successful parse must uphold the invariants suppression matching
+// relies on (non-empty validated rules, non-empty reason).
+func FuzzDirective(f *testing.F) {
+	f.Add("lint:ignore nonce-source seeded workload generator")
+	f.Add("lint:ignore a,b two rules")
+	f.Add("lint:ignore")
+	f.Add("lint:ignore x")
+	f.Add("lint:frobnicate y z")
+	f.Add("not a directive at all")
+	f.Add("lint:ignore \t weird\twhitespace everywhere ")
+	f.Add("lint:ignore a,,b reason")
+	f.Add("lint:ignore " + strings.Repeat("x", 1000) + " long rule")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, err := ParseIgnoreDirective(text)
+		if err != nil {
+			if len(rules) != 0 || reason != "" {
+				t.Fatalf("error %v returned with non-zero results (%v, %q)", err, rules, reason)
+			}
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatal("ok parse returned no rules")
+		}
+		for _, r := range rules {
+			if r == "" || !validRuleName(r) {
+				t.Fatalf("ok parse returned invalid rule %q", r)
+			}
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Fatal("ok parse returned empty reason")
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("reason %q not trimmed", reason)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineTestFatal flags t.Fatal / t.Fatalf / t.FailNow (and their
+// Skip cousins) called from inside a goroutine in test code. The testing
+// package documents that these must be called from the test's own
+// goroutine: from any other goroutine FailNow only exits that goroutine,
+// so the test keeps running with its failure half-reported — exactly the
+// kind of silently-weakened check the -race concurrency suites cannot
+// afford. Goroutines should collect errors over a channel or a slice and
+// let the test goroutine report them, or use t.Error/t.Errorf, which are
+// goroutine-safe.
+var GoroutineTestFatal = &Analyzer{
+	Name: "goroutine-test-fatal",
+	Doc:  "no t.Fatal/t.Fatalf/t.FailNow (or Skip family) inside goroutines in tests",
+	Run:  runGoroutineTestFatal,
+}
+
+// fatalMethods are the testing.TB methods that terminate the calling
+// goroutine and therefore must only run on the test goroutine.
+var fatalMethods = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"FailNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+	"SkipNow": true,
+}
+
+func runGoroutineTestFatal(u *Unit, m *Module, report reporter) {
+	for _, f := range u.Files {
+		if !u.IsTest[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !fatalMethods[sel.Sel.Name] {
+					return true
+				}
+				if !isTestingMethod(u, sel) {
+					return true
+				}
+				report(call.Pos(), "%s.%s inside a goroutine only exits that goroutine, leaving the test running; collect the error and report it from the test goroutine (or use Error/Errorf)",
+					exprString(sel.X), sel.Sel.Name)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isTestingMethod reports whether the selector resolves to a method
+// declared by the testing package (T, B, F, and TB all share them via
+// testing.common).
+func isTestingMethod(u *Unit, sel *ast.SelectorExpr) bool {
+	s, ok := u.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "testing"
+}
+
+// exprString renders a short receiver expression for the message.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	default:
+		return "t"
+	}
+}

@@ -1,0 +1,351 @@
+// Module loading for the analyzer suite. The loader walks the module
+// tree, parses every package with go/parser, and type-checks it with
+// go/types, resolving standard-library imports through go/importer's
+// source importer. It is deliberately stdlib-only: no golang.org/x/tools.
+//
+// Each directory yields up to two analysis units:
+//
+//   - the package itself, augmented with its in-package _test.go files
+//     (so test-only rules see test code with full type information), and
+//   - the external "_test" package, when one exists.
+//
+// Other module packages always import the plain (non-test) package, which
+// is what the go toolchain does too, so augmenting with test files cannot
+// introduce import cycles.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked module.
+type Module struct {
+	Root  string // absolute directory containing go.mod
+	Path  string // module path from go.mod
+	Fset  *token.FileSet
+	Units []*Unit // analysis units, module packages in dependency order
+
+	std  types.Importer
+	base map[string]*types.Package // import path -> checked plain package
+}
+
+// Unit is one type-checked analysis unit.
+type Unit struct {
+	// Path is the unit's import path. External test packages keep the
+	// import path of the package under test, with XTest set.
+	Path   string
+	Dir    string
+	XTest  bool
+	Files  []*ast.File
+	IsTest map[*ast.File]bool // true for files named *_test.go
+	Pkg    *types.Package
+	Info   *types.Info
+}
+
+// NonTestPath returns the unit's import path; it exists for symmetry with
+// future derived paths and to make call sites read clearly.
+func (u *Unit) NonTestPath() string { return u.Path }
+
+// dirFiles is the classified parse of one directory.
+type dirFiles struct {
+	dir     string // absolute
+	rel     string // module-relative, "" for the root
+	pkgName string // package name of the plain package ("" if none)
+	plain   []*ast.File
+	inTest  []*ast.File // _test.go files in the same package
+	xTest   []*ast.File // _test.go files in package <name>_test
+	imports map[string]bool
+}
+
+// LoadModule parses and type-checks the module rooted at root.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root: root,
+		Path: modPath,
+		Fset: token.NewFileSet(),
+		base: make(map[string]*types.Package),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+
+	dirs, err := m.parseTree()
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(dirs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: plain packages in dependency order, registered for import.
+	for _, d := range order {
+		if len(d.plain) == 0 {
+			continue
+		}
+		pkg, _, err := m.check(d.importPath(modPath), d.plain, nil)
+		if err != nil {
+			return nil, err
+		}
+		m.base[d.importPath(modPath)] = pkg
+	}
+	// Pass 2: analysis units. Augmented packages and external test
+	// packages only ever import plain packages, so order is free here.
+	for _, d := range order {
+		path := d.importPath(modPath)
+		if files := append(append([]*ast.File{}, d.plain...), d.inTest...); len(files) > 0 {
+			pkg, info, err := m.check(path, files, nil)
+			if err != nil {
+				return nil, err
+			}
+			m.Units = append(m.Units, &Unit{
+				Path: path, Dir: d.dir, Files: files,
+				IsTest: testFileMap(m.Fset, files), Pkg: pkg, Info: info,
+			})
+		}
+		if len(d.xTest) > 0 {
+			pkg, info, err := m.check(path+"_test", d.xTest, nil)
+			if err != nil {
+				return nil, err
+			}
+			m.Units = append(m.Units, &Unit{
+				Path: path, Dir: d.dir, XTest: true, Files: d.xTest,
+				IsTest: testFileMap(m.Fset, d.xTest), Pkg: pkg, Info: info,
+			})
+		}
+	}
+	return m, nil
+}
+
+// CheckDir type-checks a directory of fixture files as if it lived at
+// import path asPath inside the module. Files named *_test.go are marked
+// as test files (in-package style). The unit is not registered for import
+// by other packages. Used by the golden-file tests.
+func (m *Module) CheckDir(dir, asPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, info, err := m.check(asPath, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		Path: asPath, Dir: dir, Files: files,
+		IsTest: testFileMap(m.Fset, files), Pkg: pkg, Info: info,
+	}, nil
+}
+
+// parseTree walks the module and parses every buildable directory.
+func (m *Module) parseTree() ([]*dirFiles, error) {
+	var dirs []*dirFiles
+	seen := map[string]*dirFiles{}
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		df := seen[dir]
+		if df == nil {
+			rel, err := filepath.Rel(m.Root, dir)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			df = &dirFiles{dir: dir, rel: filepath.ToSlash(rel), imports: map[string]bool{}}
+			seen[dir] = df
+			dirs = append(dirs, df)
+		}
+		f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkgName := f.Name.Name
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(pkgName, "_test"):
+			df.xTest = append(df.xTest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			df.inTest = append(df.inTest, f)
+		default:
+			if df.pkgName != "" && df.pkgName != pkgName {
+				return fmt.Errorf("lint: %s: multiple packages %s and %s", dir, df.pkgName, pkgName)
+			}
+			df.pkgName = pkgName
+			df.plain = append(df.plain, f)
+			for _, spec := range f.Imports {
+				if p, err := strconv.Unquote(spec.Path.Value); err == nil {
+					df.imports[p] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].rel < dirs[j].rel })
+	return dirs, nil
+}
+
+func (d *dirFiles) importPath(modPath string) string {
+	if d.rel == "" {
+		return modPath
+	}
+	return modPath + "/" + d.rel
+}
+
+// topoSort orders directories so every module-internal import of a plain
+// package precedes its importer.
+func topoSort(dirs []*dirFiles, modPath string) ([]*dirFiles, error) {
+	byPath := map[string]*dirFiles{}
+	for _, d := range dirs {
+		byPath[d.importPath(modPath)] = d
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[*dirFiles]int{}
+	var order []*dirFiles
+	var visit func(d *dirFiles) error
+	visit = func(d *dirFiles) error {
+		switch state[d] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", d.importPath(modPath))
+		}
+		state[d] = visiting
+		for imp := range d.imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[d] = done
+		order = append(order, d)
+		return nil
+	}
+	for _, d := range dirs {
+		if err := visit(d); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks one set of files as a package at the given path.
+func (m *Module) check(path string, files []*ast.File, extra types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var errs []error
+	conf := &types.Config{
+		Importer: &modImporter{m: m, extra: extra},
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, m.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)", path, errs[0], len(errs)-1)
+	}
+	return pkg, info, nil
+}
+
+// modImporter resolves module-internal imports from the already-checked
+// plain packages and everything else from the standard library source
+// importer.
+type modImporter struct {
+	m     *Module
+	extra types.Importer
+}
+
+func (mi *modImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.m.base[path]; ok {
+		return p, nil
+	}
+	if path == mi.m.Path || strings.HasPrefix(path, mi.m.Path+"/") {
+		return nil, fmt.Errorf("lint: module package %s not loaded (import cycle or missing directory)", path)
+	}
+	if mi.extra != nil {
+		if p, err := mi.extra.Import(path); err == nil {
+			return p, nil
+		}
+	}
+	return mi.m.std.Import(path)
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+func testFileMap(fset *token.FileSet, files []*ast.File) map[*ast.File]bool {
+	m := make(map[*ast.File]bool, len(files))
+	for _, f := range files {
+		m[f] = strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName pins the telemetry namespace: every metric registered
+// through internal/obs (NewCounter, NewGauge, NewHistogram — both the
+// package-level helpers and the Registry methods) must use a
+// compile-time-constant name matching privedit_<snake_case>. The
+// `make metrics-smoke` contract greps /metrics for literal family names;
+// a dynamically built or differently-prefixed name would pass review,
+// export fine, and silently rot that contract. Test files are exempt so
+// unit tests can register throwaway families.
+var MetricName = &Analyzer{
+	Name: "metric-name",
+	Doc:  "obs registrations must use constant privedit_-prefixed snake_case names",
+	Run:  runMetricName,
+}
+
+// obsPkg is the telemetry package whose registration calls are checked.
+const obsPkg = "internal/obs"
+
+var metricNameRE = regexp.MustCompile(`^privedit_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// registrars are the obs functions whose first argument is a family name.
+var registrars = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+func runMetricName(u *Unit, m *Module, report reporter) {
+	selfPkg := modulePkg(u, m) == obsPkg
+	inspectFiles(u, true, func(f *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(u, call)
+		if fn == nil || !registrars[fn.Name()] {
+			return true
+		}
+		if fn.Pkg() == nil || fn.Pkg().Path() != m.Path+"/"+obsPkg {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := u.Info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			// The obs package's own thin forwarders (func NewCounter ->
+			// Default.NewCounter) legitimately pass the name through.
+			if !selfPkg {
+				report(arg.Pos(), "obs.%s name must be a compile-time string constant so the metrics-smoke grep contract can see it", fn.Name())
+			}
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRE.MatchString(name) {
+			report(arg.Pos(), "metric name %q must match privedit_<snake_case> (regexp %s)", name, metricNameRE)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called function object, for both plain calls
+// (obs.NewCounter) and method calls (reg.NewCounter).
+func calleeFunc(u *Unit, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := u.Info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := u.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := u.Info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}

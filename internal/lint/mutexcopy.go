@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexByValue flags copies of values whose type (transitively) contains
+// a sync.Mutex or sync.RWMutex: value receivers, by-value parameters,
+// assignments that read an existing value, and range clauses that copy
+// elements. A copied mutex forks the lock state — both copies unlock
+// independently while guarding the same logical data, which is how the
+// sharded store's per-document locking would silently stop excluding
+// writers. This goes deeper than go vet's copylocks in one direction the
+// project cares about — it also rejects by-value parameters and value
+// receivers on our own lock-bearing structs even when the call site
+// hasn't been written yet — while deliberately not chasing function
+// returns or interface conversions.
+var MutexByValue = &Analyzer{
+	Name: "mutex-by-value",
+	Doc:  "no copying of structs containing sync.Mutex/RWMutex (assignment, range, value receivers, by-value params)",
+	Run:  runMutexByValue,
+}
+
+func runMutexByValue(u *Unit, m *Module, report reporter) {
+	memo := map[types.Type]bool{}
+	locky := func(t types.Type) bool { return containsLock(t, memo, nil) }
+
+	inspectFiles(u, false, func(f *ast.File, n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if node.Recv != nil && len(node.Recv.List) == 1 {
+				field := node.Recv.List[0]
+				if tv, ok := u.Info.Types[field.Type]; ok {
+					if _, isPtr := tv.Type.(*types.Pointer); !isPtr && locky(tv.Type) {
+						report(field.Type.Pos(), "value receiver copies %s, which contains a mutex; use a pointer receiver", types.TypeString(tv.Type, types.RelativeTo(u.Pkg)))
+					}
+				}
+			}
+			checkLockParams(u, node.Type, locky, report)
+		case *ast.FuncLit:
+			checkLockParams(u, node.Type, locky, report)
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				// Assigning to the blank identifier copies nothing.
+				if len(node.Lhs) == len(node.Rhs) {
+					if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				checkLockCopyExpr(u, rhs, locky, report)
+			}
+		case *ast.ValueSpec:
+			for _, v := range node.Values {
+				checkLockCopyExpr(u, v, locky, report)
+			}
+		case *ast.RangeStmt:
+			for _, v := range []ast.Expr{node.Key, node.Value} {
+				if v == nil {
+					continue
+				}
+				if id, ok := v.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				t := exprType(u, v)
+				if t != nil && locky(t) {
+					report(v.Pos(), "range clause copies %s, which contains a mutex; range over indices or use pointers", types.TypeString(t, types.RelativeTo(u.Pkg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLockParams flags by-value parameters whose type contains a lock.
+func checkLockParams(u *Unit, ft *ast.FuncType, locky func(types.Type) bool, report reporter) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := u.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if locky(tv.Type) {
+			report(field.Type.Pos(), "parameter passes %s by value, which copies a mutex; pass a pointer", types.TypeString(tv.Type, types.RelativeTo(u.Pkg)))
+		}
+	}
+}
+
+// checkLockCopyExpr flags an assignment right-hand side that reads an
+// existing lock-containing value (and therefore copies it). Fresh values
+// — composite literals, function calls — are not flagged: the flagged
+// pattern is duplicating a lock that may already be held.
+func checkLockCopyExpr(u *Unit, rhs ast.Expr, locky func(types.Type) bool, report reporter) {
+	if !readsExistingValue(rhs) {
+		return
+	}
+	tv, ok := u.Info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if locky(tv.Type) {
+		report(rhs.Pos(), "assignment copies %s, which contains a mutex; copy a pointer instead", types.TypeString(tv.Type, types.RelativeTo(u.Pkg)))
+	}
+}
+
+// exprType resolves the type of an expression, falling back to the
+// definition for identifiers introduced by := (range clauses record those
+// in Defs, not Types).
+func exprType(u *Unit, e ast.Expr) types.Type {
+	if tv, ok := u.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := u.Info.Defs[id]; ok && obj != nil {
+			return obj.Type()
+		}
+		if obj, ok := u.Info.Uses[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// readsExistingValue reports whether e denotes an existing stored value
+// (identifier, field, element, or dereference) rather than a freshly
+// constructed one.
+func readsExistingValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return readsExistingValue(x.X)
+	default:
+		return false
+	}
+}
+
+// containsLock reports whether t transitively contains a sync.Mutex or
+// sync.RWMutex by value (fields, embedded fields, array elements).
+// Pointers, slices, maps, channels, and interfaces break containment.
+func containsLock(t types.Type, memo map[types.Type]bool, stack []types.Type) bool {
+	if v, ok := memo[t]; ok {
+		return v
+	}
+	for _, s := range stack {
+		if s == t {
+			return false // recursive type via non-pointer is impossible, but stay safe
+		}
+	}
+	stack = append(stack, t)
+	result := false
+	switch x := t.(type) {
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			result = true
+		} else {
+			result = containsLock(x.Underlying(), memo, stack)
+		}
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if containsLock(x.Field(i).Type(), memo, stack) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsLock(x.Elem(), memo, stack)
+	}
+	memo[t] = result
+	return result
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// NonceSource enforces the paper's §VI-A randomness discipline: every
+// nonce that pads or chains ciphertext must come from crypto/rand, and
+// only internal/crypt may talk to crypto/rand directly. Concretely, in
+// non-test code:
+//
+//   - importing math/rand or math/rand/v2 is a diagnostic anywhere in the
+//     module (deterministic generators must be confined to test files or
+//     carry a //lint:ignore nonce-source justification, as the seeded
+//     workload generator does);
+//   - importing crypto/rand outside internal/crypt is a diagnostic, so the
+//     module keeps a single auditable CSPRNG entry point.
+//
+// Test files (*_test.go) are exempt: seeded math/rand there is how the
+// evaluation stays reproducible, and it never feeds ciphertext.
+var NonceSource = &Analyzer{
+	Name: "nonce-source",
+	Doc:  "nonces must come from crypto/rand via internal/crypt; math/rand is banned in non-test code",
+	Run:  runNonceSource,
+}
+
+// cryptPkg is the one package allowed to import crypto/rand.
+const cryptPkg = "internal/crypt"
+
+func runNonceSource(u *Unit, m *Module, report reporter) {
+	pkg := modulePkg(u, m)
+	for _, f := range u.Files {
+		if u.IsTest[f] {
+			continue
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				report(importPos(spec), "import of %s: deterministic randomness is banned outside tests; draw nonces via internal/crypt (crypto/rand)", path)
+			case "crypto/rand":
+				if pkg != cryptPkg {
+					report(importPos(spec), "import of crypto/rand outside %s: all CSPRNG access must go through internal/crypt so nonce handling stays auditable", cryptPkg)
+				}
+			}
+		}
+	}
+}
+
+// importPos anchors the diagnostic on the import path so a //lint:ignore
+// directly above the spec suppresses it.
+func importPos(spec *ast.ImportSpec) token.Pos { return spec.Path.Pos() }

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PlaintextLog guards the plaintext boundary (§V-A, and the MessageGuard
+// lesson about auxiliary channels): the packages that ever hold user
+// plaintext — core, recb, rpcmode, mediator, crypt — must not write to
+// stdout, stderr, or the process log, where plaintext would escape the
+// encryption envelope. In those packages' non-test code the analyzer
+// flags any use of fmt.Print/Printf/Println, any reference to the log
+// package, and any reference to os.Stdout or os.Stderr.
+var PlaintextLog = &Analyzer{
+	Name: "no-plaintext-log",
+	Doc:  "plaintext-bearing packages must not write to stdout/stderr or the process log",
+	Run:  runPlaintextLog,
+}
+
+// plaintextPkgs are the module packages that handle user plaintext.
+var plaintextPkgs = map[string]bool{
+	"internal/core":    true,
+	"internal/recb":    true,
+	"internal/rpcmode": true,
+	"internal/mediator": true,
+	"internal/crypt":   true,
+}
+
+func runPlaintextLog(u *Unit, m *Module, report reporter) {
+	if !plaintextPkgs[modulePkg(u, m)] {
+		return
+	}
+	inspectFiles(u, true, func(f *ast.File, n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := u.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "fmt":
+			if strings.HasPrefix(sel.Sel.Name, "Print") {
+				report(sel.Pos(), "fmt.%s in plaintext-bearing package: writing to stdout can leak plaintext outside the encryption envelope", sel.Sel.Name)
+			}
+		case "log":
+			report(sel.Pos(), "use of log.%s in plaintext-bearing package: process logs are an unencrypted auxiliary channel", sel.Sel.Name)
+		case "os":
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				report(sel.Pos(), "reference to os.%s in plaintext-bearing package: raw standard streams can leak plaintext", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,10 @@
+// Fixture: loaded as privedit/internal/crypt — the one package allowed
+// to import crypto/rand without annotation.
+package crypt
+
+import "crypto/rand"
+
+// Fill reads CSPRNG bytes.
+func Fill(b []byte) {
+	_, _ = rand.Read(b)
+}

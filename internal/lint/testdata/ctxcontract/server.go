@@ -1,0 +1,19 @@
+// Fixture: loaded as privedit/internal/gdocs — the ctx contract requires
+// the store API methods to exist and to take a context first.
+package gdocs
+
+import "context"
+
+// Server mimics the real store server but violates the contract: Content
+// dropped its context, and SetContents/ApplyDelta are missing entirely.
+type Server struct{} // want `ctx contract: Server.SetContents is missing` `ctx contract: Server.ApplyDelta is missing`
+
+// Create keeps the contract.
+func (s *Server) Create(ctx context.Context, docID string) error {
+	return ctx.Err()
+}
+
+// Content lost its context parameter.
+func (s *Server) Content(docID string) (string, int, error) { // want `ctx contract: Server.Content must take context.Context as its first parameter`
+	return "", 0, nil
+}

@@ -1,0 +1,21 @@
+// Fixture: ctx-first positional rule.
+package fixture
+
+import "context"
+
+// Late buries the context mid-signature.
+func Late(n int, ctx context.Context) error { // want `context.Context must be the first parameter \(found at position 2\)`
+	return ctx.Err()
+}
+
+// LateLit does the same inside a function literal.
+var LateLit = func(s string, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = ctx.Err()
+}
+
+type worker struct{}
+
+// Run is a method with a late context.
+func (worker) Run(id int, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = ctx.Err()
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"context"
+	"testing"
+)
+
+// First is the blessed shape.
+func First(ctx context.Context, n int) error { return ctx.Err() }
+
+// NoCtx takes no context at all.
+func NoCtx(n int) int { return n + 1 }
+
+// Helper follows the test-helper convention: testing.TB-family parameters
+// may precede the context.
+func Helper(t *testing.T, ctx context.Context, name string) {
+	t.Helper()
+	_ = ctx.Err()
+}
+
+// BenchHelper allows *testing.B too.
+func BenchHelper(b *testing.B, ctx context.Context) { _ = ctx.Err() }

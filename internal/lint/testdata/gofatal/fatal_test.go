@@ -1,0 +1,54 @@
+// Fixture: goroutine-test-fatal. The Fatal family may only run on the
+// test goroutine.
+package fixture
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSpawned(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t.Fatal("boom") // want `t.Fatal inside a goroutine only exits that goroutine`
+	}()
+	go func(id int) {
+		defer wg.Done()
+		if id > 0 {
+			t.Fatalf("worker %d", id) // want `t.Fatalf inside a goroutine only exits that goroutine`
+		}
+		t.Errorf("worker %d", id) // Error/Errorf are goroutine-safe: no diagnostic
+	}(1)
+	wg.Wait()
+	t.Fatal("on the test goroutine: fine")
+}
+
+func TestNested(t *testing.T) {
+	go func() {
+		cleanup := func() {
+			t.FailNow() // want `t.FailNow inside a goroutine only exits that goroutine`
+		}
+		cleanup()
+	}()
+}
+
+func TestSkipInGoroutine(t *testing.T) {
+	go func() {
+		t.SkipNow() // want `t.SkipNow inside a goroutine only exits that goroutine`
+	}()
+}
+
+func TestSuppressed(t *testing.T) {
+	go func() {
+		//lint:ignore goroutine-test-fatal fixture: documenting the suppression syntax
+		t.Fatal("acknowledged")
+	}()
+}
+
+func TestSubtest(t *testing.T) {
+	t.Run("sub", func(t *testing.T) {
+		t.Fatal("subtest body runs on its own test goroutine: fine")
+	})
+}

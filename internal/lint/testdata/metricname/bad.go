@@ -1,0 +1,25 @@
+// Fixture: metric-name. Registrations through internal/obs must use
+// constant privedit_-prefixed snake_case names.
+package fixture
+
+import "privedit/internal/obs"
+
+// register exercises good and bad names against a private registry.
+func register(dynamic string) {
+	r := obs.NewRegistry()
+	r.NewCounter("bad_total", "missing prefix").Inc() // want `metric name "bad_total" must match privedit_<snake_case>`
+	r.NewGauge("privedit_BadCase", "camel case").Set(1) // want `metric name "privedit_BadCase" must match privedit_<snake_case>`
+	r.NewCounter(dynamic, "computed name").Inc() // want `obs.NewCounter name must be a compile-time string constant`
+	r.NewHistogram("privedit_fixture_seconds", "fine", nil).Observe(1)
+	r.NewCounter(okName, "constants resolve fine").Inc()
+}
+
+// okName is a compile-time constant, which the analyzer folds.
+const okName = "privedit_fixture_ops_total"
+
+// registerDefault exercises the package-level helpers.
+func registerDefault() {
+	obs.NewCounter("also_bad_total", "missing prefix") // want `metric name "also_bad_total" must match privedit_<snake_case>`
+	//lint:ignore metric-name fixture: demonstrating an acknowledged off-namespace metric
+	obs.NewGauge("legacy_ratio", "acknowledged")
+}

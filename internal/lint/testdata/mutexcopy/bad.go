@@ -1,0 +1,38 @@
+// Fixture: mutex-by-value. Guarded contains a sync.Mutex; Wrapper
+// contains one transitively.
+package fixture
+
+import "sync"
+
+// Guarded is a lock-bearing struct.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper embeds the lock one level down.
+type Wrapper struct {
+	inner Guarded
+	name  string
+}
+
+// Count copies the receiver, forking its mutex.
+func (g Guarded) Count() int { // want `value receiver copies Guarded, which contains a mutex`
+	return g.n
+}
+
+// Consume takes a lock-bearing struct by value.
+func Consume(w Wrapper) int { // want `parameter passes Wrapper by value, which copies a mutex`
+	return w.inner.n
+}
+
+// Copies demonstrates assignment and range copies.
+func Copies(gs []Guarded, byPtr *Guarded) {
+	dup := gs[0] // want `assignment copies Guarded, which contains a mutex`
+	_ = dup
+	deref := *byPtr // want `assignment copies Guarded, which contains a mutex`
+	_ = deref
+	for _, g := range gs { // want `range clause copies Guarded, which contains a mutex`
+		_ = g.n
+	}
+}

@@ -1,0 +1,28 @@
+package fixture
+
+// Fine shows the blessed shapes: pointers, fresh composite literals, and
+// index-based iteration.
+func Fine(gs []Guarded) {
+	g := Guarded{} // fresh value, nothing to fork
+	g.mu.Lock()
+	g.mu.Unlock()
+
+	p := &gs[0] // pointer copy, lock state shared correctly
+	_ = p
+
+	for i := range gs {
+		gs[i].mu.Lock()
+		gs[i].mu.Unlock()
+	}
+
+	var w Wrapper // zero value declaration, no copy
+	_ = w.name
+}
+
+// PtrCount is the pointer-receiver counterpart of Count.
+func (g *Guarded) PtrCount() int { return g.n }
+
+// Suppressed documents the escape hatch.
+func Suppressed(g Guarded) int { //lint:ignore mutex-by-value fixture: demonstrating an acknowledged copy
+	return g.n
+}

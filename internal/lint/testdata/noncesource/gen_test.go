@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	"math/rand" // test files may use seeded randomness freely
+	"testing"
+)
+
+func TestDraw(t *testing.T) {
+	if rand.New(rand.NewSource(1)).Intn(10) < 0 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import (
+	//lint:ignore nonce-source fixture: seeded generator, never feeds ciphertext
+	mrandv2 "math/rand/v2"
+)
+
+// Pick is deterministic test-workload generation, annotated as such.
+func Pick() int { return mrandv2.IntN(3) }

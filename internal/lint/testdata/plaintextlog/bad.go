@@ -1,0 +1,17 @@
+// Fixture: loaded as privedit/internal/core — a plaintext-bearing
+// package where stdout/stderr/log writes are banned.
+package core
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Leak exercises every banned sink.
+func Leak(plaintext string) string {
+	fmt.Println(plaintext)          // want `fmt.Println in plaintext-bearing package`
+	log.Printf("%s", plaintext)     // want `use of log.Printf in plaintext-bearing package`
+	fmt.Fprintln(os.Stdout, "x")    // want `reference to os.Stdout in plaintext-bearing package`
+	return fmt.Sprintf("%q", plaintext) // Sprintf builds a string; no sink, no diagnostic
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Test files may print freely; they never ship.
+func TestBanner(t *testing.T) {
+	fmt.Println("test output is fine")
+	Banner()
+}

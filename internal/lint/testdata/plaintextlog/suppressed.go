@@ -1,0 +1,9 @@
+package core
+
+import "fmt"
+
+// Banner prints a constant; the annotation records why it cannot leak.
+func Banner() {
+	//lint:ignore no-plaintext-log fixture: constant banner, carries no document content
+	fmt.Println("privedit fixture")
+}
