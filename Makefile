@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments fuzz examples metrics-smoke load-smoke clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke clean
 
 all: build vet lint test
 
@@ -27,6 +27,11 @@ race:
 cover:
 	$(GO) test -cover ./...
 
+# Coverage gate: fail the build if any core package drops below the floor
+# (see scripts/coverage_gate.sh for the package list and threshold).
+cover-gate:
+	./scripts/coverage_gate.sh
+
 # testing.B benchmarks: one per paper table/figure (bench_test.go) plus
 # package-level micro-benchmarks.
 bench:
@@ -37,13 +42,15 @@ bench:
 experiments:
 	$(GO) run ./cmd/privedit-bench -exp all
 
-# Short fuzzing passes over every parser surface.
+# Fuzzing passes over every parser surface. Override FUZZTIME for longer
+# runs (the nightly workflow uses FUZZTIME=5m).
+FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/delta/
-	$(GO) test -fuzz=FuzzTransform -fuzztime=30s ./internal/delta/
-	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=30s ./internal/blockdoc/
-	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/stego/
-	$(GO) test -fuzz=FuzzDirective -fuzztime=30s ./internal/lint/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/delta/
+	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) ./internal/delta/
+	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=$(FUZZTIME) ./internal/blockdoc/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/stego/
+	$(GO) test -fuzz=FuzzDirective -fuzztime=$(FUZZTIME) ./internal/lint/
 
 # End-to-end check of the telemetry surface: start privedit-server, hit
 # /metrics, and require every headline metric family to be exported.
@@ -67,6 +74,12 @@ metrics-smoke:
 # serial-vs-parallel crypto kernel comparison. Writes /tmp/BENCH_load.json.
 load-smoke:
 	$(GO) run ./cmd/privedit-load -sessions 8 -docs 4 -duration 2s -workers 4 -json /tmp/BENCH_load.json
+
+# Short chaos run: concurrent resilient sessions through a seeded fault
+# storm, with per-document convergence verification (the run fails if any
+# document diverges). Writes /tmp/BENCH_chaos.json.
+chaos-smoke:
+	$(GO) run ./cmd/privedit-load -chaos -sessions 4 -ops 40 -seed 2011 -json /tmp/BENCH_chaos.json
 
 examples:
 	$(GO) run ./examples/quickstart

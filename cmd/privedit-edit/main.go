@@ -48,6 +48,9 @@ func main() {
 	mitigate := flag.Bool("mitigate", false, "enable covert-channel mitigations")
 	useStego := flag.Bool("stego", false, "store the document as word prose instead of Base32")
 	metricsDump := flag.String("metrics-dump", "", "on exit, write Prometheus text metrics to this path (\"-\" for stdout)")
+	resilient := flag.Bool("resilient", false, "enable the retry/backoff + circuit-breaker resilience stack")
+	retries := flag.Int("retries", 0, "with -resilient: max attempts per request (0 = default)")
+	tryTimeout := flag.Duration("try-timeout", 0, "with -resilient: per-attempt deadline (0 = none)")
 	flag.Parse()
 
 	if *metricsDump != "" {
@@ -72,6 +75,14 @@ func main() {
 	var extOpts []mediator.Option
 	if *useStego {
 		extOpts = append(extOpts, mediator.WithStego())
+	}
+	if *resilient {
+		res := mediator.DefaultResilience()
+		if *retries > 0 {
+			res.Retry.MaxAttempts = *retries
+		}
+		res.Retry.TryTimeout = *tryTimeout
+		extOpts = append(extOpts, mediator.WithResilience(res))
 	}
 	ext := mediator.New(http.DefaultTransport, mediator.StaticPassword(*password, opts), mit, extOpts...)
 	client := gdocs.NewClient(ext.Client(), *base, *docID)
@@ -159,7 +170,11 @@ func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 		if err := client.Save(); err != nil {
 			return err
 		}
-		fmt.Printf("saved (delta %q)\n", pending.String())
+		if client.Degraded() {
+			fmt.Printf("queued locally (delta %q) — server unreachable, save drains on recovery\n", pending.String())
+		} else {
+			fmt.Printf("saved (delta %q)\n", pending.String())
+		}
 	case ":cipher":
 		ed := ext.Editor(client.DocID())
 		if ed == nil {
@@ -169,6 +184,9 @@ func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 		fmt.Printf("server stores %d chars of ciphertext:\n%.120s...\n", len(transport), transport)
 	case ":stats":
 		fmt.Printf("%+v\n", ext.Stats())
+		if ext.Degraded(client.DocID()) {
+			fmt.Println("document is in degraded mode (breaker open or saves queued)")
+		}
 	case ":metrics":
 		if !obs.Default.Enabled() {
 			obs.Enable() // first use turns collection on mid-session

@@ -16,6 +16,16 @@
 // The -json artifact also embeds a serial-vs-parallel comparison of the
 // whole-document encrypt kernel across document sizes, pinning where the
 // parallel path starts to win.
+//
+// Chaos mode (-chaos) switches to the fault-injection harness: sessions
+// run a fixed number of ops each (deterministic, see internal/bench
+// chaos.go) over a seeded netsim.FaultTransport while the mediator's
+// retry/breaker/degraded-mode stack absorbs the damage, then convergence
+// is verified per document and the run is written as BENCH_chaos.json:
+//
+//	privedit-load -chaos -json BENCH_chaos.json
+//	privedit-load -chaos -ops 60 -fault-drop 0.1 -fault-5xx 0.08 \
+//	    -fault-429 0.04 -fault-timeout 0.04 -fault-corrupt 0.05
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 
 	"privedit/internal/bench"
 	"privedit/internal/core"
+	"privedit/internal/netsim"
 	"privedit/internal/parallel"
 )
 
@@ -43,6 +54,17 @@ func main() {
 	seed := flag.Int64("seed", 2011, "workload seed")
 	jsonPath := flag.String("json", "", "write BENCH_load.json artifact to this path")
 	encBench := flag.Bool("enc-bench", true, "include serial-vs-parallel encrypt kernel comparison in -json output")
+
+	chaos := flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the load harness")
+	ops := flag.Int("ops", 40, "chaos: edit operations per session")
+	faultSeed := flag.Int64("fault-seed", 0, "chaos: fault decision seed (0 = -seed)")
+	faultDrop := flag.Float64("fault-drop", 0.06, "chaos: request drop probability")
+	faultDropResp := flag.Float64("fault-drop-resp", 0.04, "chaos: response drop probability (request still applied)")
+	fault5xx := flag.Float64("fault-5xx", 0.05, "chaos: injected HTTP 500 probability")
+	fault429 := flag.Float64("fault-429", 0.03, "chaos: injected HTTP 429 probability")
+	faultTimeout := flag.Float64("fault-timeout", 0.03, "chaos: injected timeout probability")
+	faultCorrupt := flag.Float64("fault-corrupt", 0.02, "chaos: response corruption probability")
+	faultJitter := flag.Float64("fault-jitter", 0.05, "chaos: latency jitter spike probability")
 	flag.Parse()
 
 	scheme := core.ConfidentialityIntegrity
@@ -53,6 +75,34 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "privedit-load: unknown scheme %q (want recb or rpc)\n", *schemeName)
 		os.Exit(2)
+	}
+
+	if *chaos {
+		if *faultSeed == 0 {
+			*faultSeed = *seed
+		}
+		profile := netsim.FaultProfile{
+			Seed:             *faultSeed,
+			DropRate:         *faultDrop,
+			DropResponseRate: *faultDropResp,
+			Error5xxRate:     *fault5xx,
+			ThrottleRate:     *fault429,
+			TimeoutRate:      *faultTimeout,
+			CorruptRate:      *faultCorrupt,
+			JitterRate:       *faultJitter,
+		}
+		runChaos(bench.ChaosConfig{
+			Sessions:      *sessions,
+			OpsPerSession: *ops,
+			DocChars:      *docChars,
+			Scheme:        scheme,
+			BlockChars:    *blockChars,
+			Workers:       *workers,
+			ReloadEvery:   *reloadEvery,
+			Seed:          *seed,
+			Fault:         profile,
+		}, *jsonPath)
+		return
 	}
 
 	cfg := bench.LoadConfig{
@@ -127,4 +177,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("  wrote", *jsonPath)
+}
+
+// runChaos executes the chaos harness and optionally writes BENCH_chaos.json.
+func runChaos(cfg bench.ChaosConfig, jsonPath string) {
+	fmt.Printf("privedit-load: chaos, %d sessions x %d ops, %d-char docs, fault rate %.1f%% (seed %d)\n",
+		cfg.Sessions, cfg.OpsPerSession, cfg.DocChars,
+		100*cfg.Fault.FailureRate(), cfg.Seed)
+
+	report, err := bench.RunChaos(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+
+	f := report.Faults
+	fmt.Printf("  ops        %d ok, %d errored, %d reloads over %.2fs\n",
+		report.Ops, report.OpErrors, report.Reloads, report.DurationS)
+	fmt.Printf("  faults     %d/%d requests: %d drops, %d lost responses, %d 5xx, %d 429, %d timeouts, %d corruptions, %d jitter spikes\n",
+		f.Injected(), f.Requests, f.Drops, f.DropResponses, f.Errors5xx, f.Throttles, f.Timeouts, f.Corruptions, f.JitterSpikes)
+	fmt.Printf("  mediator   %d retries (%d giveups), %d breaker trips, %d degraded saves, %d degraded loads, %d drains\n",
+		report.Retries, report.RetryGiveups, report.BreakerTrips,
+		report.DegradedSaves, report.DegradedLoads, report.Drains)
+	fmt.Printf("  converged  %d/%d docs\n", report.ConvergedDocs, report.ConvergedDocs+report.DivergedDocs)
+
+	if report.DivergedDocs > 0 {
+		fmt.Fprintf(os.Stderr, "privedit-load: %d documents diverged after the storm\n", report.DivergedDocs)
+		os.Exit(1)
+	}
+	if jsonPath == "" {
+		return
+	}
+	artifact := bench.ChaosArtifact{
+		Title: "Chaos: fault-injecting transport vs resilient mediator",
+		Fault: cfg.Fault,
+		Chaos: report,
+	}
+	out, err := artifact.MarshalIndent()
+	if err == nil {
+		err = os.WriteFile(jsonPath, out, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println("  wrote", jsonPath)
 }

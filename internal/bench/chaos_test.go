@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"privedit/internal/netsim"
+)
+
+func chaosTestConfig(seed int64) ChaosConfig {
+	return ChaosConfig{
+		Sessions:      3,
+		OpsPerSession: 15,
+		DocChars:      1_200,
+		ReloadEvery:   5,
+		Seed:          seed,
+		Fault: netsim.FaultProfile{
+			Seed:             seed,
+			DropRate:         0.08,
+			DropResponseRate: 0.04,
+			Error5xxRate:     0.06,
+			ThrottleRate:     0.04,
+			TimeoutRate:      0.04,
+			CorruptRate:      0.04,
+			TimeoutDelay:     100 * time.Microsecond,
+		},
+	}
+}
+
+func TestChaosConverges(t *testing.T) {
+	report, err := RunChaos(chaosTestConfig(2011))
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if report.DivergedDocs != 0 {
+		t.Errorf("%d documents diverged after the storm", report.DivergedDocs)
+	}
+	if report.ConvergedDocs != 3 {
+		t.Errorf("ConvergedDocs = %d, want 3", report.ConvergedDocs)
+	}
+	if report.Faults.Injected() == 0 {
+		t.Error("storm injected no faults; the run proved nothing")
+	}
+	if report.Faults.Requests == 0 {
+		t.Error("no requests counted during the storm")
+	}
+	// The profile's outright-failure rate is ~26%; with retries in the
+	// loop the transport must have seen real trouble.
+	if rate := chaosTestConfig(2011).Fault.FailureRate(); rate < 0.20 {
+		t.Errorf("storm failure rate %.2f below the 20%% bar", rate)
+	}
+}
+
+// Same seed, run twice: the fault counts and op totals must be
+// byte-identical — the determinism contract the fault transport's
+// occurrence-keyed decisions exist to provide.
+func TestChaosDeterministicAcrossRuns(t *testing.T) {
+	r1, err := RunChaos(chaosTestConfig(42))
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := RunChaos(chaosTestConfig(42))
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	k1, err := r1.DeterministicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := r2.DeterministicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k1) != string(k2) {
+		t.Errorf("same seed, different deterministic keys:\nrun1 %s\nrun2 %s", k1, k2)
+	}
+	if r1.Faults.Injected() == 0 {
+		t.Error("deterministic key pinned a run with zero faults")
+	}
+}
+
+func TestChaosDifferentSeedsDiffer(t *testing.T) {
+	r1, err := RunChaos(chaosTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunChaos(chaosTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := r1.DeterministicKey()
+	k2, _ := r2.DeterministicKey()
+	if string(k1) == string(k2) {
+		t.Error("different seeds produced identical fault/op totals")
+	}
+}
+
+func TestChaosArtifactMarshal(t *testing.T) {
+	report, err := RunChaos(ChaosConfig{Sessions: 1, OpsPerSession: 3, DocChars: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ChaosArtifact{Title: "t", Fault: chaosTestConfig(7).Fault, Chaos: report}
+	out, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"fault_profile"`, `"chaos"`, `"faults"`, `"converged_docs"`, `"drop_rate"`} {
+		if !bytes.Contains(out, []byte(key)) {
+			t.Errorf("artifact JSON missing %s", key)
+		}
+	}
+}

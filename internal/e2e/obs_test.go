@@ -6,10 +6,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"privedit/internal/core"
 	"privedit/internal/gdocs"
 	"privedit/internal/mediator"
+	"privedit/internal/netsim"
 	"privedit/internal/obs"
 )
 
@@ -92,5 +94,70 @@ func TestMetricsMoveAcrossStack(t *testing.T) {
 	frag := obs.Default.Value("privedit_fragmentation_ratio")
 	if frag <= 0 || frag > 1 {
 		t.Errorf("fragmentation ratio %v outside (0, 1]", frag)
+	}
+}
+
+// TestResilienceMetricsMove drives a short fault storm through the
+// resilient extension and asserts the PR-4 metric families — netsim fault
+// injection and mediator retry/breaker/degraded instrumentation — all
+// record something.
+func TestResilienceMetricsMove(t *testing.T) {
+	obs.Enable()
+	families := []string{
+		"privedit_netsim_fault_requests_total",
+		"privedit_netsim_faults_total",
+		"privedit_mediator_retry_attempts_total",
+		"privedit_mediator_breaker_transitions_total",
+		"privedit_mediator_degraded_total",
+	}
+	before := make(map[string]float64, len(families))
+	for _, f := range families {
+		before[f] = obs.Default.Sum(f)
+	}
+
+	server := gdocs.NewServer()
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	faults := netsim.NewFaultTransport(ts.Client().Transport, netsim.FaultProfile{
+		Seed:         31,
+		Error5xxRate: 0.5,
+		TimeoutDelay: 100 * time.Microsecond,
+	})
+	faults.SetEnabled(false)
+
+	ext := mediator.New(faults,
+		mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 8)), nil,
+		mediator.WithResilience(mediator.Resilience{
+			Retry:   mediator.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+			Breaker: mediator.BreakerPolicy{TripAfter: 1, Cooldown: time.Hour, MaxCooldown: 2 * time.Hour},
+		}))
+	client := gdocs.NewClient(ext.Client(), ts.URL, "metrics-chaos-doc")
+	if err := client.Create(); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	client.SetText("instrumented fault storm content")
+	if err := client.Save(); err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+
+	faults.SetEnabled(true)
+	for i := 0; i < 20; i++ {
+		if err := client.Insert(0, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Sync(); err != nil {
+			_ = client.Load()
+		}
+	}
+	faults.SetEnabled(false)
+
+	for _, f := range families {
+		if d := obs.Default.Sum(f) - before[f]; d <= 0 {
+			t.Errorf("family %s did not move (delta %v)", f, d)
+		}
+	}
+	if obs.Default.Value("privedit_netsim_faults_total", "kind", "err_5xx") < 1 {
+		t.Error("err_5xx fault kind never recorded")
 	}
 }

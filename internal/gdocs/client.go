@@ -49,6 +49,7 @@ type Client struct {
 	inSession bool   // a session starts with a full-content save
 	sentFull  bool   // whether the full save already happened
 	version   int
+	degraded  bool // last response was synthesized by a degraded mediator
 }
 
 // NewClient creates a client for one document. httpc may carry the
@@ -93,6 +94,17 @@ func (c *Client) Dirty() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.dirtyLocked()
+}
+
+// Degraded reports whether the last successful save or load was served
+// locally by a degraded mediating extension (HeaderDegraded set) rather
+// than acknowledged by the server. A degraded save is queued inside the
+// extension and becomes durable only after the breaker closes and the
+// queue drains.
+func (c *Client) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 func (c *Client) dirtyLocked() bool { return c.local != c.lastSaved }
@@ -143,6 +155,7 @@ func (c *Client) post(path string, form url.Values) (string, error) {
 	if err := c.checkStatus(resp, string(raw)); err != nil {
 		return "", err
 	}
+	c.degraded = resp.Header.Get(HeaderDegraded) != ""
 	return string(raw), nil
 }
 
@@ -180,7 +193,8 @@ func (c *Client) Load() error {
 	if err := c.checkStatus(resp, string(raw)); err != nil {
 		return err
 	}
-	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+	c.degraded = resp.Header.Get(HeaderDegraded) != ""
+	if v := resp.Header.Get(HeaderDocVersion); v != "" {
 		if parsed, err := strconv.Atoi(v); err == nil {
 			c.version = parsed
 		}
@@ -213,7 +227,8 @@ func (c *Client) Refresh() error {
 	if err := c.checkStatus(resp, string(raw)); err != nil {
 		return err
 	}
-	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+	c.degraded = resp.Header.Get(HeaderDegraded) != ""
+	if v := resp.Header.Get(HeaderDocVersion); v != "" {
 		if parsed, err := strconv.Atoi(v); err == nil {
 			c.version = parsed
 		}
@@ -378,7 +393,7 @@ func (c *Client) fetchLocked() (string, int, error) {
 		return "", 0, err
 	}
 	version := c.version
-	if v := resp.Header.Get("X-Doc-Version"); v != "" {
+	if v := resp.Header.Get(HeaderDocVersion); v != "" {
 		if parsed, err := strconv.Atoi(v); err == nil {
 			version = parsed
 		}

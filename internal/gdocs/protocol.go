@@ -41,6 +41,18 @@ const (
 	FieldVersion     = "version"
 )
 
+// Response headers.
+const (
+	// HeaderDocVersion carries the stored document version on GET /Doc
+	// responses (a simulation convenience; the 2011 protocol embedded the
+	// version in the page).
+	HeaderDocVersion = "X-Doc-Version"
+	// HeaderDegraded marks a response the mediating extension synthesized
+	// locally while a document's circuit breaker was open: the save is
+	// queued, not yet durable on the server.
+	HeaderDegraded = "X-Privedit-Degraded"
+)
+
 // Ack is the server's response to a content update. The paper found the
 // client "works flawlessly when the values are replaced with an empty
 // string for contentFromServer, and 0 for contentFromServerHash" — which

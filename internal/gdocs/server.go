@@ -272,7 +272,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("X-Doc-Version", strconv.Itoa(version))
+		w.Header().Set(HeaderDocVersion, strconv.Itoa(version))
 		fmt.Fprint(w, content)
 
 	case r.URL.Path == PathDoc && r.Method == http.MethodPost:

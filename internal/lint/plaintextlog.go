@@ -21,11 +21,11 @@ var PlaintextLog = &Analyzer{
 
 // plaintextPkgs are the module packages that handle user plaintext.
 var plaintextPkgs = map[string]bool{
-	"internal/core":    true,
-	"internal/recb":    true,
-	"internal/rpcmode": true,
+	"internal/core":     true,
+	"internal/recb":     true,
+	"internal/rpcmode":  true,
 	"internal/mediator": true,
-	"internal/crypt":   true,
+	"internal/crypt":    true,
 }
 
 func runPlaintextLog(u *Unit, m *Module, report reporter) {

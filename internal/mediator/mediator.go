@@ -13,11 +13,13 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +76,13 @@ type Stats struct {
 	Blocked           int // unrecognized requests dropped
 	PlainBytesIn      int // plaintext characters submitted by the client
 	CipherBytesOut    int // ciphertext characters actually sent
+
+	Retries       int // retry attempts beyond the first try
+	RetryGiveups  int // round trips that exhausted the retry budget
+	BreakerTrips  int // per-document breakers tripped open (closed→open)
+	DegradedSaves int // saves absorbed into the local shadow while open
+	DegradedLoads int // loads served from local state while open
+	Drains        int // queued degraded saves successfully replayed
 }
 
 // counters is the lock-free live form of Stats: mediation paths bump
@@ -86,6 +95,13 @@ type counters struct {
 	blocked           atomic.Int64
 	plainBytesIn      atomic.Int64
 	cipherBytesOut    atomic.Int64
+
+	retries       atomic.Int64
+	retryGiveups  atomic.Int64
+	breakerTrips  atomic.Int64
+	degradedSaves atomic.Int64
+	degradedLoads atomic.Int64
+	drains        atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -97,6 +113,13 @@ func (c *counters) snapshot() Stats {
 		Blocked:           int(c.blocked.Load()),
 		PlainBytesIn:      int(c.plainBytesIn.Load()),
 		CipherBytesOut:    int(c.cipherBytesOut.Load()),
+
+		Retries:       int(c.retries.Load()),
+		RetryGiveups:  int(c.retryGiveups.Load()),
+		BreakerTrips:  int(c.breakerTrips.Load()),
+		DegradedSaves: int(c.degradedSaves.Load()),
+		DegradedLoads: int(c.degradedLoads.Load()),
+		Drains:        int(c.drains.Load()),
 	}
 }
 
@@ -107,8 +130,9 @@ func (c *counters) snapshot() Stats {
 // across the whole round trip — edits to the SAME document serialize
 // end-to-end, edits to DISTINCT documents proceed fully in parallel.
 type session struct {
-	mu sync.Mutex
-	ed *core.Editor // nil until first use
+	mu  sync.Mutex
+	ed  *core.Editor // nil until first use
+	brk breakerState // circuit breaker + degraded-mode shadow (resilience.go)
 }
 
 // Extension is the mediating extension. Install it as the Transport of the
@@ -119,10 +143,12 @@ type Extension struct {
 	passwords PasswordProvider
 	mitigator *covert.Mitigator
 	useStego  bool
+	res       *resilience // nil = legacy fail-fast mediation
 
 	mu       sync.RWMutex
 	sessions map[string]*session
 	stats    counters
+	rngMu    sync.Mutex // guards res.rng (backoff jitter)
 }
 
 var _ http.RoundTripper = (*Extension)(nil)
@@ -185,6 +211,20 @@ func (e *Extension) Sessions() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return len(e.sessions)
+}
+
+// Degraded reports whether the document's circuit breaker is currently
+// open or has queued degraded-mode saves awaiting drain.
+func (e *Extension) Degraded(docID string) bool {
+	e.mu.RLock()
+	sess := e.sessions[docID]
+	e.mu.RUnlock()
+	if sess == nil {
+		return false
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.brk.state != brkClosed || sess.brk.hasShadow
 }
 
 // sessionFor returns the document's session, creating the (empty) session
@@ -254,33 +294,48 @@ func (e *Extension) openEditorLocked(sess *session, docID, transport string) (*c
 // the editor is dropped instead, so the next load rebuilds it.
 // Callers must hold sess.mu.
 func (e *Extension) resyncLocked(sess *session, docID string, req *http.Request) {
+	_, _ = e.refetchLocked(sess, docID, req)
+}
+
+// refetchLocked is resyncLocked with the outcome reported: it returns the
+// server's current document version (for the drain path's optimistic
+// concurrency check) and any fetch/open error. The editor is dropped
+// first, so on failure the next load rebuilds it from the server.
+// Callers must hold sess.mu.
+func (e *Extension) refetchLocked(sess *session, docID string, req *http.Request) (int, error) {
 	sess.ed = nil
 	u := *req.URL
 	u.Path = gdocs.PathDoc
 	u.RawQuery = url.Values{gdocs.FieldDocID: {docID}}.Encode()
-	getReq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u.String(), nil)
+	resp, err := e.sendResilient(req.Context(), func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	})
 	if err != nil {
-		return
-	}
-	resp, err := e.base.RoundTrip(getReq)
-	if err != nil {
-		return
+		return 0, err
 	}
 	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return
+	if err != nil {
+		return 0, err
 	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("mediator: resync fetch: status %d", resp.StatusCode)
+	}
+	version, _ := strconv.Atoi(resp.Header.Get(gdocs.HeaderDocVersion))
 	transport := string(raw)
 	if e.useStego && transport != "" {
 		if transport, err = stego.Decode(transport); err != nil {
-			return
+			return 0, err
 		}
 	}
 	if transport == "" {
-		return
+		// Empty document: nothing to open; the editor stays nil.
+		return version, nil
 	}
-	_, _ = e.openEditorLocked(sess, docID, transport)
+	if _, err := e.openEditorLocked(sess, docID, transport); err != nil {
+		return 0, err
+	}
+	return version, nil
 }
 
 // synthesize builds a local response without touching the network.
@@ -329,15 +384,19 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 }
 
-// forward sends a rewritten form body to the server.
+// forward sends a rewritten form body to the server, through the retry
+// layer when resilience is enabled. The request is rebuilt per attempt so
+// every retry carries a fresh body.
 func (e *Extension) forward(req *http.Request, form url.Values) (*http.Response, error) {
 	body := form.Encode()
-	clone := req.Clone(req.Context())
-	clone.Body = io.NopCloser(strings.NewReader(body))
-	clone.ContentLength = int64(len(body))
-	clone.Header = req.Header.Clone()
-	clone.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-	return e.base.RoundTrip(clone)
+	return e.sendResilient(req.Context(), func(ctx context.Context) (*http.Request, error) {
+		clone := req.Clone(ctx)
+		clone.Body = io.NopCloser(strings.NewReader(body))
+		clone.ContentLength = int64(len(body))
+		clone.Header = req.Header.Clone()
+		clone.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		return clone, nil
+	})
 }
 
 func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
@@ -374,6 +433,9 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		sess := e.sessionFor(docID)
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
+		if e.gateLocked(sess, docID, req) {
+			return e.degradeUpdateLocked(sess, req, form)
+		}
 		ed, err := e.editorLocked(sess, docID)
 		if err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
@@ -398,6 +460,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		e.stats.cipherBytesOut.Add(int64(len(ctxt)))
 		metricOpFull.Inc()
 		resp, err := e.mediateAck(req, form)
+		e.recordLocked(sess, !infraFailure(resp, err))
 		if err != nil || resp.StatusCode != http.StatusOK {
 			e.resyncLocked(sess, docID, req)
 		}
@@ -412,6 +475,9 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		}
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
+		if e.gateLocked(sess, docID, req) {
+			return e.degradeUpdateLocked(sess, req, form)
+		}
 		ed := sess.ed
 		if ed == nil {
 			return synthesize(req, http.StatusForbidden, "privedit: delta for unknown document"), nil
@@ -451,6 +517,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		metricDeltaPlainBytes.Add(int64(len(wire)))
 		metricDeltaCipherBytes.Add(int64(len(cwire)))
 		resp, err := e.mediateAck(req, form)
+		e.recordLocked(sess, !infraFailure(resp, err))
 		if err != nil || resp.StatusCode != http.StatusOK {
 			e.resyncLocked(sess, docID, req)
 		}
@@ -499,7 +566,13 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	sess := e.sessionFor(docID)
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	resp, err := e.base.RoundTrip(req)
+	if e.gateLocked(sess, docID, req) {
+		return e.degradeLoadLocked(sess, req)
+	}
+	resp, err := e.sendResilient(req.Context(), func(ctx context.Context) (*http.Request, error) {
+		return req.Clone(ctx), nil
+	})
+	e.recordLocked(sess, !infraFailure(resp, err))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,338 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultProbe runs n GET requests for docID through a fresh transport over
+// the given profile and returns the transport plus per-request outcomes.
+func faultProbe(t *testing.T, profile FaultProfile, docID string, n int) (*FaultTransport, []string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload-for-"+r.URL.Query().Get("docID"))
+	}))
+	t.Cleanup(ts.Close)
+
+	ft := NewFaultTransport(ts.Client().Transport, profile)
+	client := &http.Client{Transport: ft}
+	outcomes := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL + "/Doc?docID=" + url.QueryEscape(docID))
+		switch {
+		case err != nil:
+			outcomes = append(outcomes, "err:"+lastColonPart(err.Error()))
+		case resp.StatusCode != http.StatusOK:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes = append(outcomes, "status:"+resp.Status)
+		default:
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if string(body) == "payload-for-"+docID {
+				outcomes = append(outcomes, "ok")
+			} else {
+				outcomes = append(outcomes, "corrupt")
+			}
+		}
+	}
+	return ft, outcomes
+}
+
+func lastColonPart(s string) string {
+	if i := strings.LastIndex(s, ": "); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}
+
+func stormProfile(seed int64) FaultProfile {
+	return FaultProfile{
+		Seed:         seed,
+		DropRate:     0.10,
+		Error5xxRate: 0.10,
+		ThrottleRate: 0.05,
+		TimeoutRate:  0.05,
+		CorruptRate:  0.10,
+		TimeoutDelay: time.Microsecond,
+	}
+}
+
+func TestFaultDeterminismSameSeed(t *testing.T) {
+	ft1, out1 := faultProbe(t, stormProfile(42), "doc-a", 200)
+	ft2, out2 := faultProbe(t, stormProfile(42), "doc-a", 200)
+
+	if ft1.Stats() != ft2.Stats() {
+		t.Errorf("same seed, different stats:\n%+v\n%+v", ft1.Stats(), ft2.Stats())
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("request %d: outcome %q vs %q — decisions not deterministic", i, out1[i], out2[i])
+		}
+	}
+	if ft1.Stats().Injected() == 0 {
+		t.Error("storm profile injected nothing over 200 requests")
+	}
+}
+
+func TestFaultDeterminismDifferentSeedsDiffer(t *testing.T) {
+	_, out1 := faultProbe(t, stormProfile(1), "doc-a", 200)
+	_, out2 := faultProbe(t, stormProfile(2), "doc-a", 200)
+	same := true
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("200 requests under different seeds produced identical outcomes")
+	}
+}
+
+// Two goroutines hammering distinct documents must produce the same total
+// stats as the runs executed back to back: decisions key on (shape,
+// occurrence), not on global arrival order.
+func TestFaultDeterminismUnderConcurrency(t *testing.T) {
+	profile := stormProfile(7)
+
+	serial := NewFaultTransport(nil, profile)
+	runDoc := func(ft *FaultTransport, ts *httptest.Server, docID string, n int) {
+		client := &http.Client{Transport: ft}
+		for i := 0; i < n; i++ {
+			resp, err := client.Get(ts.URL + "/Doc?docID=" + docID)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "stable body")
+	}))
+	defer ts.Close()
+	serial.Base = ts.Client().Transport
+	runDoc(serial, ts, "doc-a", 100)
+	runDoc(serial, ts, "doc-b", 100)
+
+	concurrent := NewFaultTransport(ts.Client().Transport, profile)
+	var wg sync.WaitGroup
+	for _, doc := range []string{"doc-a", "doc-b"} {
+		wg.Add(1)
+		go func(doc string) {
+			defer wg.Done()
+			runDoc(concurrent, ts, doc, 100)
+		}(doc)
+	}
+	wg.Wait()
+
+	if serial.Stats() != concurrent.Stats() {
+		t.Errorf("stats depend on interleaving:\nserial     %+v\nconcurrent %+v",
+			serial.Stats(), concurrent.Stats())
+	}
+}
+
+func TestFaultDocIDFromFormBody(t *testing.T) {
+	// POST bodies carry the docID; the transport must read it for the
+	// shape key and then restore the body so the server still sees it.
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.ParseForm()
+		got.Store(r.PostForm.Get("docID"))
+	}))
+	defer ts.Close()
+
+	ft := NewFaultTransport(ts.Client().Transport, FaultProfile{Seed: 3})
+	client := &http.Client{Transport: ft}
+	form := url.Values{"docID": {"the-doc"}, "docContents": {"payload"}}
+	resp, err := client.PostForm(ts.URL+"/Doc", form)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if got.Load() != "the-doc" {
+		t.Errorf("server saw docID %q; body not restored after key extraction", got.Load())
+	}
+}
+
+func TestFaultDisabledIsTransparent(t *testing.T) {
+	profile := FaultProfile{Seed: 1, DropRate: 1} // would drop everything
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	ft := NewFaultTransport(ts.Client().Transport, profile)
+	ft.SetEnabled(false)
+	client := &http.Client{Transport: ft}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("disabled transport failed request: %v", err)
+	}
+	resp.Body.Close()
+	if s := ft.Stats(); s.Requests != 0 || s.Injected() != 0 {
+		t.Errorf("disabled transport counted: %+v", s)
+	}
+
+	ft.SetEnabled(true)
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Error("DropRate=1 transport let a request through after SetEnabled(true)")
+	}
+}
+
+func TestFaultCorruptionDamagesBody(t *testing.T) {
+	profile := FaultProfile{Seed: 5, CorruptRate: 1, CorruptBytes: 4}
+	ft, outcomes := faultProbe(t, profile, "doc-c", 20)
+	for i, o := range outcomes {
+		if o != "corrupt" {
+			t.Errorf("request %d: outcome %q, want corrupt", i, o)
+		}
+	}
+	if got := ft.Stats().Corruptions; got != 20 {
+		t.Errorf("Corruptions = %d, want 20", got)
+	}
+}
+
+func TestCorruptBodyUsesInvalidByte(t *testing.T) {
+	b := []byte(strings.Repeat("A", 64))
+	corruptBody(b, 12345, 3)
+	n := strings.Count(string(b), "\x7f")
+	if n == 0 || n > 3 {
+		t.Errorf("corruptBody wrote %d 0x7f bytes, want 1..3", n)
+	}
+	// Zero-length bodies must not panic (satellite edge case).
+	corruptBody(nil, 12345, 3)
+}
+
+func TestFaultErrorClassification(t *testing.T) {
+	timeout := &FaultError{Kind: "timeout"}
+	if !timeout.Timeout() || !timeout.Temporary() {
+		t.Error("timeout fault must report Timeout() and Temporary()")
+	}
+	drop := &FaultError{Kind: "drop"}
+	if drop.Timeout() {
+		t.Error("drop fault must not report Timeout()")
+	}
+	if !strings.Contains(drop.Error(), "drop") {
+		t.Errorf("Error() = %q, kind missing", drop.Error())
+	}
+}
+
+func TestFaultTimeoutsRespectContext(t *testing.T) {
+	profile := FaultProfile{Seed: 9, TimeoutRate: 1, TimeoutDelay: time.Minute}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ft := NewFaultTransport(ts.Client().Transport, profile)
+	client := &http.Client{Transport: ft}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/Doc?docID=x", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("expected error from injected timeout")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context deadline", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("injected timeout ignored the request context")
+	}
+}
+
+func TestFaultDropResponseStillReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer ts.Close()
+
+	profile := FaultProfile{Seed: 11, DropResponseRate: 1}
+	ft := NewFaultTransport(ts.Client().Transport, profile)
+	client := &http.Client{Transport: ft}
+	_, err := client.Get(ts.URL + "/Doc?docID=x")
+	if err == nil {
+		t.Fatal("drop_response must fail the caller")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("server hits = %d; drop_response must let the request through", hits.Load())
+	}
+	if ft.Stats().DropResponses != 1 {
+		t.Errorf("DropResponses = %d, want 1", ft.Stats().DropResponses)
+	}
+}
+
+func TestFaultPartitionWindows(t *testing.T) {
+	profile := FaultProfile{
+		Seed:       13,
+		Partitions: []Partition{{Begin: 100 * time.Millisecond, End: 200 * time.Millisecond}},
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+
+	ft := NewFaultTransport(ts.Client().Transport, profile)
+	clock := time.Unix(1700000000, 0)
+	var mu sync.Mutex
+	ft.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		clock = clock.Add(d)
+		mu.Unlock()
+	}
+	client := &http.Client{Transport: ft}
+
+	get := func() error {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+	if err := get(); err != nil { // t=0, before the window
+		t.Fatalf("pre-window request failed: %v", err)
+	}
+	advance(150 * time.Millisecond)
+	if err := get(); err == nil { // t=150ms, inside
+		t.Fatal("request inside partition window succeeded")
+	}
+	advance(100 * time.Millisecond)
+	if err := get(); err != nil { // t=250ms, after
+		t.Fatalf("post-window request failed: %v", err)
+	}
+	if ft.Stats().Partitioned != 1 {
+		t.Errorf("Partitioned = %d, want 1", ft.Stats().Partitioned)
+	}
+}
+
+func TestFailureRateSumsLadder(t *testing.T) {
+	p := FaultProfile{DropRate: 0.1, DropResponseRate: 0.1, Error5xxRate: 0.1,
+		ThrottleRate: 0.1, TimeoutRate: 0.1, CorruptRate: 0.9, JitterRate: 0.9}
+	if got := p.FailureRate(); got < 0.499 || got > 0.501 {
+		t.Errorf("FailureRate = %v, want 0.5 (corrupt/jitter excluded)", got)
+	}
+}
+
+func TestFaultRatesRoughlyHonored(t *testing.T) {
+	// With a 30% 5xx rate over 400 requests, expect a count in a generous
+	// band around 120 — this pins that unit() maps onto [0,1) sanely.
+	profile := FaultProfile{Seed: 17, Error5xxRate: 0.3}
+	ft, _ := faultProbe(t, profile, "doc-r", 400)
+	got := ft.Stats().Errors5xx
+	if got < 70 || got > 170 {
+		t.Errorf("Errors5xx = %d over 400 requests at rate 0.3", got)
+	}
+}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,6 +76,61 @@ func TestDelayTransportSleepsAndForwards(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
 		t.Errorf("elapsed %v; delay not applied", elapsed)
+	}
+}
+
+func TestTransferTimeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+		n    int
+	}{
+		{"zero bandwidth", Profile{BandwidthBps: 0}, 1 << 20},
+		{"negative bandwidth", Profile{BandwidthBps: -100}, 1 << 20},
+		{"zero-length body", Profile{BandwidthBps: 1000}, 0},
+		{"negative length", Profile{BandwidthBps: 1000}, -5},
+	}
+	for _, tc := range cases {
+		if got := tc.p.transferTime(tc.n); got != 0 {
+			t.Errorf("%s: transferTime = %v, want 0", tc.name, got)
+		}
+	}
+}
+
+func TestRequestTimeZeroBodies(t *testing.T) {
+	p := Broadband2009()
+	// An empty exchange still pays RTT and fixed server time, nothing else.
+	if got, want := p.RequestTime(0, 0), p.RTT+p.ServerFixed; got != want {
+		t.Errorf("RequestTime(0,0) = %v, want %v", got, want)
+	}
+}
+
+func TestDelayTransportCancelMidTransfer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	}))
+	defer ts.Close()
+
+	// A profile whose delay is far longer than the context deadline: the
+	// sleep must abort mid-transfer and surface the context error.
+	profile := Profile{RTT: 10 * time.Second}
+	client := &http.Client{Transport: &DelayTransport{Profile: profile}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("expected context error from cancelled transfer delay")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; transfer delay did not honor the context", elapsed)
 	}
 }
 

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Coverage gate: the packages that hold the correctness-critical logic —
+# the crypto core, the skip-list indices, the delta algebra, and the
+# mediating extension (including the PR-4 resilience stack) — must each
+# keep at least MIN_COVER% statement coverage. CI fails the build below
+# the floor, so new code in these packages ships with tests or not at all.
+#
+# Usage: scripts/coverage_gate.sh [min_percent]
+set -eu
+
+MIN_COVER="${1:-${MIN_COVER:-80}}"
+GO="${GO:-go}"
+
+PACKAGES="
+privedit/internal/core
+privedit/internal/skiplist
+privedit/internal/delta
+privedit/internal/mediator
+"
+
+fail=0
+for pkg in $PACKAGES; do
+    profile="$(mktemp)"
+    if ! "$GO" test -count=1 -covermode=atomic -coverprofile="$profile" "$pkg" >/dev/null; then
+        echo "cover-gate: FAIL $pkg (tests failed)"
+        rm -f "$profile"
+        fail=1
+        continue
+    fi
+    pct="$("$GO" tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+    rm -f "$profile"
+    if [ -z "$pct" ]; then
+        echo "cover-gate: FAIL $pkg (no coverage total)"
+        fail=1
+        continue
+    fi
+    ok="$(awk -v p="$pct" -v m="$MIN_COVER" 'BEGIN { print (p+0 >= m+0) ? 1 : 0 }')"
+    if [ "$ok" = 1 ]; then
+        echo "cover-gate: ok   $pkg ${pct}% (floor ${MIN_COVER}%)"
+    else
+        echo "cover-gate: FAIL $pkg ${pct}% below the ${MIN_COVER}% floor"
+        fail=1
+    fi
+done
+
+if [ "$fail" != 0 ]; then
+    echo "cover-gate: coverage gate failed"
+    exit 1
+fi
+echo "cover-gate: all gated packages at or above ${MIN_COVER}%"
