@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke profile-smoke hotpath clean
 
 all: build vet lint test
 
@@ -48,7 +48,12 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/delta/
 	$(GO) test -fuzz=FuzzTransform -fuzztime=$(FUZZTIME) ./internal/delta/
+	$(GO) test -fuzz=FuzzCoalesce -fuzztime=$(FUZZTIME) ./internal/delta/
+	$(GO) test -fuzz=FuzzNormalizeIdempotent -fuzztime=$(FUZZTIME) ./internal/delta/
 	$(GO) test -fuzz=FuzzLoadTransport -fuzztime=$(FUZZTIME) ./internal/blockdoc/
+	$(GO) test -fuzz=FuzzTransformDelta -fuzztime=$(FUZZTIME) ./internal/blockdoc/
+	$(GO) test -fuzz=FuzzFingerEquivalence -fuzztime=$(FUZZTIME) ./internal/skiplist/
+	$(GO) test -fuzz=FuzzDiff -fuzztime=$(FUZZTIME) ./internal/diff/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/stego/
 	$(GO) test -fuzz=FuzzDirective -fuzztime=$(FUZZTIME) ./internal/lint/
 
@@ -80,6 +85,28 @@ load-smoke:
 # document diverges). Writes /tmp/BENCH_chaos.json.
 chaos-smoke:
 	$(GO) run ./cmd/privedit-load -chaos -sessions 4 -ops 40 -seed 2011 -json /tmp/BENCH_chaos.json
+
+# Profiled load run: exercises -cpuprofile/-memprofile end to end and
+# fails unless both profiles come back non-empty and parseable by
+# `go tool pprof` with actual CPU samples recorded.
+PROFILE_DURATION ?= 30s
+profile-smoke:
+	$(GO) run ./cmd/privedit-load -sessions 8 -docs 4 -duration $(PROFILE_DURATION) -workers 4 \
+		-enc-bench=false -cpuprofile /tmp/privedit-cpu.pprof -memprofile /tmp/privedit-mem.pprof
+	@test -s /tmp/privedit-cpu.pprof || { echo "profile-smoke: empty CPU profile"; exit 1; }
+	@test -s /tmp/privedit-mem.pprof || { echo "profile-smoke: empty heap profile"; exit 1; }
+	@$(GO) tool pprof -top -nodecount=5 /tmp/privedit-cpu.pprof | grep -q "Total samples" \
+		|| { echo "profile-smoke: CPU profile has no samples"; exit 1; }
+	@$(GO) tool pprof -top -nodecount=5 /tmp/privedit-mem.pprof > /dev/null \
+		|| { echo "profile-smoke: heap profile unparseable"; exit 1; }
+	@echo "profile-smoke: CPU and heap profiles non-empty and parseable"
+
+# Hot-path benchmark: finger cache + delta coalescing vs baseline on the
+# burst-edit workload, with byte-identity cross-checks between variants.
+# Writes /tmp/BENCH_hotpath.json (the committed BENCH_hotpath.json is one
+# such run at default scale).
+hotpath:
+	$(GO) run ./cmd/privedit-bench -exp hotpath -json /tmp
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -33,22 +33,32 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|func|ablation|scaling|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|func|ablation|scaling|hotpath|all")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper-scale defaults)")
 	seed := flag.Int64("seed", 2011, "random seed")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 	metricsDump := flag.String("metrics-dump", "", "on exit, write Prometheus text metrics to this path (\"-\" for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
 	if *metricsDump != "" {
 		obs.Enable()
 	}
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-bench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{Trials: *trials, Seed: *seed}
-	err := run(*exp, cfg, *jsonDir)
+	err = run(*exp, cfg, *jsonDir)
 	if *metricsDump != "" {
 		if derr := dumpMetrics(*metricsDump); derr != nil && err == nil {
 			err = derr
 		}
+	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privedit-bench:", err)
@@ -70,8 +80,9 @@ func run(exp string, cfg bench.Config, jsonDir string) error {
 		"func":     runFunc,
 		"ablation": runAblation,
 		"scaling":  runScaling,
+		"hotpath":  runHotpath,
 	}
-	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "func", "ablation", "scaling"}
+	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "func", "ablation", "scaling", "hotpath"}
 	if exp != "all" {
 		if _, ok := runners[exp]; !ok {
 			return fmt.Errorf("unknown experiment %q", exp)
@@ -202,6 +213,19 @@ func runFunc(cfg bench.Config) (any, error) {
 
 func runScaling(cfg bench.Config) (any, error) {
 	res, err := bench.Scaling(cfg, core.ConfidentialityOnly)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(res)
+	return res, nil
+}
+
+func runHotpath(cfg bench.Config) (any, error) {
+	hc := bench.HotpathConfig{Seed: cfg.Seed}
+	if cfg.Trials > 0 {
+		hc.Ops = cfg.Trials * 100
+	}
+	res, err := bench.Hotpath(hc)
 	if err != nil {
 		return nil, err
 	}

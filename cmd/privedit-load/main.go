@@ -54,6 +54,8 @@ func main() {
 	seed := flag.Int64("seed", 2011, "workload seed")
 	jsonPath := flag.String("json", "", "write BENCH_load.json artifact to this path")
 	encBench := flag.Bool("enc-bench", true, "include serial-vs-parallel encrypt kernel comparison in -json output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the load harness")
 	ops := flag.Int("ops", 40, "chaos: edit operations per session")
@@ -76,6 +78,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "privedit-load: unknown scheme %q (want recb or rpc)\n", *schemeName)
 		os.Exit(2)
 	}
+
+	stopProfiles, err := bench.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+	// Error paths below exit the process directly and forfeit the profiles;
+	// a completed run flushes them here.
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		}
+	}()
 
 	if *chaos {
 		if *faultSeed == 0 {

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"privedit/internal/gdocs"
@@ -47,6 +49,14 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.Default))
+	// Profiling endpoints. The custom mux never sees the side-effecting
+	// DefaultServeMux registration from importing net/http/pprof, so the
+	// handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/", server)
 
 	httpServer := &http.Server{
@@ -81,6 +91,9 @@ func pathLabel(p string) string {
 	case gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate,
 		gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport, "/metrics":
 		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof/") {
+		return "/debug/pprof/"
 	}
 	return "other"
 }

@@ -134,12 +134,13 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	ext := mediator.New(transport, mediator.StaticPassword("load-pw", opts), nil)
 	httpc := ext.Client()
 
-	// Latency histogram in a private registry so repeated runs in one
-	// process don't pollute each other; conflicts from the server's
-	// counter in the default registry.
-	reg := obs.NewRegistry()
-	lat := reg.NewHistogram("privedit_load_op_seconds",
-		"End-to-end latency of one mediated save operation.", obs.TimeBuckets)
+	// Latency percentiles come from the raw per-operation samples, not a
+	// bucketed histogram: bucket interpolation can misreport tail
+	// quantiles by the width of a bucket, and the committed artifact should
+	// report observations, not estimates. Each session appends to its own
+	// slice; the slices merge after the run. Conflicts come from the
+	// server's obs counter in the default registry.
+	latSamples := make([][]float64, cfg.Sessions)
 	obs.Enable()
 	conflictsBefore := obs.Default.Value("privedit_version_conflicts_total")
 
@@ -189,7 +190,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 						err = c.Sync()
 					}
 				}
-				lat.Observe(time.Since(t0).Seconds())
+				latSamples[s] = append(latSamples[s], time.Since(t0).Seconds())
 				if err != nil {
 					// Conflict storms and transform rejections on shared
 					// documents are expected; resynchronize and go on.
@@ -211,6 +212,13 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var lat Sample
+	for _, sessionLat := range latSamples {
+		for _, v := range sessionLat {
+			lat.Add(v)
+		}
+	}
+
 	stats := ext.Stats()
 	conflictsAfter := obs.Default.Value("privedit_version_conflicts_total")
 	report := LoadReport{
@@ -228,9 +236,9 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		Errors:     errs.Load(),
 		Conflicts:  int64(conflictsAfter - conflictsBefore),
 		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
-		P50Ms:      lat.Quantile(0.50) * 1000,
-		P95Ms:      lat.Quantile(0.95) * 1000,
-		P99Ms:      lat.Quantile(0.99) * 1000,
+		P50Ms:      lat.Percentile(0.50) * 1000,
+		P95Ms:      lat.Percentile(0.95) * 1000,
+		P99Ms:      lat.Percentile(0.99) * 1000,
 
 		MediatorFullEncrypts:   stats.FullEncrypts,
 		MediatorDeltas:         stats.DeltasTransformed,

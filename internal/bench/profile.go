@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile at cpuPath and schedules a heap
+// profile at memPath; either path may be empty to skip that profile. The
+// returned stop function ends the CPU profile and writes the heap profile,
+// and must run before the process exits for the files to be valid.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("bench: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err == nil {
+				// An up-to-date heap profile needs the most recent GC's
+				// live-object statistics.
+				runtime.GC()
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("bench: heap profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -11,7 +11,10 @@
 // shapes.
 package bench
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Sample accumulates observations and reports summary statistics.
 type Sample struct {
@@ -49,6 +52,30 @@ func (s *Sample) StdDev() float64 {
 		sum += d * d
 	}
 	return math.Sqrt(sum / float64(n-1))
+}
+
+// Percentile returns the q-th quantile (0 < q <= 1) of the sample by the
+// nearest-rank method: the smallest observation v such that at least
+// ceil(q*n) observations are <= v. Unlike a bucketed histogram estimate,
+// the result is always an actual observation; P100 is the maximum and, for
+// n = 1, every percentile is the lone observation. Returns 0 for an empty
+// sample.
+func (s *Sample) Percentile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
 }
 
 // Min returns the smallest observation (0 for an empty sample).

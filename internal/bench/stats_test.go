@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition:
+// rank = ceil(q*n), 1-indexed into the sorted sample.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		q      float64
+		want   float64
+	}{
+		// n=1: every percentile is the lone observation.
+		{"n1-p50", []float64{7}, 0.50, 7},
+		{"n1-p95", []float64{7}, 0.95, 7},
+		{"n1-p99", []float64{7}, 0.99, 7},
+		{"n1-p100", []float64{7}, 1.00, 7},
+
+		// n=2: ceil(0.5*2)=1 → first; anything above 0.5 → second.
+		{"n2-p50", []float64{10, 20}, 0.50, 10},
+		{"n2-p51", []float64{10, 20}, 0.51, 20},
+		{"n2-p95", []float64{20, 10}, 0.95, 20}, // order must not matter
+		{"n2-p100", []float64{10, 20}, 1.00, 20},
+
+		// n=4: ceil(0.5*4)=2, ceil(0.95*4)=4, ceil(0.25*4)=1.
+		{"n4-p25", []float64{4, 1, 3, 2}, 0.25, 1},
+		{"n4-p50", []float64{4, 1, 3, 2}, 0.50, 2},
+		{"n4-p75", []float64{4, 1, 3, 2}, 0.75, 3},
+		{"n4-p95", []float64{4, 1, 3, 2}, 0.95, 4},
+
+		// n=100 over 1..100: ceil(q*100) is the value itself.
+		{"n100-p50", seq(100), 0.50, 50},
+		{"n100-p95", seq(100), 0.95, 95},
+		{"n100-p99", seq(100), 0.99, 99},
+		{"n100-p1", seq(100), 0.01, 1},
+		{"n100-p100", seq(100), 1.00, 100},
+
+		{"empty", nil, 0.50, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			for _, v := range tc.values {
+				s.Add(v)
+			}
+			if got := s.Percentile(tc.q); got != tc.want {
+				t.Fatalf("Percentile(%v) over %v = %v, want %v", tc.q, tc.values, got, tc.want)
+			}
+		})
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// TestPercentileProperties checks invariants on random samples: the result
+// is always an actual observation, percentiles are monotone in q, P100 is
+// the max, and the underlying sample is not reordered.
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var s Sample
+		n := 1 + rng.Intn(50)
+		orig := make([]float64, n)
+		for i := 0; i < n; i++ {
+			orig[i] = rng.NormFloat64()
+			s.Add(orig[i])
+		}
+		prev := s.Min() - 1
+		for _, q := range []float64{0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0} {
+			p := s.Percentile(q)
+			found := false
+			for _, v := range orig {
+				if v == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("Percentile(%v) = %v is not an observation", q, p)
+			}
+			if p < prev {
+				t.Fatalf("Percentile not monotone: %v then %v", prev, p)
+			}
+			prev = p
+		}
+		if s.Percentile(1.0) != s.Max() {
+			t.Fatalf("P100 %v != max %v", s.Percentile(1.0), s.Max())
+		}
+		for i, v := range s.values {
+			if v != orig[i] {
+				t.Fatal("Percentile reordered the sample")
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package blockdoc_test
+
+import (
+	"testing"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/delta"
+)
+
+// FuzzTransformDelta drives the full edit pipeline from fuzz-provided
+// documents (including multibyte and invalid UTF-8) and op tapes: each
+// byte triple of the tape is one plaintext operation. It asserts, for both
+// schemes and with coalescing on and off, that
+//
+//  1. the in-memory plaintext equals the delta applied to the old one,
+//  2. the emitted ciphertext delta, applied server-side to the old
+//     transport string, reproduces the document's new transport exactly,
+//  3. coalescing never changes the resulting document or its plaintext.
+func FuzzTransformDelta(f *testing.F) {
+	f.Add("hello block world", []byte{0, 3, 2, 1, 9, 4})
+	f.Add("日本語テキスト with ascii", []byte{0, 0, 1, 1, 2, 0, 2, 5, 3})
+	f.Add("𝛼𝛽\xff\xfe mixed", []byte{2, 1, 1, 0, 4, 2})
+	f.Add("", []byte{0, 0, 9})
+	f.Fuzz(func(t *testing.T, text string, tape []byte) {
+		if len(text) > 2000 || len(tape) > 60 {
+			t.Skip()
+		}
+		// Decode the tape into one valid plaintext delta against text.
+		var pd delta.Delta
+		cursor := 0
+		for i := 0; i+2 < len(tape); i += 3 {
+			kind, a, b := tape[i]%3, int(tape[i+1]), tape[i+2]
+			switch kind {
+			case 0: // retain
+				if left := len(text) - cursor; left > 0 {
+					n := 1 + a%left
+					pd = append(pd, delta.RetainOp(n))
+					cursor += n
+				}
+			case 1: // delete
+				if left := len(text) - cursor; left > 0 {
+					n := 1 + a%left
+					pd = append(pd, delta.DeleteOp(n))
+					cursor += n
+				}
+			default: // insert
+				pd = append(pd, delta.InsertOp(string([]byte{b, byte(a)})))
+			}
+		}
+		if pd.Validate(len(text)) != nil {
+			t.Skip()
+		}
+		wantText, err := pd.Apply(text)
+		if err != nil {
+			t.Skip()
+		}
+
+		for name, c := range codecs(t, 77) {
+			for _, coalesce := range []bool{true, false} {
+				doc, err := blockdoc.New(c, 4, testSalt(), testKC())
+				if err != nil {
+					t.Fatalf("%s: New: %v", name, err)
+				}
+				if err := doc.LoadPlaintext(text); err != nil {
+					t.Fatalf("%s: LoadPlaintext: %v", name, err)
+				}
+				doc.SetCoalesce(coalesce)
+				before := doc.Transport()
+				cd, err := doc.TransformDelta(pd)
+				if err != nil {
+					t.Fatalf("%s coalesce=%v: TransformDelta(%q): %v", name, coalesce, pd.String(), err)
+				}
+				if got := doc.Plaintext(); got != wantText {
+					t.Fatalf("%s coalesce=%v: plaintext %q, want %q", name, coalesce, got, wantText)
+				}
+				after, err := cd.Apply(before)
+				if err != nil {
+					t.Fatalf("%s coalesce=%v: server apply: %v", name, coalesce, err)
+				}
+				if after != doc.Transport() {
+					t.Fatalf("%s coalesce=%v: server-side transport diverges from client state", name, coalesce)
+				}
+				if err := doc.SelfCheck(); err != nil {
+					t.Fatalf("%s coalesce=%v: self check: %v", name, coalesce, err)
+				}
+			}
+		}
+	})
+}

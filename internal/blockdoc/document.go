@@ -29,6 +29,19 @@ type Document struct {
 	// stream (0 = GOMAXPROCS, 1 = serial). Small documents always take
 	// the serial path; see internal/parallel.
 	workers int
+
+	// coalesceOff disables delta coalescing in TransformDelta (benchmarks
+	// measuring the uncoalesced splice loop only).
+	coalesceOff bool
+
+	// spliceText is the reusable assembly buffer for splice replacement
+	// text (prefixPart + insertion + suffixPart). A Document is
+	// single-threaded by contract, so one scratch buffer suffices; codecs
+	// copy chunk bytes into blocks they own, so the buffer can be reused
+	// across splices.
+	spliceText []byte
+	// chunkScratch is the reusable chunk-header slice handed to the codec.
+	chunkScratch [][]byte
 }
 
 // New creates an empty encrypted document for the given codec.
@@ -68,6 +81,17 @@ func New(codec Codec, blockChars int, salt [SaltLen]byte, keyCheck [KeyCheckLen]
 // serialized container is identical either way.
 func (d *Document) SetWorkers(n int) { d.workers = n }
 
+// SetFinger toggles the block index's search-finger cache (on by default).
+// The cache is an internal accelerator — search results and serialized
+// bytes are identical either way; the toggle exists for benchmarks.
+func (d *Document) SetFinger(enabled bool) { d.list.SetFinger(enabled) }
+
+// SetCoalesce toggles delta coalescing in TransformDelta (on by default).
+// Coalescing never changes the resulting document, only how many splices —
+// and therefore which ciphertext delta — produce it; turning it off exists
+// for benchmarks that measure the uncoalesced splice loop.
+func (d *Document) SetCoalesce(enabled bool) { d.coalesceOff = !enabled }
+
 // Header returns the container header.
 func (d *Document) Header() Header { return d.header }
 
@@ -101,6 +125,23 @@ func (d *Document) chunk(text []byte) [][]byte {
 		text = text[d.blockChars:]
 	}
 	chunks = append(chunks, text)
+	return chunks
+}
+
+// chunkScratched is chunk backed by the document's reusable chunk-header
+// slice: the headers (not the bytes they point at) are valid only until the
+// next call. Used on the splice hot path, where the codec consumes the
+// chunks before the next splice begins.
+func (d *Document) chunkScratched(text []byte) [][]byte {
+	chunks := d.chunkScratch[:0]
+	for len(text) > d.blockChars {
+		chunks = append(chunks, text[:d.blockChars])
+		text = text[d.blockChars:]
+	}
+	if len(text) > 0 {
+		chunks = append(chunks, text)
+	}
+	d.chunkScratch = chunks
 	return chunks
 }
 

@@ -2,7 +2,7 @@ package blockdoc
 
 import (
 	"fmt"
-	"strings"
+	"sync"
 
 	"privedit/internal/crypt"
 	"privedit/internal/delta"
@@ -42,18 +42,35 @@ type tx struct {
 	trailerChanged bool
 }
 
+// metricCoalescedOps counts plaintext delta operations eliminated by
+// coalescing before the splice loop (see delta.Coalesce).
+var metricCoalescedOps = obs.NewCounter("privedit_delta_ops_coalesced_total",
+	"Plaintext delta operations folded away by coalescing before transform_delta.")
+
 // TransformDelta applies a plaintext delta to the encrypted document and
 // returns the corresponding ciphertext delta: the paper's transform_delta
 // (§V-B, Figure 2). The returned delta transforms the document's previous
 // transport string into its new one; the server applies it blindly.
+//
+// The delta is first coalesced to burst-canonical form (delta.Coalesce),
+// and each delete-insert pair at one cursor position runs as a single
+// block-range splice: a replacement edit rewrites its boundary blocks
+// once, not once for the delete and again for the insert.
 func (d *Document) TransformDelta(pd delta.Delta) (delta.Delta, error) {
 	if err := pd.Validate(d.Len()); err != nil {
 		return nil, fmt.Errorf("blockdoc: plaintext delta: %w", err)
 	}
+	if !d.coalesceOff {
+		before := len(pd)
+		pd = pd.Coalesce()
+		if dropped := before - len(pd); dropped > 0 {
+			metricCoalescedOps.Add(int64(dropped))
+		}
+	}
 	t := &tx{doc: d, srcCount: d.list.Len()}
 	cursor := 0
-	for _, op := range pd {
-		switch op.Kind {
+	for i := 0; i < len(pd); i++ {
+		switch op := pd[i]; op.Kind {
 		case delta.Retain:
 			cursor += op.N
 		case delta.Insert:
@@ -62,9 +79,17 @@ func (d *Document) TransformDelta(pd delta.Delta) (delta.Delta, error) {
 			}
 			cursor += len(op.Str)
 		case delta.Delete:
-			if err := t.splice(cursor, op.N, ""); err != nil {
+			// In coalesced form a delete can only be followed by the
+			// run's merged insert: fold both into one splice.
+			ins := ""
+			if !d.coalesceOff && i+1 < len(pd) && pd[i+1].Kind == delta.Insert {
+				ins = pd[i+1].Str
+				i++
+			}
+			if err := t.splice(cursor, op.N, ins); err != nil {
 				return nil, err
 			}
+			cursor += len(ins)
 		}
 	}
 	return t.commit()
@@ -127,11 +152,18 @@ func (t *tx) splice(pos, del int, ins string) error {
 		}
 	}
 
-	newText := make([]byte, 0, len(prefixPart)+len(ins)+len(suffixPart))
-	newText = append(newText, prefixPart...)
+	// Assemble the replacement text in the document's reusable scratch
+	// buffer. Codecs copy chunk bytes into blocks they own (their Splice
+	// contract), so the buffer is free again once codec.Splice returns.
+	need := len(prefixPart) + len(ins) + len(suffixPart)
+	if cap(d.spliceText) < need {
+		d.spliceText = make([]byte, 0, need)
+	}
+	newText := append(d.spliceText[:0], prefixPart...)
 	newText = append(newText, ins...)
 	newText = append(newText, suffixPart...)
-	chunks := d.chunk(newText)
+	d.spliceText = newText
+	chunks := d.chunkScratched(newText)
 
 	// Collect and remove the replaced blocks.
 	removed := make([]*Block, 0, curB-curA)
@@ -255,6 +287,15 @@ func (t *tx) record(curA, curB, addedCnt int, leftRewritten bool) {
 	})
 }
 
+// encodePool recycles the Base32 staging buffers commit uses to encode
+// record runs: one buffer per in-flight commit, shared across documents.
+var encodePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // commit emits the ciphertext delta describing every change the
 // transaction made, against the transport string as it was when the
 // transaction began.
@@ -265,7 +306,9 @@ func (t *tx) commit() (delta.Delta, error) {
 	} else {
 		metricFragmentation.Set(0)
 	}
-	var out delta.Delta
+	// Worst case per range edit: retain + delete + insert, plus the prefix
+	// op and a possible retain + delete + insert for the trailer.
+	out := make(delta.Delta, 0, 4+3*len(t.edits))
 
 	// Prefix region.
 	if t.prefixChanged {
@@ -285,23 +328,34 @@ func (t *tx) commit() (delta.Delta, error) {
 			out = append(out, delta.DeleteOp((e.srcHi-e.srcLo)*d.recordChars))
 		}
 		if e.curCnt > 0 {
-			var b strings.Builder
-			b.Grow(e.curCnt * d.recordChars)
+			// Encode the record run into a pooled staging buffer: one
+			// string allocation for the insert payload instead of one per
+			// record.
+			bufp := encodePool.Get().(*[]byte)
+			need := e.curCnt * d.recordChars
+			if cap(*bufp) < need {
+				*bufp = make([]byte, 0, need)
+			}
+			buf := (*bufp)[:need]
 			count := 0
 			if err := d.list.Each(e.curLo, func(_ int, blk *Block, _, _ int) bool {
 				if count >= e.curCnt {
 					return false
 				}
-				b.WriteString(crypt.EncodeTransport(blk.Record))
+				crypt.EncodeTransportInto(buf[count*d.recordChars:(count+1)*d.recordChars], blk.Record)
 				count++
 				return true
 			}); err != nil {
+				encodePool.Put(bufp)
 				return nil, err
 			}
 			if count != e.curCnt {
+				encodePool.Put(bufp)
 				return nil, fmt.Errorf("%w: range edit expected %d blocks, found %d", ErrCorrupt, e.curCnt, count)
 			}
-			out = append(out, delta.InsertOp(b.String()))
+			out = append(out, delta.InsertOp(string(buf)))
+			*bufp = buf[:0]
+			encodePool.Put(bufp)
 		}
 		prevSrc = e.srcHi
 	}

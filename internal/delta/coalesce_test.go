@@ -1,0 +1,158 @@
+package delta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCoalesceGolden pins the burst-canonical form: inside every maximal
+// insert/delete run the deletes fold into one delete emitted before one
+// merged insert.
+func TestCoalesceGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Delta
+		want Delta
+	}{
+		{"empty", nil, nil},
+		{"noop", Delta{RetainOp(5)}, nil},
+		{"single-insert", Delta{InsertOp("x")}, Delta{InsertOp("x")}},
+		{
+			"burst-of-inserts",
+			Delta{RetainOp(2), InsertOp("a"), InsertOp("b"), InsertOp("c")},
+			Delta{RetainOp(2), InsertOp("abc")},
+		},
+		{
+			"burst-of-deletes",
+			Delta{RetainOp(2), DeleteOp(1), DeleteOp(1), DeleteOp(1)},
+			Delta{RetainOp(2), DeleteOp(3)},
+		},
+		{
+			"insert-then-delete-reorders",
+			Delta{RetainOp(2), InsertOp("xy"), DeleteOp(3)},
+			Delta{RetainOp(2), DeleteOp(3), InsertOp("xy")},
+		},
+		{
+			"interleaved-run",
+			Delta{InsertOp("a"), DeleteOp(1), InsertOp("b"), DeleteOp(2), InsertOp("c")},
+			Delta{DeleteOp(3), InsertOp("abc")},
+		},
+		{
+			"retain-splits-runs",
+			Delta{InsertOp("a"), RetainOp(1), InsertOp("b"), DeleteOp(1)},
+			Delta{InsertOp("a"), RetainOp(1), DeleteOp(1), InsertOp("b")},
+		},
+		{
+			"zero-ops-dropped",
+			Delta{RetainOp(0), InsertOp(""), DeleteOp(0), RetainOp(3), InsertOp("q")},
+			Delta{RetainOp(3), InsertOp("q")},
+		},
+		{
+			"adjacent-retains-merge",
+			Delta{RetainOp(2), RetainOp(3), DeleteOp(1), RetainOp(1), RetainOp(4)},
+			Delta{RetainOp(5), DeleteOp(1)},
+		},
+		{
+			"trailing-retain-dropped",
+			Delta{InsertOp("x"), RetainOp(9)},
+			Delta{InsertOp("x")},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.Coalesce()
+			if got.String() != tc.want.String() {
+				t.Fatalf("Coalesce(%q) = %q, want %q", tc.in.String(), got.String(), tc.want.String())
+			}
+			// Idempotence: coalescing the canonical form is a fixed point.
+			if again := got.Coalesce(); again.String() != got.String() {
+				t.Fatalf("Coalesce not idempotent: %q -> %q", got.String(), again.String())
+			}
+		})
+	}
+}
+
+// randomDelta builds a random valid delta over a document of docLen bytes.
+func randomDelta(rng *rand.Rand, docLen int) Delta {
+	var d Delta
+	consumed := 0
+	for consumed < docLen && len(d) < 24 {
+		switch rng.Intn(3) {
+		case 0:
+			n := rng.Intn(docLen - consumed + 1)
+			d = append(d, RetainOp(n))
+			consumed += n
+		case 1:
+			n := rng.Intn(docLen - consumed + 1)
+			d = append(d, DeleteOp(n))
+			consumed += n
+		default:
+			d = append(d, InsertOp(strings.Repeat("i", rng.Intn(4))))
+		}
+	}
+	return d
+}
+
+// TestCoalesceEquivalenceRandom checks Apply-equivalence over random deltas:
+// coalescing must never change what a delta does to a document.
+func TestCoalesceEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const doc = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for trial := 0; trial < 5000; trial++ {
+		docLen := rng.Intn(len(doc) + 1)
+		base := doc[:docLen]
+		d := randomDelta(rng, docLen)
+		want, err := d.Apply(base)
+		if err != nil {
+			t.Fatalf("apply original %q to %q: %v", d.String(), base, err)
+		}
+		c := d.Coalesce()
+		got, err := c.Apply(base)
+		if err != nil {
+			t.Fatalf("apply coalesced %q (from %q) to %q: %v", c.String(), d.String(), base, err)
+		}
+		if got != want {
+			t.Fatalf("Coalesce changed semantics: %q vs %q on %q: %q != %q",
+				d.String(), c.String(), base, got, want)
+		}
+		if c.BaseLen() != d.Normalize().BaseLen() {
+			t.Fatalf("Coalesce changed BaseLen: %q -> %q", d.String(), c.String())
+		}
+	}
+}
+
+// FuzzCoalesce feeds wire-form deltas through the fuzzer: for every delta
+// that parses and applies, the coalesced form must apply identically and be
+// a fixed point of both Coalesce and Normalize.
+func FuzzCoalesce(f *testing.F) {
+	f.Add("=2\t+ab\t-1\t+c", "abcdef")
+	f.Add("+a\t+b\t+c", "")
+	f.Add("-1\t+x\t-1\t+y", "qrs")
+	f.Add("+é\t-2\t+世界", "èxy")
+	f.Fuzz(func(t *testing.T, wire, doc string) {
+		d, err := Parse(wire)
+		if err != nil {
+			t.Skip()
+		}
+		want, err := d.Apply(doc)
+		if err != nil {
+			t.Skip()
+		}
+		c := d.Coalesce()
+		got, err := c.Apply(doc)
+		if err != nil {
+			t.Fatalf("coalesced %q does not apply: %v", c.String(), err)
+		}
+		if got != want {
+			t.Fatalf("Coalesce(%q) = %q changes Apply on %q: %q != %q", wire, c.String(), doc, got, want)
+		}
+		if again := c.Coalesce(); again.String() != c.String() {
+			t.Fatalf("not idempotent: %q -> %q", c.String(), again.String())
+		}
+		// Burst-canonical form satisfies all Normalize invariants.
+		if norm := c.Normalize(); norm.String() != c.String() {
+			t.Fatalf("coalesced form not Normalize-stable: %q -> %q", c.String(), norm.String())
+		}
+	})
+}

@@ -304,6 +304,75 @@ func (d Delta) Normalize() Delta {
 	return out
 }
 
+// Coalesce returns an equivalent delta in burst-canonical form: the
+// Normalize guarantees (no zero-length ops, no adjacent same-kind ops, no
+// trailing retain) plus one more — within every maximal run of inserts and
+// deletes uninterrupted by a retain, the deletes are folded into a single
+// delete emitted before a single merged insert.
+//
+// Folding is sound because an insert never consumes source characters:
+// every inserted string in a run lands before whatever source text
+// survives the run, and the deletes consume source characters from the
+// run's cursor position regardless of how inserts are interleaved. The
+// canonical form means a burst of k single-character edits at one position
+// reaches transform_delta as one delete plus one insert, so the block
+// engine performs one splice — and emits one small ciphertext delta —
+// instead of k.
+//
+// Coalesce is idempotent and, like Normalize, preserves Apply on every
+// document the input applies to.
+func (d Delta) Coalesce() Delta {
+	out := make(Delta, 0, len(d))
+	pendingDel := 0
+	var pendingIns []string
+	insLen := 0
+	flush := func() {
+		if pendingDel > 0 {
+			out = append(out, Op{Kind: Delete, N: pendingDel})
+			pendingDel = 0
+		}
+		if insLen > 0 {
+			var b strings.Builder
+			b.Grow(insLen)
+			for _, s := range pendingIns {
+				b.WriteString(s)
+			}
+			out = append(out, Op{Kind: Insert, Str: b.String()})
+		}
+		pendingIns = pendingIns[:0]
+		insLen = 0
+	}
+	for _, op := range d {
+		switch op.Kind {
+		case Retain:
+			if op.N == 0 {
+				continue
+			}
+			flush()
+			if n := len(out); n > 0 && out[n-1].Kind == Retain {
+				out[n-1].N += op.N
+			} else {
+				out = append(out, op)
+			}
+		case Delete:
+			pendingDel += op.N
+		case Insert:
+			if op.Str != "" {
+				pendingIns = append(pendingIns, op.Str)
+				insLen += len(op.Str)
+			}
+		}
+	}
+	flush()
+	for len(out) > 0 && out[len(out)-1].Kind == Retain {
+		out = out[:len(out)-1]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Validate checks that the delta can be applied to a document of length
 // docLen without running out of bounds.
 func (d Delta) Validate(docLen int) error {

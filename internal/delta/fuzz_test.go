@@ -37,6 +37,12 @@ func FuzzApply(f *testing.F) {
 	f.Add("-1", "")
 	f.Add("+x", "")
 	f.Add("=5", "12345")
+	// Multibyte documents: delta counts are bytes, so boundaries can land
+	// inside runes; Apply must stay byte-exact regardless.
+	f.Add("=1\t-1\t+é", "é")
+	f.Add("=3\t+世界", "日本語")
+	f.Add("-2\t+𝛽", "𝛼𝛽")
+	f.Add("+\xc3", "\xa9")
 	f.Fuzz(func(t *testing.T, wire, doc string) {
 		d, err := Parse(wire)
 		if err != nil {

@@ -1,0 +1,117 @@
+package delta
+
+import "testing"
+
+// TestNormalizeGolden pins the canonical form: no zero-length ops, no
+// adjacent same-kind ops, no trailing retain, unknown kinds dropped.
+func TestNormalizeGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Delta
+		want Delta
+	}{
+		{"empty", nil, nil},
+		{"pure-retain", Delta{RetainOp(9)}, nil},
+		{"zero-ops", Delta{RetainOp(0), InsertOp(""), DeleteOp(0)}, nil},
+		{
+			"adjacent-retains",
+			Delta{RetainOp(1), RetainOp(2), DeleteOp(1)},
+			Delta{RetainOp(3), DeleteOp(1)},
+		},
+		{
+			"adjacent-inserts",
+			Delta{InsertOp("ab"), InsertOp("cd")},
+			Delta{InsertOp("abcd")},
+		},
+		{
+			"adjacent-deletes",
+			Delta{DeleteOp(1), DeleteOp(2)},
+			Delta{DeleteOp(3)},
+		},
+		{
+			"zero-between-same-kind",
+			Delta{InsertOp("a"), RetainOp(0), InsertOp("b")},
+			Delta{InsertOp("ab")},
+		},
+		{
+			"trailing-retain-run",
+			Delta{InsertOp("x"), RetainOp(2), RetainOp(3)},
+			Delta{InsertOp("x")},
+		},
+		{
+			"invalid-kind-dropped",
+			Delta{{Kind: OpKind(99), N: 5}, InsertOp("q")},
+			Delta{InsertOp("q")},
+		},
+		{
+			"insert-delete-order-preserved",
+			Delta{InsertOp("x"), DeleteOp(1), InsertOp("y")},
+			Delta{InsertOp("x"), DeleteOp(1), InsertOp("y")},
+		},
+		{
+			"paper-example",
+			Delta{RetainOp(2), DeleteOp(3), InsertOp("uv"), RetainOp(2), InsertOp("w")},
+			Delta{RetainOp(2), DeleteOp(3), InsertOp("uv"), RetainOp(2), InsertOp("w")},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.Normalize()
+			if got.String() != tc.want.String() {
+				t.Fatalf("Normalize(%v) = %q, want %q", tc.in, got.String(), tc.want.String())
+			}
+		})
+	}
+}
+
+// FuzzNormalizeIdempotent checks that Normalize is a projection onto its
+// canonical form — Normalize(Normalize(d)) == Normalize(d) — and that the
+// canonical form preserves Apply, including on multibyte documents.
+func FuzzNormalizeIdempotent(f *testing.F) {
+	f.Add("=2\t-3\t+uv\t=2\t+w", "abcdefg")
+	f.Add("=0\t+a\t+b\t=0\t-0\t=3", "xyz")
+	f.Add("+é\t=2\t+日本語", "è語")
+	f.Add("-1\t-1\t=1\t=1", "𝛼𝛽")
+	f.Add("+\xff\xfe\t=1", "\x80")
+	f.Fuzz(func(t *testing.T, wire, doc string) {
+		d, err := Parse(wire)
+		if err != nil {
+			t.Skip()
+		}
+		once := d.Normalize()
+		twice := once.Normalize()
+		if once.String() != twice.String() {
+			t.Fatalf("Normalize not idempotent on %q: %q -> %q", wire, once.String(), twice.String())
+		}
+		// Canonical-form invariants.
+		for i, op := range once {
+			switch op.Kind {
+			case Retain, Delete:
+				if op.N == 0 {
+					t.Fatalf("zero-length op %d survives in %q", i, once.String())
+				}
+			case Insert:
+				if op.Str == "" {
+					t.Fatalf("empty insert %d survives in %q", i, once.String())
+				}
+			default:
+				t.Fatalf("invalid kind %d survives in %q", op.Kind, once.String())
+			}
+			if i > 0 && once[i-1].Kind == op.Kind {
+				t.Fatalf("adjacent %v ops survive in %q", op.Kind, once.String())
+			}
+		}
+		if n := len(once); n > 0 && once[n-1].Kind == Retain {
+			t.Fatalf("trailing retain survives in %q", once.String())
+		}
+		// Apply-equivalence whenever the original applies.
+		want, err := d.Apply(doc)
+		if err != nil {
+			t.Skip()
+		}
+		got, err := once.Apply(doc)
+		if err != nil || got != want {
+			t.Fatalf("normalized %q diverges on %q: %q != %q (%v)", once.String(), doc, got, want, err)
+		}
+	})
+}

@@ -9,65 +9,161 @@
 // The implementation is Myers' O(ND) difference algorithm in its
 // linear-space divide-and-conquer form (middle snake), so memory stays
 // O(N+M) even for unrelated documents.
+//
+// Unit of position: delta counts (=n, -n) are BYTES of the UTF-8 encoded
+// document, matching the delta language, the block engine, and the skip
+// list (see DESIGN.md §11). The edit script itself, however, is computed
+// over UTF-8 runes: every retain/delete boundary falls on a rune boundary,
+// so a multibyte character is never split between operations. Bytes that
+// do not form valid UTF-8 are treated as one-byte units, which keeps
+// Apply(Diff(a, b), a) == b for arbitrary byte strings.
 package diff
 
 import (
+	"unicode/utf8"
+
 	"privedit/internal/delta"
 )
 
-// Diff returns a minimal-length edit script transforming a into b,
-// expressed as a normalized delta: Apply(Diff(a, b), a) == b.
+// Diff returns a rune-aligned minimal edit script transforming a into b,
+// expressed as a normalized delta with byte counts:
+// Apply(Diff(a, b), a) == b. Minimality is in rune units: no script that
+// also respects rune boundaries inserts or deletes fewer runes.
 func Diff(a, b string) delta.Delta {
 	var d delta.Delta
-	diffRec([]byte(a), []byte(b), &d)
+
+	// Bytewise common-prefix/suffix fast path: a small edit in a large
+	// document should not pay for tokenizing the whole document. The trim
+	// points are backed off to rune boundaries of both strings so the
+	// middle handed to the token diff never starts or ends mid-rune.
+	p := 0
+	max := len(a)
+	if len(b) < max {
+		max = len(b)
+	}
+	for p < max && a[p] == b[p] {
+		p++
+	}
+	for p > 0 && (!boundary(a, p) || !boundary(b, p)) {
+		p--
+	}
+	s := 0
+	for s < max-p && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	for s > 0 && (!boundary(a, len(a)-s) || !boundary(b, len(b)-s)) {
+		s--
+	}
+
+	if p > 0 {
+		d = append(d, delta.RetainOp(p))
+	}
+	av := tokenize(a[p : len(a)-s])
+	bv := tokenize(b[p : len(b)-s])
+	diffRec(av, 0, len(av.tok), bv, 0, len(bv.tok), &d)
+	if s > 0 {
+		d = append(d, delta.RetainOp(s))
+	}
 	return d.Normalize()
 }
 
-// Distance returns the Myers edit distance (insertions + deletions)
-// between a and b.
+// Distance returns the edit distance between a and b in bytes (inserted
+// plus deleted bytes of the rune-aligned script). For ASCII inputs this is
+// the classical Myers insert+delete distance.
 func Distance(a, b string) int {
 	d := Diff(a, b)
 	return d.InsertLen() + d.DeleteLen()
 }
 
-func diffRec(a, b []byte, out *delta.Delta) {
+// boundary reports whether byte offset i of s is a safe cut point: the
+// start or end of the string, or the first byte of a UTF-8 sequence.
+func boundary(s string, i int) bool {
+	return i == 0 || i == len(s) || utf8.RuneStart(s[i])
+}
+
+// side is one input tokenized into rune-or-byte units. Token i covers the
+// bytes src[off[i]:off[i+1]]; tok[i] packs those bytes plus their length
+// into one word so token equality is a single integer compare.
+type side struct {
+	src string
+	off []int32  // len(tok)+1 byte offsets into src
+	tok []uint64 // packed content
+}
+
+// tokenize splits s into UTF-8 runes, treating every byte that is not part
+// of a valid encoding as its own one-byte token. Two tokens are equal iff
+// their underlying byte sequences are equal, which the packing preserves
+// (a rune's bytes fit in 32 bits; the length tag disambiguates).
+func tokenize(s string) side {
+	v := side{
+		src: s,
+		off: make([]int32, 1, len(s)+1),
+		tok: make([]uint64, 0, len(s)),
+	}
+	for i := 0; i < len(s); {
+		n := 1
+		if s[i] >= utf8.RuneSelf {
+			if r, size := utf8.DecodeRuneInString(s[i:]); r != utf8.RuneError || size > 1 {
+				n = size
+			}
+		}
+		var packed uint64
+		for j := 0; j < n; j++ {
+			packed = packed<<8 | uint64(s[i+j])
+		}
+		packed |= uint64(n) << 40
+		v.tok = append(v.tok, packed)
+		i += n
+		v.off = append(v.off, int32(i))
+	}
+	return v
+}
+
+// bytesOf returns the byte length of the token range [lo, hi).
+func (v side) bytesOf(lo, hi int) int { return int(v.off[hi] - v.off[lo]) }
+
+// strOf returns the source bytes of the token range [lo, hi).
+func (v side) strOf(lo, hi int) string { return v.src[v.off[lo]:v.off[hi]] }
+
+// diffRec emits the edit script for a.tok[alo:ahi] vs b.tok[blo:bhi].
+func diffRec(a side, alo, ahi int, b side, blo, bhi int, out *delta.Delta) {
 	// Trim common prefix.
 	p := 0
-	for p < len(a) && p < len(b) && a[p] == b[p] {
+	for alo+p < ahi && blo+p < bhi && a.tok[alo+p] == b.tok[blo+p] {
 		p++
 	}
 	if p > 0 {
-		*out = append(*out, delta.RetainOp(p))
-		a, b = a[p:], b[p:]
+		*out = append(*out, delta.RetainOp(a.bytesOf(alo, alo+p)))
+		alo, blo = alo+p, blo+p
 	}
 	// Trim common suffix.
 	s := 0
-	for s < len(a) && s < len(b) && a[len(a)-1-s] == b[len(b)-1-s] {
+	for ahi-s > alo && bhi-s > blo && a.tok[ahi-1-s] == b.tok[bhi-1-s] {
 		s++
 	}
-	suffix := s
-	a, b = a[:len(a)-s], b[:len(b)-s]
+	suffix := a.bytesOf(ahi-s, ahi)
+	ahi, bhi = ahi-s, bhi-s
 
 	switch {
-	case len(a) == 0 && len(b) == 0:
+	case alo == ahi && blo == bhi:
 		// Nothing left.
-	case len(a) == 0:
-		*out = append(*out, delta.InsertOp(string(b)))
-	case len(b) == 0:
-		*out = append(*out, delta.DeleteOp(len(a)))
+	case alo == ahi:
+		*out = append(*out, delta.InsertOp(b.strOf(blo, bhi)))
+	case blo == bhi:
+		*out = append(*out, delta.DeleteOp(a.bytesOf(alo, ahi)))
 	default:
-		sn := middleSnake(a, b)
+		sn := middleSnake(a, alo, ahi, b, blo, bhi)
 		if sn.d <= 1 {
-			// After trimming both ends of two non-empty, non-equal
-			// strings the edit distance is at least 2, so this branch is
+			// After trimming both ends of two non-empty, non-equal token
+			// ranges the edit distance is at least 2, so this branch is
 			// defensive: emit a full replacement rather than recurse.
-			*out = append(*out, delta.DeleteOp(len(a)), delta.InsertOp(string(b)))
+			*out = append(*out, delta.DeleteOp(a.bytesOf(alo, ahi)), delta.InsertOp(b.strOf(blo, bhi)))
 		} else {
-			diffRec(a[:sn.x], b[:sn.y], out)
+			diffRec(a, alo, alo+sn.x, b, blo, blo+sn.y, out)
 			if sn.u > sn.x {
-				*out = append(*out, delta.RetainOp(sn.u-sn.x))
+				*out = append(*out, delta.RetainOp(a.bytesOf(alo+sn.x, alo+sn.u)))
 			}
-			diffRec(a[sn.u:], b[sn.v:], out)
+			diffRec(a, alo+sn.u, ahi, b, blo+sn.v, bhi, out)
 		}
 	}
 	if suffix > 0 {
@@ -76,17 +172,18 @@ func diffRec(a, b []byte, out *delta.Delta) {
 }
 
 // snake is a maximal run of matches (x,y)..(u,v) lying on an optimal
-// D-path, plus the total edit distance d of the full problem.
+// D-path (token coordinates relative to the subproblem), plus the total
+// edit distance d of the full subproblem.
 type snake struct {
 	x, y, u, v, d int
 }
 
-// middleSnake finds the middle snake of an optimal edit path between a and
-// b using forward and reverse searches that each explore at most half the
-// edit distance (Myers 1986, linear-space refinement). Both a and b must be
-// non-empty.
-func middleSnake(a, b []byte) snake {
-	n, m := len(a), len(b)
+// middleSnake finds the middle snake of an optimal edit path between
+// a.tok[alo:ahi] and b.tok[blo:bhi] using forward and reverse searches
+// that each explore at most half the edit distance (Myers 1986,
+// linear-space refinement). Both ranges must be non-empty.
+func middleSnake(a side, alo, ahi int, b side, blo, bhi int) snake {
+	n, m := ahi-alo, bhi-blo
 	maxD := (n + m + 1) / 2
 	dlt := n - m
 	odd := dlt%2 != 0
@@ -113,7 +210,7 @@ func middleSnake(a, b []byte) snake {
 			}
 			y := x - k
 			x0, y0 := x, y
-			for x < n && y < m && a[x] == b[y] {
+			for x < n && y < m && a.tok[alo+x] == b.tok[blo+y] {
 				x++
 				y++
 			}
@@ -127,7 +224,7 @@ func middleSnake(a, b []byte) snake {
 				}
 			}
 		}
-		// Reverse D-paths; x counts characters consumed from the end of a.
+		// Reverse D-paths; x counts tokens consumed from the end of a.
 		for k := -d; k <= d; k += 2 {
 			var x int
 			if k == -d || (k != d && vb[idx(k-1)] < vb[idx(k+1)]) {
@@ -137,7 +234,7 @@ func middleSnake(a, b []byte) snake {
 			}
 			y := x - k
 			x0, y0 := x, y
-			for x < n && y < m && a[n-x-1] == b[m-y-1] {
+			for x < n && y < m && a.tok[alo+n-x-1] == b.tok[blo+m-y-1] {
 				x++
 				y++
 			}

@@ -55,6 +55,8 @@ var (
 		"Plaintext delta bytes submitted by the client application.")
 	metricDeltaCipherBytes = obs.NewCounter("privedit_mediator_delta_cipher_bytes_total",
 		"Ciphertext delta bytes actually sent to the server.")
+	metricDeltaOpsCoalesced = obs.NewCounter("privedit_mediator_delta_ops_coalesced_total",
+		"Plaintext delta operations folded away by coalescing before transform_delta.")
 )
 
 // PasswordProvider supplies the per-document password and encryption
@@ -486,6 +488,15 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		pd, err := delta.Parse(wire)
 		if err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: bad delta: "+err.Error()), nil
+		}
+		// Coalesce bursts of adjacent edits before transforming: a run of k
+		// single-character insertions becomes one insert, so transform_delta
+		// performs one splice and emits one small ciphertext delta.
+		if before := len(pd); before > 1 {
+			pd = pd.Coalesce()
+			if dropped := before - len(pd); dropped > 0 {
+				metricDeltaOpsCoalesced.Add(int64(dropped))
+			}
 		}
 		if e.mitigator != nil {
 			pd, err = e.mitigator.CanonicalDelta(ed.Plaintext(), pd)

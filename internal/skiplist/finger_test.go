@@ -1,0 +1,246 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// twin drives two structurally identical lists — one with the finger cache
+// enabled, one without — through the same operations and requires every
+// search on one to equal the same search on the other. The same seed makes
+// the tower heights, and therefore the structures, identical.
+type twin struct {
+	on, off *List[int]
+}
+
+func newTwin(seed uint64) *twin {
+	tw := &twin{on: New[int](seed), off: New[int](seed)}
+	tw.off.SetFinger(false)
+	return tw
+}
+
+func (tw *twin) insert(t *testing.T, k, v, w1, w2 int) {
+	t.Helper()
+	if err := tw.on.InsertAt(k, v, w1, w2); err != nil {
+		t.Fatalf("insert(on) at %d: %v", k, err)
+	}
+	if err := tw.off.InsertAt(k, v, w1, w2); err != nil {
+		t.Fatalf("insert(off) at %d: %v", k, err)
+	}
+}
+
+func (tw *twin) delete(t *testing.T, k int) {
+	t.Helper()
+	if _, _, _, err := tw.on.DeleteAt(k); err != nil {
+		t.Fatalf("delete(on) at %d: %v", k, err)
+	}
+	if _, _, _, err := tw.off.DeleteAt(k); err != nil {
+		t.Fatalf("delete(off) at %d: %v", k, err)
+	}
+}
+
+func (tw *twin) set(t *testing.T, k, v, w1, w2 int) {
+	t.Helper()
+	if err := tw.on.SetAt(k, v, w1, w2); err != nil {
+		t.Fatalf("set(on) at %d: %v", k, err)
+	}
+	if err := tw.off.SetAt(k, v, w1, w2); err != nil {
+		t.Fatalf("set(off) at %d: %v", k, err)
+	}
+}
+
+func (tw *twin) seekPrimary(t *testing.T, p int) {
+	t.Helper()
+	a, errA := tw.on.FindPrimary(p)
+	b, errB := tw.off.FindPrimary(p)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("FindPrimary(%d): cached err=%v, uncached err=%v", p, errA, errB)
+	}
+	if errA == nil && a != b {
+		t.Fatalf("FindPrimary(%d): cached %+v, uncached %+v", p, a, b)
+	}
+}
+
+func (tw *twin) seekOrdinal(t *testing.T, k int) {
+	t.Helper()
+	a, errA := tw.on.FindOrdinal(k)
+	b, errB := tw.off.FindOrdinal(k)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("FindOrdinal(%d): cached err=%v, uncached err=%v", k, errA, errB)
+	}
+	if errA == nil && a != b {
+		t.Fatalf("FindOrdinal(%d): cached %+v, uncached %+v", k, a, b)
+	}
+}
+
+// TestFingerSequentialSeeks covers the pattern the cache is for: a strict
+// left-to-right scan of every primary position, twice, with the second
+// pass offset so hits land mid-block.
+func TestFingerSequentialSeeks(t *testing.T) {
+	tw := newTwin(7)
+	for i := 0; i < 300; i++ {
+		tw.insert(t, i, i, 1+i%8, 52)
+	}
+	total := tw.on.TotalPrimary()
+	for p := 0; p < total; p++ {
+		tw.seekPrimary(t, p)
+	}
+	for p := total - 1; p >= 0; p-- {
+		tw.seekPrimary(t, p)
+	}
+	if err := tw.on.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerInvalidationEdges pins the exact invalidation boundaries:
+// a mutation strictly after the fingered ordinal must keep the cache
+// valid, one at or before it must not poison later seeks.
+func TestFingerInvalidationEdges(t *testing.T) {
+	for _, mutate := range []string{"insert-before", "insert-at", "insert-after",
+		"delete-before", "delete-at", "delete-after",
+		"set-before", "set-at", "set-after"} {
+		tw := newTwin(11)
+		for i := 0; i < 64; i++ {
+			tw.insert(t, i, i, 4, 52)
+		}
+		// Prime the finger at ordinal 32 (primary 128..131).
+		tw.seekPrimary(t, 130)
+		switch mutate {
+		case "insert-before":
+			tw.insert(t, 10, 999, 3, 52)
+		case "insert-at":
+			tw.insert(t, 32, 999, 3, 52)
+		case "insert-after":
+			tw.insert(t, 40, 999, 3, 52)
+		case "delete-before":
+			tw.delete(t, 10)
+		case "delete-at":
+			tw.delete(t, 32)
+		case "delete-after":
+			tw.delete(t, 40)
+		case "set-before":
+			tw.set(t, 10, 999, 7, 52)
+		case "set-at":
+			tw.set(t, 32, 999, 7, 52)
+		case "set-after":
+			tw.set(t, 40, 999, 7, 52)
+		}
+		total := tw.on.TotalPrimary()
+		for _, p := range []int{0, 125, 128, 130, 131, 140, total - 1} {
+			if p >= 0 && p < total {
+				tw.seekPrimary(t, p)
+			}
+		}
+		if err := tw.on.Validate(); err != nil {
+			t.Fatalf("%s: %v", mutate, err)
+		}
+	}
+}
+
+// TestFingerRandomOpsEquivalence is the main equivalence property test: a
+// long random interleaving of inserts, deletes, weight updates, and seeks
+// must be indistinguishable from the uncached list at every step.
+func TestFingerRandomOpsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2011))
+	tw := newTwin(13)
+	for step := 0; step < 20_000; step++ {
+		n := tw.on.Len()
+		switch op := rng.Intn(10); {
+		case op < 3 || n == 0: // insert
+			tw.insert(t, rng.Intn(n+1), step, rng.Intn(9), rng.Intn(3)*26)
+		case op < 4: // delete
+			tw.delete(t, rng.Intn(n))
+		case op < 5: // set
+			tw.set(t, rng.Intn(n), step, rng.Intn(9), rng.Intn(3)*26)
+		case op < 8: // primary seek, biased local around the last one
+			if total := tw.on.TotalPrimary(); total > 0 {
+				p := rng.Intn(total)
+				if rng.Intn(2) == 0 && tw.on.fg.node != nil {
+					p = tw.on.fg.beforeW1 + rng.Intn(32)
+					if p >= total {
+						p = total - 1
+					}
+				}
+				tw.seekPrimary(t, p)
+			}
+		default: // ordinal seek
+			tw.seekOrdinal(t, rng.Intn(n))
+		}
+	}
+	if err := tw.on.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.off.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzFingerEquivalence drives both lists from a fuzz-provided op tape.
+// Each byte pair is one operation; the fuzzer explores invalidation
+// interleavings the random test may miss.
+func FuzzFingerEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 4, 0, 0, 1, 4, 1, 2, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 4, 3, 3, 1, 4, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tw := newTwin(17)
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%5, int(tape[i+1])
+			n := tw.on.Len()
+			switch op {
+			case 0: // insert
+				tw.insert(t, arg%(n+1), i, 1+arg%8, 52)
+			case 1: // delete
+				if n > 0 {
+					tw.delete(t, arg%n)
+				}
+			case 2: // set
+				if n > 0 {
+					tw.set(t, arg%n, i, 1+arg%8, 52)
+				}
+			case 3: // ordinal seek
+				if n > 0 {
+					tw.seekOrdinal(t, arg%n)
+				}
+			default: // primary seek
+				if total := tw.on.TotalPrimary(); total > 0 {
+					tw.seekPrimary(t, arg%total)
+				}
+			}
+		}
+		if err := tw.on.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkFindPrimarySequential measures the sequential-seek pattern with
+// the finger cache on and off.
+func BenchmarkFindPrimarySequential(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"finger", true}, {"descent", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			l := New[int](3)
+			for i := 0; i < 4096; i++ {
+				if err := l.InsertAt(i, i, 8, 52); err != nil {
+					b.Fatal(err)
+				}
+			}
+			l.SetFinger(mode.enabled)
+			total := l.TotalPrimary()
+			b.ResetTimer()
+			p := 0
+			for i := 0; i < b.N; i++ {
+				if _, err := l.FindPrimary(p); err != nil {
+					b.Fatal(err)
+				}
+				p += 3
+				if p >= total {
+					p = 0
+				}
+			}
+		})
+	}
+}
