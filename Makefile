@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke profile-smoke hotpath clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke trace-smoke profile-smoke hotpath clean
 
 all: build vet lint test
 
@@ -85,6 +85,18 @@ load-smoke:
 # document diverges). Writes /tmp/BENCH_chaos.json.
 chaos-smoke:
 	$(GO) run ./cmd/privedit-load -chaos -sessions 4 -ops 40 -seed 2011 -json /tmp/BENCH_chaos.json
+
+# Traced load run: tracing on (the default), spans exported as JSONL, and
+# the artifact checked for a real per-phase latency breakdown (the harness
+# itself already exits non-zero when a traced run attributes nothing).
+# Writes /tmp/BENCH_load_traced.json and /tmp/privedit-traces.jsonl.
+trace-smoke:
+	$(GO) run ./cmd/privedit-load -sessions 4 -docs 2 -duration 2s -workers 4 \
+		-enc-bench=false -trace-out /tmp/privedit-traces.jsonl -json /tmp/BENCH_load_traced.json
+	@grep -q '"phases"' /tmp/BENCH_load_traced.json || { echo "trace-smoke: no phase breakdown in artifact"; exit 1; }
+	@grep -q '"phase": "save"' /tmp/BENCH_load_traced.json || { echo "trace-smoke: save phase missing from breakdown"; exit 1; }
+	@test -s /tmp/privedit-traces.jsonl || { echo "trace-smoke: empty span export"; exit 1; }
+	@echo "trace-smoke: phase breakdown and span export present"
 
 # Profiled load run: exercises -cpuprofile/-memprofile end to end and
 # fails unless both profiles come back non-empty and parseable by

@@ -20,13 +20,16 @@
 //	:quit            exit
 //
 // Any other line is appended to the document. Run with -metrics-dump to
-// write the session's full metric catalog on exit.
+// write the session's full metric catalog on exit, and with -trace-out to
+// stream every completed operation trace (load/save/sync span trees,
+// including server-side spans when the server traces too) as JSON lines.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -37,6 +40,7 @@ import (
 	"privedit/internal/gdocs"
 	"privedit/internal/mediator"
 	"privedit/internal/obs"
+	"privedit/internal/trace"
 )
 
 func main() {
@@ -51,11 +55,29 @@ func main() {
 	resilient := flag.Bool("resilient", false, "enable the retry/backoff + circuit-breaker resilience stack")
 	retries := flag.Int("retries", 0, "with -resilient: max attempts per request (0 = default)")
 	tryTimeout := flag.Duration("try-timeout", 0, "with -resilient: per-attempt deadline (0 = none)")
+	traceOut := flag.String("trace-out", "", "append completed operation traces to this JSONL file (\"-\" for stderr)")
+	slowSpan := flag.Duration("slow-span", 0, "enable tracing and log spans slower than this threshold (0 = off)")
 	flag.Parse()
 
 	if *metricsDump != "" {
 		obs.Enable()
 		defer dumpMetrics(*metricsDump)
+	}
+	if *traceOut != "" {
+		trace.Enable()
+		jw, err := openTraceOut(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "privedit-edit: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		defer jw.Close()
+		defer trace.Default.AddSink(jw.Write)()
+	}
+	if *slowSpan > 0 {
+		trace.Enable()
+		trace.Default.SetSlowSpan(*slowSpan, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
 	}
 
 	if *password == "" {
@@ -113,6 +135,16 @@ func main() {
 }
 
 var errQuit = fmt.Errorf("quit")
+
+// openTraceOut resolves the -trace-out destination: a file path, or "-"
+// for stderr (stdout is the editor's interactive surface). The stderr
+// writer is shielded from Close.
+func openTraceOut(path string) (*trace.JSONLWriter, error) {
+	if path == "-" {
+		return trace.NewJSONLWriter(struct{ io.Writer }{os.Stderr}), nil
+	}
+	return trace.OpenJSONL(path)
+}
 
 // dumpMetrics writes the session's metric catalog in Prometheus text
 // exposition to path ("-" for stdout).

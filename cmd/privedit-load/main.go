@@ -17,6 +17,12 @@
 // whole-document encrypt kernel across document sizes, pinning where the
 // parallel path starts to win.
 //
+// Tracing is on by default: every operation runs under a root span, and
+// the artifact gains a per-phase latency breakdown (load/decrypt/diff/
+// transform/encrypt/save/retry/resync, p50+p95, split conflict vs clean)
+// plus runtime watchdog stats. -trace-out streams every collected trace
+// as JSON lines; -trace=false turns all of it off.
+//
 // Chaos mode (-chaos) switches to the fault-injection harness: sessions
 // run a fixed number of ops each (deterministic, see internal/bench
 // chaos.go) over a seeded netsim.FaultTransport while the mediator's
@@ -39,6 +45,7 @@ import (
 	"privedit/internal/core"
 	"privedit/internal/netsim"
 	"privedit/internal/parallel"
+	"privedit/internal/trace"
 )
 
 func main() {
@@ -56,6 +63,9 @@ func main() {
 	encBench := flag.Bool("enc-bench", true, "include serial-vs-parallel encrypt kernel comparison in -json output")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	tracing := flag.Bool("trace", true, "trace every operation and attribute latency per phase")
+	traceOut := flag.String("trace-out", "", "append every collected trace to this JSONL file")
+	watchEvery := flag.Duration("watch", 250*time.Millisecond, "runtime watchdog sample interval (0 = off; load harness only)")
 
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the load harness")
 	ops := flag.Int("ops", 40, "chaos: edit operations per session")
@@ -92,6 +102,22 @@ func main() {
 		}
 	}()
 
+	var traceSink func(trace.Trace)
+	if *traceOut != "" {
+		*tracing = true // -trace-out implies tracing
+		jw, err := trace.OpenJSONL(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load: trace-out:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := jw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "privedit-load: trace-out:", err)
+			}
+		}()
+		traceSink = jw.Write
+	}
+
 	if *chaos {
 		if *faultSeed == 0 {
 			*faultSeed = *seed
@@ -116,6 +142,8 @@ func main() {
 			ReloadEvery:   *reloadEvery,
 			Seed:          *seed,
 			Fault:         profile,
+			Trace:         *tracing,
+			TraceSink:     traceSink,
 		}, *jsonPath)
 		return
 	}
@@ -131,6 +159,11 @@ func main() {
 		ReloadEvery: *reloadEvery,
 		NetScale:    *netScale,
 		Seed:        *seed,
+		Trace:       *tracing,
+		TraceSink:   traceSink,
+	}
+	if *tracing {
+		cfg.WatchInterval = *watchEvery
 	}
 
 	effDocs := *docs
@@ -156,6 +189,18 @@ func main() {
 	fmt.Printf("  conflicts  %d version conflicts, %d errored ops\n", report.Conflicts, report.Errors)
 	fmt.Printf("  mediator   %d sessions, %d full encrypts, %d deltas, %d loads\n",
 		report.MediatorSessions, report.MediatorFullEncrypts, report.MediatorDeltas, report.MediatorLoads)
+	if report.Watch != nil {
+		fmt.Printf("  watchdog   %d samples, max %d goroutines, max heap %.1f MiB\n",
+			report.Watch.Samples, report.Watch.MaxGoroutines,
+			float64(report.Watch.MaxHeapBytes)/(1<<20))
+	}
+	printPhases(report.Phases)
+	if *tracing && (report.Phases == nil || report.Phases.Empty()) {
+		// trace-smoke relies on this: a traced run that attributed nothing
+		// means the span plumbing regressed somewhere.
+		fmt.Fprintln(os.Stderr, "privedit-load: tracing was on but the phase breakdown is empty")
+		os.Exit(1)
+	}
 
 	if *jsonPath == "" {
 		return
@@ -215,6 +260,11 @@ func runChaos(cfg bench.ChaosConfig, jsonPath string) {
 		report.Retries, report.RetryGiveups, report.BreakerTrips,
 		report.DegradedSaves, report.DegradedLoads, report.Drains)
 	fmt.Printf("  converged  %d/%d docs\n", report.ConvergedDocs, report.ConvergedDocs+report.DivergedDocs)
+	printPhases(report.Phases)
+	if cfg.Trace && (report.Phases == nil || report.Phases.Empty()) {
+		fmt.Fprintln(os.Stderr, "privedit-load: tracing was on but the phase breakdown is empty")
+		os.Exit(1)
+	}
 
 	if report.DivergedDocs > 0 {
 		fmt.Fprintf(os.Stderr, "privedit-load: %d documents diverged after the storm\n", report.DivergedDocs)
@@ -237,4 +287,22 @@ func runChaos(cfg bench.ChaosConfig, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Println("  wrote", jsonPath)
+}
+
+// printPhases renders the per-phase latency attribution the traced run
+// collected: where each operation's time went, clean vs conflicted.
+func printPhases(b *bench.PhaseBreakdown) {
+	if b == nil || b.Empty() {
+		return
+	}
+	fmt.Printf("  phases     %d ops traced (%d clean, %d conflicted)\n",
+		b.Ops, b.CleanOps, b.ConflictOps)
+	show := func(kind string, stats []bench.PhaseStat) {
+		for _, s := range stats {
+			fmt.Printf("    %-8s %-9s n=%-5d p50=%7.3fms  p95=%7.3fms  total=%8.1fms\n",
+				kind, s.Phase, s.Count, s.P50Ms, s.P95Ms, s.TotalMs)
+		}
+	}
+	show("clean", b.Clean)
+	show("conflict", b.Conflict)
 }

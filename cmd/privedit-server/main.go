@@ -12,6 +12,13 @@
 // request id echoed as X-Request-ID and one structured log line), and
 // GET /metrics returns the full metric catalog as Prometheus text
 // exposition (?format=json for JSON).
+//
+// Request tracing is on by default (-trace=false to disable): document
+// requests run under a server span joined to any X-Privedit-Trace header
+// the mediating extension sent, completed traces land in a bounded flight
+// recorder, and GET /debug/traces returns the most recent ones as JSON
+// (filterable: ?doc=, ?trace_id=, ?root=, ?min_ms=, ?limit=). Spans slower
+// than -slow-span are also logged as they close.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 
 	"privedit/internal/gdocs"
 	"privedit/internal/obs"
+	"privedit/internal/trace"
 
 	// Register the client-side metric families (core, blockdoc, skiplist,
 	// mediator, netsim) so /metrics exports the complete catalog even
@@ -38,6 +46,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8747", "listen address")
 	observe := flag.Bool("observe", false, "record and dump all content the server sees")
+	tracing := flag.Bool("trace", true, "trace document requests and serve /debug/traces")
+	traceBuf := flag.Int("trace-buf", 256, "flight recorder capacity, traces")
+	slowSpan := flag.Duration("slow-span", 0, "log spans slower than this threshold (0 = off)")
 	flag.Parse()
 
 	obs.Enable()
@@ -47,8 +58,24 @@ func main() {
 		server.EnableObservation()
 	}
 
+	// The document endpoints run traced; telemetry and debug endpoints do
+	// not (a /metrics scrape is not an edit and would only pollute the
+	// flight recorder).
+	var docHandler http.Handler = server
+	if *tracing {
+		trace.Enable()
+		docHandler = trace.Middleware(server)
+	}
+	recorder := trace.NewFlightRecorder(*traceBuf)
+	trace.Default.AddSink(recorder.Record)
+	if *slowSpan > 0 {
+		trace.Enable()
+		trace.Default.SetSlowSpan(*slowSpan, log.Printf)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.Handle("/debug/traces", recorder.Handler())
 	// Profiling endpoints. The custom mux never sees the side-effecting
 	// DefaultServeMux registration from importing net/http/pprof, so the
 	// handlers are wired explicitly.
@@ -57,7 +84,7 @@ func main() {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/", server)
+	mux.Handle("/", docHandler)
 
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -79,6 +106,9 @@ func main() {
 	log.Printf("privedit-server: simulated Google Documents service on http://%s", *addr)
 	log.Printf("privedit-server: endpoints %s %s %s %s %s %s, metrics on /metrics",
 		gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate, gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport)
+	if *tracing {
+		log.Printf("privedit-server: tracing on, last %d traces on /debug/traces", *traceBuf)
+	}
 	if err := httpServer.ListenAndServe(); err != nil {
 		log.Fatalf("privedit-server: %v", err)
 	}
@@ -89,7 +119,8 @@ func main() {
 func pathLabel(p string) string {
 	switch p {
 	case gdocs.PathDoc, gdocs.PathCreate, gdocs.PathTranslate,
-		gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport, "/metrics":
+		gdocs.PathSpell, gdocs.PathDrawing, gdocs.PathExport,
+		"/metrics", "/debug/traces":
 		return p
 	}
 	if strings.HasPrefix(p, "/debug/pprof/") {

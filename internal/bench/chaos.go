@@ -31,6 +31,7 @@ import (
 	"privedit/internal/gdocs"
 	"privedit/internal/mediator"
 	"privedit/internal/netsim"
+	"privedit/internal/trace"
 	"privedit/internal/workload"
 )
 
@@ -60,6 +61,14 @@ type ChaosConfig struct {
 	// value gets fast test-friendly defaults with a zero breaker cooldown
 	// (time-independent probing — see the package comment).
 	Resilience mediator.Resilience
+	// Trace enables request-scoped tracing for the storm phase and adds a
+	// per-phase latency breakdown (including retry and resync time under
+	// fault injection) to the report. Tracing never participates in the
+	// determinism contract: DeterministicKey pins only fault/op counts.
+	Trace bool
+	// TraceSink, when non-nil and Trace is on, additionally receives every
+	// completed trace.
+	TraceSink func(trace.Trace)
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -125,6 +134,11 @@ type ChaosReport struct {
 
 	ConvergedDocs int `json:"converged_docs"`
 	DivergedDocs  int `json:"diverged_docs"`
+
+	// Phases is the per-phase latency breakdown aggregated from spans,
+	// present when the run traced (ChaosConfig.Trace). Excluded from
+	// DeterministicKey: durations vary run to run even when counts don't.
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
 }
 
 // DeterministicKey returns the subset of the report that the determinism
@@ -146,8 +160,24 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	cfg = cfg.withDefaults()
 
 	server := gdocs.NewServer()
-	ts := httptest.NewServer(server)
+	var handler http.Handler = server
+	if cfg.Trace {
+		handler = trace.Middleware(server)
+	}
+	ts := httptest.NewServer(handler)
 	defer ts.Close()
+
+	var col *trace.Collector
+	if cfg.Trace {
+		col = &trace.Collector{}
+		defer trace.Default.AddSink(col.Collect)()
+		if cfg.TraceSink != nil {
+			defer trace.Default.AddSink(cfg.TraceSink)()
+		}
+		prevEnabled := trace.Default.Enabled()
+		trace.Default.SetEnabled(true)
+		defer trace.Default.SetEnabled(prevEnabled)
+	}
 
 	faults := netsim.NewFaultTransport(ts.Client().Transport, cfg.Fault)
 	faults.SetEnabled(false) // clean network while seeding
@@ -190,6 +220,13 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 			}
 			for op := 1; op <= cfg.OpsPerSession; op++ {
 				reload := cfg.ReloadEvery > 0 && op%cfg.ReloadEvery == 0
+				var osp *trace.Span
+				if cfg.Trace {
+					var octx context.Context
+					octx, osp = trace.Default.Root(context.Background(), trace.SpanEditOp)
+					osp.Annotate("doc", chaosDocID(s))
+					c.WithContext(octx)
+				}
 				var err error
 				if reload {
 					err = c.Load()
@@ -199,10 +236,12 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 						err = c.Sync()
 					}
 				}
+				osp.End()
 				if err != nil {
 					// Failed ops are the point of the exercise: reload (which
 					// may itself be served degraded) and continue editing.
 					opErrors.Add(1)
+					c.WithContext(context.Background())
 					_ = c.Load()
 					continue
 				}
@@ -254,7 +293,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	}
 
 	stats := ext.Stats()
-	return ChaosReport{
+	report := ChaosReport{
 		Sessions:      cfg.Sessions,
 		OpsPerSession: cfg.OpsPerSession,
 		DocChars:      cfg.DocChars,
@@ -278,7 +317,12 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 
 		ConvergedDocs: converged,
 		DivergedDocs:  diverged,
-	}, nil
+	}
+	if col != nil {
+		pb := AggregatePhases(drainTraces(col))
+		report.Phases = &pb
+	}
+	return report, nil
 }
 
 func chaosDocID(s int) string { return fmt.Sprintf("chaos-doc-%d", s) }

@@ -9,6 +9,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -24,6 +25,7 @@ import (
 	"privedit/internal/netsim"
 	"privedit/internal/obs"
 	"privedit/internal/parallel"
+	"privedit/internal/trace"
 	"privedit/internal/workload"
 )
 
@@ -54,6 +56,17 @@ type LoadConfig struct {
 	NetScale int
 	// Seed makes the workload reproducible.
 	Seed int64
+	// Trace enables request-scoped tracing for the run: every operation
+	// gets an edit_op root span, the server handler joins each trace via
+	// trace.Middleware, and the report carries a per-phase latency
+	// breakdown aggregated from the collected spans.
+	Trace bool
+	// TraceSink, when non-nil and Trace is on, additionally receives every
+	// completed trace (e.g. a JSONL writer).
+	TraceSink func(trace.Trace)
+	// WatchInterval, when positive, runs the trace.Watch runtime watchdog
+	// for the duration of the run and reports its stats.
+	WatchInterval time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -105,6 +118,13 @@ type LoadReport struct {
 	MediatorSessions       int `json:"mediator_sessions"`
 	MediatorPlainBytesIn   int `json:"mediator_plain_bytes_in"`
 	MediatorCipherBytesOut int `json:"mediator_cipher_bytes_out"`
+
+	// Phases is the per-phase latency breakdown aggregated from spans,
+	// present when the run traced (LoadConfig.Trace).
+	Phases *PhaseBreakdown `json:"phases,omitempty"`
+	// Watch is the runtime watchdog's summary, present when
+	// LoadConfig.WatchInterval was set.
+	Watch *trace.WatchStats `json:"watch,omitempty"`
 }
 
 // RunLoad stands up a gdocs server plus one mediating extension and drives
@@ -115,8 +135,30 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	cfg = cfg.withDefaults()
 
 	server := gdocs.NewServer()
-	ts := httptest.NewServer(server)
+	var handler http.Handler = server
+	if cfg.Trace {
+		// The server joins each operation's trace from the wire header, so
+		// the collected tree spans both sides of every HTTP exchange.
+		handler = trace.Middleware(server)
+	}
+	ts := httptest.NewServer(handler)
 	defer ts.Close()
+
+	var col *trace.Collector
+	if cfg.Trace {
+		col = &trace.Collector{}
+		defer trace.Default.AddSink(col.Collect)()
+		if cfg.TraceSink != nil {
+			defer trace.Default.AddSink(cfg.TraceSink)()
+		}
+		prevEnabled := trace.Default.Enabled()
+		trace.Default.SetEnabled(true)
+		defer trace.Default.SetEnabled(prevEnabled)
+	}
+	var stopWatch func() trace.WatchStats
+	if cfg.WatchInterval > 0 {
+		stopWatch = trace.Watch(cfg.WatchInterval)
+	}
 
 	var transport http.RoundTripper = ts.Client().Transport
 	if cfg.NetScale > 0 {
@@ -178,6 +220,13 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 			}
 			for op := 1; time.Now().Before(deadline); op++ {
 				reload := cfg.ReloadEvery > 0 && op%cfg.ReloadEvery == 0
+				var osp *trace.Span
+				if cfg.Trace {
+					var octx context.Context
+					octx, osp = trace.Default.Root(context.Background(), trace.SpanEditOp)
+					osp.Annotate("doc", docID)
+					c.WithContext(octx)
+				}
 				t0 := time.Now()
 				var err error
 				if reload {
@@ -190,11 +239,13 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 						err = c.Sync()
 					}
 				}
+				osp.End()
 				latSamples[s] = append(latSamples[s], time.Since(t0).Seconds())
 				if err != nil {
 					// Conflict storms and transform rejections on shared
 					// documents are expected; resynchronize and go on.
 					errs.Add(1)
+					c.WithContext(context.Background()) // recovery load: outside the ended op trace
 					if lerr := c.Load(); lerr != nil {
 						return
 					}
@@ -247,7 +298,32 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		MediatorPlainBytesIn:   stats.PlainBytesIn,
 		MediatorCipherBytesOut: stats.CipherBytesOut,
 	}
+	if stopWatch != nil {
+		ws := stopWatch()
+		report.Watch = &ws
+	}
+	if col != nil {
+		pb := AggregatePhases(drainTraces(col))
+		report.Phases = &pb
+	}
 	return report, nil
+}
+
+// drainTraces waits for in-flight traces to finalize (a client root span
+// can end a beat before the server half of its tree does) by polling the
+// collector until its count is stable, then snapshots it.
+func drainTraces(col *trace.Collector) []trace.Trace {
+	deadline := time.Now().Add(2 * time.Second)
+	prev := -1
+	for time.Now().Before(deadline) {
+		n := col.Len()
+		if n == prev {
+			break
+		}
+		prev = n
+		time.Sleep(10 * time.Millisecond)
+	}
+	return col.Snapshot()
 }
 
 // EncRow compares the serial and parallel whole-document encrypt kernel at

@@ -14,6 +14,7 @@ import (
 
 	"privedit/internal/delta"
 	"privedit/internal/diff"
+	"privedit/internal/trace"
 )
 
 // Client errors.
@@ -109,13 +110,15 @@ func (c *Client) Degraded() bool {
 
 func (c *Client) dirtyLocked() bool { return c.local != c.lastSaved }
 
-// getDoc issues the document GET under the client's base context.
-func (c *Client) getDoc() (*http.Response, error) {
+// getDoc issues the document GET under ctx (a descendant of the client's
+// base context so trace spans nest under the caller's operation).
+func (c *Client) getDoc(ctx context.Context) (*http.Response, error) {
 	u := c.base + PathDoc + "?" + url.Values{FieldDocID: {c.docID}}.Encode()
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, u, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}
+	trace.SetRequestHeader(req)
 	return c.httpc.Do(req)
 }
 
@@ -136,13 +139,14 @@ func (c *Client) checkStatus(resp *http.Response, body string) error {
 	}
 }
 
-func (c *Client) post(path string, form url.Values) (string, error) {
-	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.base+path,
+func (c *Client) post(ctx context.Context, path string, form url.Values) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path,
 		strings.NewReader(form.Encode()))
 	if err != nil {
 		return "", fmt.Errorf("gdocs: post %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	trace.SetRequestHeader(req)
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("gdocs: post %s: %w", path, err)
@@ -165,7 +169,7 @@ func (c *Client) Create() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	form := url.Values{FieldDocID: {c.docID}}
-	if _, err := c.post(PathCreate, form); err != nil {
+	if _, err := c.post(c.ctx, PathCreate, form); err != nil {
 		return err
 	}
 	c.local = ""
@@ -181,7 +185,10 @@ func (c *Client) Create() error {
 func (c *Client) Load() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.getDoc()
+	ctx, sp := trace.Start(c.ctx, trace.SpanClientLoad)
+	defer sp.End()
+	sp.Annotate("doc", c.docID)
+	resp, err := c.getDoc(ctx)
 	if err != nil {
 		return fmt.Errorf("gdocs: load: %w", err)
 	}
@@ -215,7 +222,11 @@ func (c *Client) Refresh() error {
 	if c.dirtyLocked() {
 		return ErrConflict
 	}
-	resp, err := c.getDoc()
+	ctx, sp := trace.Start(c.ctx, trace.SpanClientLoad)
+	defer sp.End()
+	sp.Annotate("doc", c.docID)
+	sp.Annotate("op", "refresh")
+	resp, err := c.getDoc(ctx)
 	if err != nil {
 		return fmt.Errorf("gdocs: refresh: %w", err)
 	}
@@ -297,24 +308,30 @@ func (c *Client) PendingDelta() delta.Delta {
 func (c *Client) Save() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.saveLocked()
+	return c.saveLocked(c.ctx)
 }
 
-func (c *Client) saveLocked() error {
+func (c *Client) saveLocked(ctx context.Context) error {
 	if !c.inSession {
 		return errors.New("gdocs: no editing session (call Create or Load)")
 	}
 	if c.sentFull && !c.dirtyLocked() {
 		return nil
 	}
+	sctx, sp := trace.Start(ctx, trace.SpanClientSave)
+	defer sp.End()
+	sp.Annotate("doc", c.docID)
 	form := url.Values{FieldDocID: {c.docID}}
 	form.Set(FieldVersion, strconv.Itoa(c.version))
 	if !c.sentFull {
 		form.Set(FieldDocContents, c.local)
 	} else {
-		form.Set(FieldDelta, diff.Diff(c.lastSaved, c.local).String())
+		_, dsp := trace.Start(sctx, trace.SpanDiff)
+		d := diff.Diff(c.lastSaved, c.local)
+		dsp.End()
+		form.Set(FieldDelta, d.String())
 	}
-	body, err := c.post(PathDoc, form)
+	body, err := c.post(sctx, PathDoc, form)
 	if err != nil {
 		return err
 	}
@@ -336,7 +353,7 @@ func (c *Client) SaveRawDelta(d delta.Delta) (Ack, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	form := url.Values{FieldDocID: {c.docID}, FieldDelta: {d.String()}}
-	body, err := c.post(PathDoc, form)
+	body, err := c.post(c.ctx, PathDoc, form)
 	if err != nil {
 		return Ack{}, err
 	}
@@ -352,7 +369,7 @@ func (c *Client) SaveRawDelta(d delta.Delta) (Ack, error) {
 // translate, spell check, drawing, export. With the extension installed
 // these requests are blocked (ErrBlocked).
 func (c *Client) Feature(path string) (string, error) {
-	return c.post(path, url.Values{FieldDocID: {c.docID}})
+	return c.post(c.ctx, path, url.Values{FieldDocID: {c.docID}})
 }
 
 // StartAutosave issues Save every interval until the returned stop
@@ -379,8 +396,8 @@ func (c *Client) StartAutosave(interval time.Duration, onErr func(error)) (stop 
 
 // fetchLocked re-reads the server's current content and version without
 // altering the session state.
-func (c *Client) fetchLocked() (string, int, error) {
-	resp, err := c.getDoc()
+func (c *Client) fetchLocked(ctx context.Context) (string, int, error) {
+	resp, err := c.getDoc(ctx)
 	if err != nil {
 		return "", 0, fmt.Errorf("gdocs: fetch: %w", err)
 	}
@@ -416,17 +433,23 @@ func (c *Client) fetchLocked() (string, int, error) {
 func (c *Client) Sync() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ctx, sp := trace.Start(c.ctx, trace.SpanClientSync)
+	defer sp.End()
+	sp.Annotate("doc", c.docID)
 	const maxAttempts = 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		err := c.saveLocked()
+		err := c.saveLocked(ctx)
 		if err == nil {
 			return nil
 		}
 		if !errors.Is(err, ErrConflict) {
 			return err
 		}
-		base, version, err := c.fetchLocked()
+		sp.Annotate("conflict", "1")
+		rctx, rsp := trace.Start(ctx, trace.SpanResync)
+		base, version, err := c.fetchLocked(rctx)
 		if err != nil {
+			rsp.End()
 			return err
 		}
 		myDelta := diff.Diff(c.lastSaved, c.local)
@@ -436,6 +459,7 @@ func (c *Client) Sync() error {
 			// Should not happen for valid deltas; fall back to local-wins.
 			merged = c.local
 		}
+		rsp.End()
 		c.local = merged
 		c.lastSaved = base
 		c.version = version

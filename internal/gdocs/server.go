@@ -12,6 +12,7 @@ import (
 
 	"privedit/internal/delta"
 	"privedit/internal/obs"
+	"privedit/internal/trace"
 )
 
 // Telemetry for the simulated service. No-ops until obs.Enable().
@@ -138,6 +139,10 @@ func (s *Server) Content(ctx context.Context, docID string) (string, int, error)
 	if err := ctx.Err(); err != nil {
 		return "", 0, err
 	}
+	_, sp := trace.Start(ctx, trace.SpanServerStore)
+	defer sp.End()
+	sp.Annotate("op", "content")
+	sp.Annotate("doc", docID)
 	doc := s.store.get(docID)
 	if doc == nil {
 		return "", 0, errNotFound
@@ -154,6 +159,10 @@ func (s *Server) SetContents(ctx context.Context, docID, content string, baseVer
 	if err := ctx.Err(); err != nil {
 		return Ack{}, err
 	}
+	_, sp := trace.Start(ctx, trace.SpanServerStore)
+	defer sp.End()
+	sp.Annotate("op", "set_contents")
+	sp.Annotate("doc", docID)
 	doc := s.store.get(docID)
 	if doc == nil {
 		return Ack{}, errNotFound
@@ -162,6 +171,7 @@ func (s *Server) SetContents(ctx context.Context, docID, content string, baseVer
 	defer doc.mu.Unlock()
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
+		sp.Annotate("conflict", "1")
 		return Ack{}, errConflict
 	}
 	if int64(len(content)) > s.maxBytes.Load() {
@@ -184,6 +194,10 @@ func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion
 	if err := ctx.Err(); err != nil {
 		return Ack{}, err
 	}
+	_, sp := trace.Start(ctx, trace.SpanServerStore)
+	defer sp.End()
+	sp.Annotate("op", "apply_delta")
+	sp.Annotate("doc", docID)
 	doc := s.store.get(docID)
 	if doc == nil {
 		return Ack{}, errNotFound
@@ -192,6 +206,7 @@ func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion
 	defer doc.mu.Unlock()
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
+		sp.Annotate("conflict", "1")
 		return Ack{}, errConflict
 	}
 	d, err := delta.Parse(wire)
@@ -204,6 +219,7 @@ func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion
 		// A delta computed against a stale version: the conflict case the
 		// paper hits during simultaneous editing (§VII-A).
 		metricConflicts.Inc()
+		sp.Annotate("conflict", "1")
 		return Ack{}, errConflict
 	}
 	if int64(len(updated)) > s.maxBytes.Load() {

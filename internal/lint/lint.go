@@ -50,6 +50,7 @@ var Analyzers = []*Analyzer{
 	GoroutineTestFatal,
 	MutexByValue,
 	MetricName,
+	SpanName,
 }
 
 // DirectiveRule is the pseudo-rule under which malformed //lint:ignore

@@ -113,6 +113,7 @@ func TestFixtures(t *testing.T) {
 		{"gofatal", "privedit/internal/fixture"},
 		{"mutexcopy", "privedit/internal/fixture"},
 		{"metricname", "privedit/internal/fixture"},
+		{"spanname", "privedit/internal/fixture"},
 		{"directive", "privedit/internal/fixture"},
 	}
 	m := loadTestModule(t)

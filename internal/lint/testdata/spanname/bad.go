@@ -1,0 +1,37 @@
+// Fixture: span-name. Spans started through internal/trace must use
+// constant snake_case names, so phase aggregation and /debug/traces
+// filters can match them literally.
+package fixture
+
+import (
+	"context"
+
+	"privedit/internal/trace"
+)
+
+// spans exercises good and bad span names against every starter.
+func spans(ctx context.Context, dynamic string) {
+	_, sp := trace.Start(ctx, "BadCamel") // want `span name "BadCamel" must be snake_case`
+	sp.End()
+	_, sp = trace.Start(ctx, dynamic) // want `trace.Start span name must be a compile-time string constant`
+	sp.End()
+	_, sp = trace.Default.Root(ctx, "kebab-case") // want `span name "kebab-case" must be snake_case`
+	sp.End()
+	_, sp = trace.Join(ctx, "", "edit op") // want `span name "edit op" must be snake_case`
+	sp.End()
+
+	// The blessed forms: package constants, local constants, literals.
+	_, sp = trace.Start(ctx, trace.SpanEditOp)
+	sp.End()
+	_, sp = trace.Start(ctx, okSpan)
+	sp.End()
+	_, sp = trace.Default.Root(ctx, "fixture_phase_2")
+	sp.End()
+
+	//lint:ignore span-name fixture: demonstrating an acknowledged legacy name
+	_, sp = trace.Start(ctx, "Legacy.Span")
+	sp.End()
+}
+
+// okSpan is a compile-time constant, which the analyzer folds.
+const okSpan = "fixture_op"

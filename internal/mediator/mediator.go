@@ -30,6 +30,7 @@ import (
 	"privedit/internal/gdocs"
 	"privedit/internal/obs"
 	"privedit/internal/stego"
+	"privedit/internal/trace"
 )
 
 // Telemetry for the extension's request mediation (Figure 2). No-ops until
@@ -306,10 +307,12 @@ func (e *Extension) resyncLocked(sess *session, docID string, req *http.Request)
 // Callers must hold sess.mu.
 func (e *Extension) refetchLocked(sess *session, docID string, req *http.Request) (int, error) {
 	sess.ed = nil
+	rctx, rsp := trace.Start(req.Context(), trace.SpanResync)
+	defer rsp.End()
 	u := *req.URL
 	u.Path = gdocs.PathDoc
 	u.RawQuery = url.Values{gdocs.FieldDocID: {docID}}.Encode()
-	resp, err := e.sendResilient(req.Context(), func(ctx context.Context) (*http.Request, error) {
+	resp, err := e.sendResilient(rctx, func(ctx context.Context) (*http.Request, error) {
 		return http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	})
 	if err != nil {
@@ -407,6 +410,10 @@ func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
 		return synthesize(req, http.StatusForbidden, "privedit: unreadable create request"), nil
 	}
 	docID := form.Get(gdocs.FieldDocID)
+	ctx, op := trace.Start(req.Context(), trace.SpanMediateCreate)
+	defer op.End()
+	op.Annotate("doc", docID)
+	req = req.WithContext(ctx)
 	sess := e.sessionFor(docID)
 	sess.mu.Lock()
 	_, err = e.editorLocked(sess, docID)
@@ -425,6 +432,10 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		return synthesize(req, http.StatusForbidden, "privedit: unreadable update request"), nil
 	}
 	docID := form.Get(gdocs.FieldDocID)
+	ctx, op := trace.Start(req.Context(), trace.SpanMediateUpdate)
+	defer op.End()
+	op.Annotate("doc", docID)
+	req = req.WithContext(ctx)
 
 	// The session lock is held across the whole round trip, not just the
 	// crypto: the editor's ciphertext state must advance in the same order
@@ -443,6 +454,8 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 			return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 		}
 		content := form.Get(gdocs.FieldDocContents)
+		_, esp := trace.Start(ctx, trace.SpanEncrypt)
+		defer esp.End() // idempotent: backstop for the error returns below
 		sp := metricEncryptLatency.Start()
 		ctxt, err := ed.Encrypt(content)
 		if err != nil {
@@ -453,7 +466,8 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 				return synthesize(req, http.StatusForbidden, "privedit: stego: "+err.Error()), nil
 			}
 		}
-		sp.End()
+		sp.EndExemplar(op.TraceID())
+		esp.End()
 		form.Set(gdocs.FieldDocContents, ctxt)
 		e.applyPadding(form, len(ctxt))
 		e.applyDelay()
@@ -461,9 +475,14 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		e.stats.plainBytesIn.Add(int64(len(content)))
 		e.stats.cipherBytesOut.Add(int64(len(ctxt)))
 		metricOpFull.Inc()
-		resp, err := e.mediateAck(req, form)
-		e.recordLocked(sess, !infraFailure(resp, err))
+		sctx, ssp := trace.Start(ctx, trace.SpanSave)
+		resp, err := e.mediateAck(req.WithContext(sctx), form)
+		ssp.End()
+		e.recordLocked(req.Context(), sess, !infraFailure(resp, err))
 		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil && resp.StatusCode == http.StatusConflict {
+				op.Annotate("conflict", "1")
+			}
 			e.resyncLocked(sess, docID, req)
 		}
 		return resp, err
@@ -485,6 +504,8 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 			return synthesize(req, http.StatusForbidden, "privedit: delta for unknown document"), nil
 		}
 		wire := form.Get(gdocs.FieldDelta)
+		_, tsp := trace.Start(ctx, trace.SpanTransform)
+		defer tsp.End() // idempotent: backstop for the error returns below
 		pd, err := delta.Parse(wire)
 		if err != nil {
 			return synthesize(req, http.StatusForbidden, "privedit: bad delta: "+err.Error()), nil
@@ -509,6 +530,8 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 			// The usual cause is a delta computed against a stale plaintext
 			// (a concurrent session advanced the document); drop back to the
 			// server's state so later transforms stay aligned with it.
+			tsp.Annotate("error", "transform_delta")
+			tsp.End()
 			e.resyncLocked(sess, docID, req)
 			return synthesize(req, http.StatusForbidden, "privedit: transform_delta: "+err.Error()), nil
 		}
@@ -517,6 +540,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 				return synthesize(req, http.StatusForbidden, "privedit: stego: "+err.Error()), nil
 			}
 		}
+		tsp.End()
 		cwire := cd.String()
 		form.Set(gdocs.FieldDelta, cwire)
 		e.applyPadding(form, len(cwire))
@@ -527,9 +551,14 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		metricOpDelta.Inc()
 		metricDeltaPlainBytes.Add(int64(len(wire)))
 		metricDeltaCipherBytes.Add(int64(len(cwire)))
-		resp, err := e.mediateAck(req, form)
-		e.recordLocked(sess, !infraFailure(resp, err))
+		sctx, ssp := trace.Start(ctx, trace.SpanSave)
+		resp, err := e.mediateAck(req.WithContext(sctx), form)
+		ssp.End()
+		e.recordLocked(req.Context(), sess, !infraFailure(resp, err))
 		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil && resp.StatusCode == http.StatusConflict {
+				op.Annotate("conflict", "1")
+			}
 			e.resyncLocked(sess, docID, req)
 		}
 		return resp, err
@@ -571,6 +600,10 @@ func (e *Extension) mediateAck(req *http.Request, form url.Values) (*http.Respon
 // so the client application renders plaintext.
 func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	docID := req.URL.Query().Get(gdocs.FieldDocID)
+	ctx, op := trace.Start(req.Context(), trace.SpanMediateLoad)
+	defer op.End()
+	op.Annotate("doc", docID)
+	req = req.WithContext(ctx)
 	// The session lock must cover the fetch itself, not just the decrypt:
 	// re-opening the editor from a snapshot that predates a concurrent save
 	// would silently rewind the mediation state behind the server's back.
@@ -580,10 +613,12 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	if e.gateLocked(sess, docID, req) {
 		return e.degradeLoadLocked(sess, req)
 	}
-	resp, err := e.sendResilient(req.Context(), func(ctx context.Context) (*http.Request, error) {
+	lctx, lsp := trace.Start(ctx, trace.SpanLoad)
+	defer lsp.End() // idempotent: backstop for the error returns below
+	resp, err := e.sendResilient(lctx, func(ctx context.Context) (*http.Request, error) {
 		return req.Clone(ctx), nil
 	})
-	e.recordLocked(sess, !infraFailure(resp, err))
+	e.recordLocked(ctx, sess, !infraFailure(resp, err))
 	if err != nil {
 		return nil, err
 	}
@@ -595,7 +630,10 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mediator: read load: %w", err)
 	}
+	lsp.End()
 	transport := string(raw)
+	_, dsp := trace.Start(ctx, trace.SpanDecrypt)
+	defer dsp.End() // idempotent: backstop for the error returns below
 	sp := metricDecryptLatency.Start()
 	if e.useStego && transport != "" {
 		decoded, err := stego.Decode(transport)
@@ -617,7 +655,8 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return synthesize(req, http.StatusForbidden, "privedit: open: "+err.Error()), nil
 	}
-	sp.End()
+	sp.EndExemplar(op.TraceID())
+	dsp.End()
 	e.stats.loadsDecrypted.Add(1)
 	metricOpLoad.Inc()
 	replaceBody(resp, ed.Plaintext())

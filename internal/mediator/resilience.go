@@ -37,6 +37,7 @@ import (
 	"privedit/internal/gdocs"
 	"privedit/internal/obs"
 	"privedit/internal/stego"
+	"privedit/internal/trace"
 )
 
 // Telemetry for the resilience layer. No-ops until obs.Enable().
@@ -225,26 +226,38 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 		if err != nil {
 			return nil, err
 		}
+		trace.SetRequestHeader(req)
 		return e.base.RoundTrip(req)
 	}
 	pol := e.res.retry
+	parent := trace.Current(ctx)
 	var (
 		lastErr  error
 		lastResp *http.Response
 		backoff  time.Duration
 	)
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		attemptCtx := ctx
+		var rsp *trace.Span
 		if attempt > 0 {
 			backoff = e.nextBackoff(backoff)
 			e.stats.retries.Add(1)
 			metricRetryAttempts.Inc()
 			metricRetryBackoff.Observe(backoff.Seconds())
+			parent.AnnotateInt("retry_attempt", int64(attempt+1))
+			attemptCtx, rsp = trace.Start(ctx, trace.SpanRetry)
+			rsp.AnnotateInt("attempt", int64(attempt+1))
+			rsp.Annotate("backoff", backoff.String())
 			if err := sleepCtx(ctx, backoff); err != nil {
+				rsp.Annotate("outcome", "cancelled")
+				rsp.End()
 				return nil, err
 			}
 		}
-		resp, err := e.attemptOnce(ctx, build)
+		resp, err := e.attemptOnce(attemptCtx, build)
 		if err != nil {
+			rsp.Annotate("outcome", "error")
+			rsp.End()
 			lastErr, lastResp = err, nil
 			if ctx.Err() != nil {
 				// The caller's deadline (not the per-attempt budget) is
@@ -254,6 +267,9 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
+			rsp.AnnotateInt("status", int64(resp.StatusCode))
+			rsp.Annotate("outcome", "retryable_status")
+			rsp.End()
 			lastErr, lastResp = nil, resp
 			if attempt < pol.MaxAttempts-1 {
 				io.Copy(io.Discard, resp.Body)
@@ -261,10 +277,13 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 			}
 			continue
 		}
+		rsp.Annotate("outcome", "ok")
+		rsp.End()
 		return resp, nil
 	}
 	e.stats.retryGiveups.Add(1)
 	metricRetryGiveups.Inc()
+	parent.Annotate("retry_giveup", "1")
 	if lastResp != nil {
 		return lastResp, nil
 	}
@@ -282,6 +301,7 @@ func (e *Extension) attemptOnce(ctx context.Context, build func(context.Context)
 		if err != nil {
 			return nil, err
 		}
+		trace.SetRequestHeader(req)
 		return e.base.RoundTrip(req)
 	}
 	tryCtx, cancel := context.WithTimeout(ctx, budget)
@@ -290,6 +310,7 @@ func (e *Extension) attemptOnce(ctx context.Context, build func(context.Context)
 	if err != nil {
 		return nil, err
 	}
+	trace.SetRequestHeader(req)
 	resp, err := e.base.RoundTrip(req)
 	if err != nil {
 		return nil, err
@@ -332,13 +353,26 @@ type breakerState struct {
 	hasShadow bool
 }
 
+// brkName renders a breaker state for trace annotations.
+func brkName(state int) string {
+	switch state {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
 // transitionLocked moves the breaker to a new state, keeping the
-// open-docs gauge and the transition counters honest. Callers hold
-// session.mu.
-func (e *Extension) transitionLocked(b *breakerState, to int) {
+// open-docs gauge and the transition counters honest, and annotating the
+// current trace span with the transition. Callers hold session.mu.
+func (e *Extension) transitionLocked(ctx context.Context, b *breakerState, to int) {
 	if b.state == to {
 		return
 	}
+	trace.Current(ctx).Annotate("breaker", brkName(b.state)+"->"+brkName(to))
 	if b.state == brkOpen {
 		metricBreakerOpenDocs.Add(-1)
 	}
@@ -358,7 +392,7 @@ func (e *Extension) transitionLocked(b *breakerState, to int) {
 
 // openLocked (re)opens the breaker, doubling the cooldown on repeated
 // failures. Callers hold session.mu.
-func (e *Extension) openLocked(b *breakerState) {
+func (e *Extension) openLocked(ctx context.Context, b *breakerState) {
 	switch {
 	case b.cooldown <= 0:
 		b.cooldown = e.res.breaker.Cooldown
@@ -369,12 +403,12 @@ func (e *Extension) openLocked(b *breakerState) {
 		b.cooldown = e.res.breaker.MaxCooldown
 	}
 	b.reopenAt = e.res.now().Add(b.cooldown)
-	e.transitionLocked(b, brkOpen)
+	e.transitionLocked(ctx, b, brkOpen)
 }
 
 // recordLocked feeds one round-trip outcome into the breaker. Callers
 // hold session.mu.
-func (e *Extension) recordLocked(sess *session, ok bool) {
+func (e *Extension) recordLocked(ctx context.Context, sess *session, ok bool) {
 	if e.res == nil {
 		return
 	}
@@ -382,7 +416,7 @@ func (e *Extension) recordLocked(sess *session, ok bool) {
 	if ok {
 		b.failures = 0
 		if b.state != brkClosed {
-			e.transitionLocked(b, brkClosed)
+			e.transitionLocked(ctx, b, brkClosed)
 			b.cooldown = 0
 		}
 		return
@@ -390,10 +424,10 @@ func (e *Extension) recordLocked(sess *session, ok bool) {
 	b.failures++
 	switch {
 	case b.state == brkHalfOpen:
-		e.openLocked(b) // failed probe: back off harder
+		e.openLocked(ctx, b) // failed probe: back off harder
 	case b.state == brkClosed && b.failures >= e.res.breaker.TripAfter:
 		e.stats.breakerTrips.Add(1)
-		e.openLocked(b)
+		e.openLocked(ctx, b)
 	}
 }
 
@@ -412,14 +446,14 @@ func (e *Extension) gateLocked(sess *session, docID string, req *http.Request) b
 		if e.res.now().Before(b.reopenAt) {
 			return true
 		}
-		e.transitionLocked(b, brkHalfOpen)
+		e.transitionLocked(req.Context(), b, brkHalfOpen)
 	}
 	if b.hasShadow {
 		if err := e.drainLocked(sess, docID, req); err != nil {
-			e.recordLocked(sess, false)
+			e.recordLocked(req.Context(), sess, false)
 			return true
 		}
-		e.recordLocked(sess, true)
+		e.recordLocked(req.Context(), sess, true)
 	}
 	return false
 }
@@ -444,6 +478,7 @@ func (e *Extension) clearShadowLocked(b *breakerState) {
 // a synthesized Ack marked with the degraded header so it keeps editing.
 // Callers hold session.mu.
 func (e *Extension) degradeUpdateLocked(sess *session, req *http.Request, form url.Values) (*http.Response, error) {
+	trace.Current(req.Context()).Annotate("degraded", "save")
 	b := &sess.brk
 	var next string
 	switch {
@@ -488,6 +523,7 @@ func (e *Extension) degradeUpdateLocked(sess *session, req *http.Request, form u
 // breaker is open — the read-only-towards-the-server (but locally
 // editable) view. Callers hold session.mu.
 func (e *Extension) degradeLoadLocked(sess *session, req *http.Request) (*http.Response, error) {
+	trace.Current(req.Context()).Annotate("degraded", "load")
 	b := &sess.brk
 	var text string
 	switch {
@@ -514,6 +550,9 @@ func (e *Extension) degradeLoadLocked(sess *session, req *http.Request) (*http.R
 // skip-list indices: the transform always starts from the server's actual
 // state. Callers hold session.mu.
 func (e *Extension) drainLocked(sess *session, docID string, req *http.Request) error {
+	ctx, dsp := trace.Start(req.Context(), trace.SpanDrain)
+	defer dsp.End()
+	req = req.WithContext(ctx)
 	b := &sess.brk
 	version, err := e.refetchLocked(sess, docID, req)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"privedit/internal/obs"
+	"privedit/internal/trace"
 )
 
 // Telemetry for the fault layer. No-ops until obs.Enable().
@@ -330,6 +331,7 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if ft.inPartition() {
 		ft.partitioned.Add(1)
 		metricFaultPartition.Inc()
+		annotateFault(req, "partition")
 		return nil, &FaultError{Kind: "partition"}
 	}
 
@@ -344,6 +346,7 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if p.JitterRate > 0 && unit(splitmix64(word)) < p.JitterRate {
 		ft.jitterSpikes.Add(1)
 		metricFaultJitter.Inc()
+		annotateFault(req, "jitter")
 		if err := sleepCtx(req.Context(), p.jitterDelay()); err != nil {
 			return nil, err
 		}
@@ -354,6 +357,7 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if u < cut {
 		ft.drops.Add(1)
 		metricFaultDrop.Inc()
+		annotateFault(req, "drop")
 		return nil, &FaultError{Kind: "drop"}
 	}
 	if cut += p.DropResponseRate; u < cut {
@@ -365,21 +369,25 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		ft.dropResponses.Add(1)
 		metricFaultDropResp.Inc()
+		annotateFault(req, "drop_response")
 		return nil, &FaultError{Kind: "drop_response"}
 	}
 	if cut += p.Error5xxRate; u < cut {
 		ft.errors5xx.Add(1)
 		metricFaultErr5xx.Inc()
+		annotateFault(req, "err_5xx")
 		return synthesizeFault(req, http.StatusInternalServerError, "netsim: injected server error"), nil
 	}
 	if cut += p.ThrottleRate; u < cut {
 		ft.throttles.Add(1)
 		metricFaultThrottle.Inc()
+		annotateFault(req, "throttle_429")
 		return synthesizeFault(req, http.StatusTooManyRequests, "netsim: injected throttle"), nil
 	}
 	if cut += p.TimeoutRate; u < cut {
 		ft.timeouts.Add(1)
 		metricFaultTimeout.Inc()
+		annotateFault(req, "timeout")
 		if err := sleepCtx(req.Context(), p.timeoutDelay()); err != nil {
 			return nil, err
 		}
@@ -403,8 +411,16 @@ func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		resp.Header.Del("Content-Length")
 		ft.corruptions.Add(1)
 		metricFaultCorrupt.Inc()
+		annotateFault(req, "corrupt")
 	}
 	return resp, nil
+}
+
+// annotateFault records an injected fault on the request's current trace
+// span (the mediator's retry or phase span), so a trace shows not just
+// that an attempt failed but which fault the simulated network injected.
+func annotateFault(req *http.Request, kind string) {
+	trace.Current(req.Context()).Annotate("fault", kind)
 }
 
 // corruptBody overwrites k bytes at word-derived positions with 0x7f —

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"privedit/internal/obs"
+	"privedit/internal/trace"
 )
 
 // Telemetry for the simulated network. No-ops until obs.Enable().
@@ -117,11 +118,15 @@ func (d *DelayTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	metricRequests.Inc()
 	metricBytes.Add(int64(reqBytes + respBytes))
-	metricDelay.Observe(delay.Seconds())
+	metricDelay.ObserveExemplar(delay.Seconds(), trace.TraceID(req.Context()))
+	_, sp := trace.Start(req.Context(), trace.SpanNetDelay)
+	sp.AnnotateInt("delay_us", delay.Microseconds())
 	if err := sleepCtx(req.Context(), delay); err != nil {
+		sp.End()
 		resp.Body.Close()
 		return nil, err
 	}
+	sp.End()
 	return resp, nil
 }
 

@@ -51,8 +51,18 @@ func writeSeries(w io.Writer, f famSnapshot, c labeledChild) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(c.labels, "", 0), formatFloat(m.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(c.labels, "", 0), m.Count())
-		return err
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(c.labels, "", 0), m.Count()); err != nil {
+			return err
+		}
+		// Exemplar: the window's worst observation and the trace that
+		// produced it, as a comment line (the 0.0.4 text format has no
+		// native exemplar syntax; greppable and ignored by scrapers).
+		if v, traceID, ok := m.Exemplar(); ok {
+			_, err := fmt.Fprintf(w, "# EXEMPLAR %s%s %s trace_id=%s\n",
+				f.name, labelString(c.labels, "", 0), formatFloat(v), traceID)
+			return err
+		}
+		return nil
 	}
 	return nil
 }
@@ -140,6 +150,9 @@ type JSONSeries struct {
 	P50    *float64          `json:"p50,omitempty"`
 	P95    *float64          `json:"p95,omitempty"`
 	P99    *float64          `json:"p99,omitempty"`
+	// Exemplar: worst observation of the current window and its trace.
+	Max        *float64 `json:"max,omitempty"`
+	MaxTraceID string   `json:"max_trace_id,omitempty"`
 }
 
 // JSONFamily is one metric family in the JSON rendering.
@@ -180,6 +193,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				count, sum := m.Count(), m.Sum()
 				p50, p95, p99 := m.Quantile(0.5), m.Quantile(0.95), m.Quantile(0.99)
 				s.Count, s.Sum, s.P50, s.P95, s.P99 = &count, &sum, &p50, &p95, &p99
+				if v, traceID, ok := m.Exemplar(); ok {
+					s.Max, s.MaxTraceID = &v, traceID
+				}
 			}
 			jf.Series = append(jf.Series, s)
 		}
@@ -191,15 +207,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // Handler serves the registry over HTTP: Prometheus text by default,
-// JSON with ?format=json.
+// JSON with ?format=json. Each scrape closes the exemplar window, so the
+// exemplars a scrape reports cover the interval since the previous one.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = r.WriteJSON(w)
+			r.ResetExemplars()
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
+		r.ResetExemplars()
 	})
 }

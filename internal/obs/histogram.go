@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -45,6 +46,14 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is overflow
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+
+	// Exemplar: the worst (largest) observation of the current window and
+	// the trace that produced it, so a p99 cliff in /metrics points at a
+	// replayable trace in /debug/traces. Reset per scrape by Handler.
+	exMu      sync.Mutex
+	exSet     bool
+	exValue   float64
+	exTraceID string
 }
 
 // NewHistogram registers (or fetches) a histogram on a registry. bounds
@@ -79,6 +88,43 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	addFloat(&h.sum, v)
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty and the value is the worst seen this exemplar window, links
+// it as the histogram's exemplar. No-op when nil or disabled.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if h == nil || !h.reg.enabled.Load() || traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if !h.exSet || v > h.exValue {
+		h.exSet, h.exValue, h.exTraceID = true, v, traceID
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the worst observation of the current window and its
+// trace ID. ok is false when no exemplar has been recorded since the last
+// reset.
+func (h *Histogram) Exemplar() (v float64, traceID string, ok bool) {
+	if h == nil {
+		return 0, "", false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exValue, h.exTraceID, h.exSet
+}
+
+// ResetExemplar clears the exemplar window.
+func (h *Histogram) ResetExemplar() {
+	if h == nil {
+		return
+	}
+	h.exMu.Lock()
+	h.exSet, h.exValue, h.exTraceID = false, 0, ""
+	h.exMu.Unlock()
 }
 
 // Count returns the total number of observations.
@@ -166,6 +212,16 @@ func (s Span) End() {
 		return
 	}
 	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// EndExemplar records the elapsed time since Start and links it as the
+// histogram's exemplar when it is the window's worst observation and
+// traceID is non-empty.
+func (s Span) EndExemplar(traceID string) {
+	if s.h == nil {
+		return
+	}
+	s.h.ObserveExemplar(time.Since(s.start).Seconds(), traceID)
 }
 
 // ---------------------------------------------------------------- helpers

@@ -31,6 +31,23 @@ func init() {
 	Default.familyFor(httpBytesOutName, httpBytesOutHelp, KindCounter, nil)
 }
 
+// traceHeader duplicates trace.Header by value: obs sits below
+// internal/trace in the import graph (trace records tracer telemetry
+// through obs), so it reads the wire header literally. A test in
+// internal/trace pins the two constants together.
+const traceHeader = "X-Privedit-Trace"
+
+// traceIDOf extracts the trace ID from an X-Privedit-Trace value
+// ("traceID-spanID"), or returns "".
+func traceIDOf(v string) string {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '-' {
+			return v[:i]
+		}
+	}
+	return ""
+}
+
 // reqID assigns monotonically increasing request ids across all mounted
 // middlewares in the process.
 var reqID atomic.Uint64
@@ -91,18 +108,24 @@ func Middleware(reg *Registry, next http.Handler, logger *log.Logger, pathLabel 
 		if r.ContentLength > 0 {
 			bytesIn = r.ContentLength
 		}
+		traceID := traceIDOf(r.Header.Get(traceHeader))
 		if reg.Enabled() {
 			p := pathLabel(r.URL.Path)
 			reg.NewCounter(httpRequestsName, httpRequestsHelp,
 				"method", r.Method, "path", p, "code", strconv.Itoa(sw.status)).Inc()
-			reg.NewHistogram(httpLatencyName, httpLatencyHelp, TimeBuckets, "path", p).Observe(elapsed.Seconds())
+			reg.NewHistogram(httpLatencyName, httpLatencyHelp, TimeBuckets, "path", p).
+				ObserveExemplar(elapsed.Seconds(), traceID)
 			reg.NewCounter(httpBytesInName, httpBytesInHelp, "path", p).Add(bytesIn)
 			reg.NewCounter(httpBytesOutName, httpBytesOutHelp, "path", p).Add(sw.bytes)
 		}
 		if logger != nil {
-			logger.Printf("req id=%s method=%s path=%s status=%d bytes_in=%d bytes_out=%d dur=%s",
+			tr := ""
+			if traceID != "" {
+				tr = " trace=" + traceID
+			}
+			logger.Printf("req id=%s method=%s path=%s status=%d bytes_in=%d bytes_out=%d dur=%s%s",
 				formatID(id), r.Method, r.URL.Path, sw.status, bytesIn, sw.bytes,
-				elapsed.Round(time.Microsecond))
+				elapsed.Round(time.Microsecond), tr)
 		}
 	})
 }

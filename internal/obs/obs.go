@@ -312,6 +312,55 @@ func (r *Registry) Sum(name string) float64 {
 	return total
 }
 
+// ResetExemplars clears the exemplar window of every histogram in the
+// registry. The metrics Handler calls it after each scrape, so an
+// exemplar names the worst observation since the previous scrape.
+func (r *Registry) ResetExemplars() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		children := append([]labeledChild(nil), f.ordered...)
+		f.mu.Unlock()
+		for _, c := range children {
+			if h, ok := c.metric.(*Histogram); ok {
+				h.ResetExemplar()
+			}
+		}
+	}
+}
+
+// Exemplar returns the exemplar of the single histogram series with the
+// given name and exact label pairs. ok is false for unknown series,
+// non-histograms, or an empty exemplar window.
+func (r *Registry) Exemplar(name string, labels ...string) (v float64, traceID string, ok bool) {
+	if r == nil {
+		return 0, "", false
+	}
+	r.mu.Lock()
+	f, found := r.byName[name]
+	r.mu.Unlock()
+	if !found {
+		return 0, "", false
+	}
+	key := labelKey(labels)
+	f.mu.Lock()
+	m, found := f.byLabel[key]
+	f.mu.Unlock()
+	if !found {
+		return 0, "", false
+	}
+	h, isH := m.(*Histogram)
+	if !isH {
+		return 0, "", false
+	}
+	return h.Exemplar()
+}
+
 // Value returns the value of the single series with the given name and
 // exact label pairs (counter/gauge value, histogram observation count), or
 // 0 if no such series exists.

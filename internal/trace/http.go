@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// ParseHeader splits an X-Privedit-Trace value into its trace and span
+// IDs. ok is false for empty or malformed values.
+func ParseHeader(v string) (traceID, spanID string, ok bool) {
+	i := strings.IndexByte(v, '-')
+	if i <= 0 || i == len(v)-1 {
+		return "", "", false
+	}
+	traceID, spanID = v[:i], v[i+1:]
+	if !validID(traceID) || !validID(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func validID(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SetRequestHeader stamps the wire header on req from the span carried by
+// req's context, so the receiving server's spans join the caller's trace.
+// No-op when no span is in flight.
+func SetRequestHeader(req *http.Request) {
+	if hv := HeaderValue(req.Context()); hv != "" {
+		req.Header.Set(Header, hv)
+	}
+}
+
+// Join continues a trace received over the wire. If header carries a
+// valid trace reference and that trace is active in this process (the
+// in-process httptest/load-harness case) the new span joins it directly,
+// producing one merged client+server tree. If the trace is remote, a new
+// local trace is started under the caller's trace ID, so the server's
+// flight recorder shows the server-side tree under the ID the client
+// logged. With no (or malformed) header, Join behaves like Start.
+// Returns (ctx, nil) when tracing is disabled.
+func Join(ctx context.Context, header, name string) (context.Context, *Span) {
+	if liveTracers.Load() == 0 {
+		return ctx, nil
+	}
+	traceID, parentID, ok := ParseHeader(header)
+	if !ok {
+		return Start(ctx, name)
+	}
+	t := Default
+	if at := t.lookup(traceID); at != nil {
+		return startIn(ctx, at, name, parentID, true)
+	}
+	if !t.enabled.Load() {
+		return ctx, nil
+	}
+	return t.rootWithID(ctx, traceID, name, parentID, true)
+}
+
+// Middleware wraps an http.Handler so every request runs under a
+// server_request span that joins the caller's trace via the
+// X-Privedit-Trace header (or roots a fresh trace for untraced callers).
+// The span records method, path, and response status.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := Join(r.Context(), r.Header.Get(Header), SpanServerRequest)
+		if sp == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		sp.Annotate("method", r.Method)
+		sp.Annotate("path", r.URL.Path)
+		sw := &traceStatusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		sp.AnnotateInt("status", int64(sw.status))
+		sp.End()
+	})
+}
+
+// traceStatusWriter captures the response status for span annotation.
+type traceStatusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *traceStatusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *traceStatusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONLWriter(t *testing.T) {
+	withDefault(t)
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	jw, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remove := Default.AddSink(jw.Write)
+
+	for i := 0; i < 3; i++ {
+		ctx, root := Start(context.Background(), SpanEditOp)
+		_, sp := Start(ctx, SpanTransform)
+		sp.End()
+		root.End()
+	}
+	remove()
+	if err := jw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var tr Trace
+		if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if tr.Root != SpanEditOp || len(tr.Spans) != 2 {
+			t.Fatalf("line %d: %+v", lines+1, tr)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+}
+
+func TestOpenJSONLBadPath(t *testing.T) {
+	if _, err := OpenJSONL(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl")); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}

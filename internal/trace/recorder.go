@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a bounded ring buffer of recently completed traces —
+// the "black box" behind /debug/traces. When full, the oldest trace is
+// overwritten. Safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	full  bool
+	total int64
+}
+
+// NewFlightRecorder returns a recorder keeping the last n traces (n <= 0
+// selects 256).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 256
+	}
+	return &FlightRecorder{buf: make([]Trace, n)}
+}
+
+// Record stores tr; pass method value FlightRecorder.Record to AddSink.
+func (fr *FlightRecorder) Record(tr Trace) {
+	fr.mu.Lock()
+	fr.buf[fr.next] = tr
+	fr.next++
+	if fr.next == len(fr.buf) {
+		fr.next = 0
+		fr.full = true
+	}
+	fr.total++
+	fr.mu.Unlock()
+}
+
+// Snapshot returns the recorded traces, oldest first.
+func (fr *FlightRecorder) Snapshot() []Trace {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	var out []Trace
+	if fr.full {
+		out = append(out, fr.buf[fr.next:]...)
+	}
+	out = append(out, fr.buf[:fr.next]...)
+	return out
+}
+
+// Total returns how many traces have been recorded over the recorder's
+// lifetime, including ones the ring has since overwritten.
+func (fr *FlightRecorder) Total() int64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.total
+}
+
+// recorderPage is the /debug/traces response envelope.
+type recorderPage struct {
+	// Total is the lifetime number of recorded traces; Count the number
+	// returned after filtering.
+	Total  int64   `json:"total"`
+	Count  int     `json:"count"`
+	Traces []Trace `json:"traces"`
+}
+
+// Handler returns the /debug/traces endpoint: recent traces as JSON,
+// newest first. Query parameters:
+//
+//	doc=<id>       only traces tagged with this document
+//	trace_id=<id>  only the trace with this ID
+//	min_ms=<n>     only traces with total duration >= n milliseconds
+//	root=<name>    only traces whose root span has this name
+//	limit=<n>      at most n traces (default 50)
+func (fr *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		doc := q.Get("doc")
+		traceID := q.Get("trace_id")
+		root := q.Get("root")
+		var minDur time.Duration
+		if s := q.Get("min_ms"); s != "" {
+			ms, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		limit := 50
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+
+		all := fr.Snapshot()
+		page := recorderPage{Total: fr.Total(), Traces: []Trace{}}
+		// Newest first: walk the snapshot backwards.
+		for i := len(all) - 1; i >= 0 && len(page.Traces) < limit; i-- {
+			tr := all[i]
+			if doc != "" && tr.Doc != doc {
+				continue
+			}
+			if traceID != "" && tr.TraceID != traceID {
+				continue
+			}
+			if root != "" && tr.Root != root {
+				continue
+			}
+			if minDur > 0 && time.Duration(tr.DurationNs) < minDur {
+				continue
+			}
+			page.Traces = append(page.Traces, tr)
+		}
+		page.Count = len(page.Traces)
+
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page) // best-effort debug endpoint
+	})
+}

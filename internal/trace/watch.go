@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"privedit/internal/obs"
+)
+
+// Watchdog gauges. No-ops until obs.Enable().
+var (
+	metricGoroutines = obs.NewGauge("privedit_runtime_goroutines",
+		"Goroutine count sampled by the trace.Watch leak watchdog.")
+	metricHeapAlloc = obs.NewGauge("privedit_runtime_heap_alloc_bytes",
+		"Heap bytes in use sampled by the trace.Watch leak watchdog.")
+)
+
+// WatchStats summarizes a watchdog run; returned by the stop function so
+// harnesses can emit leak ceilings into their reports (ROADMAP item 5's
+// soak gates build on this).
+type WatchStats struct {
+	Samples        int    `json:"samples"`
+	MaxGoroutines  int    `json:"max_goroutines"`
+	LastGoroutines int    `json:"last_goroutines"`
+	MaxHeapBytes   uint64 `json:"max_heap_bytes"`
+	LastHeapBytes  uint64 `json:"last_heap_bytes"`
+}
+
+// Watch starts the goroutine/heap leak watchdog: every interval it
+// samples runtime.NumGoroutine and heap-in-use into the obs gauges above
+// and — when tracing is enabled — emits a runtime_sample trace so the
+// samples land in the flight recorder and any -trace-out file alongside
+// the requests they interleave with. interval <= 0 selects one second.
+// The returned stop function halts sampling (taking one final sample) and
+// reports the run's statistics; it is idempotent.
+func Watch(interval time.Duration) (stop func() WatchStats) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	var (
+		mu    sync.Mutex
+		stats WatchStats
+	)
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		g := runtime.NumGoroutine()
+		metricGoroutines.Set(float64(g))
+		metricHeapAlloc.Set(float64(ms.HeapAlloc))
+
+		mu.Lock()
+		stats.Samples++
+		stats.LastGoroutines = g
+		stats.LastHeapBytes = ms.HeapAlloc
+		if g > stats.MaxGoroutines {
+			stats.MaxGoroutines = g
+		}
+		if ms.HeapAlloc > stats.MaxHeapBytes {
+			stats.MaxHeapBytes = ms.HeapAlloc
+		}
+		mu.Unlock()
+
+		if _, sp := Default.Root(context.Background(), SpanRuntimeSample); sp != nil {
+			sp.AnnotateInt("goroutines", int64(g))
+			sp.AnnotateInt("heap_alloc_bytes", int64(ms.HeapAlloc))
+			sp.End()
+		}
+	}
+
+	sample()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() WatchStats {
+		once.Do(func() {
+			close(done)
+			<-finished
+			sample()
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		return stats
+	}
+}

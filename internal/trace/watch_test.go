@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"privedit/internal/obs"
+)
+
+func TestWatch(t *testing.T) {
+	col := withDefault(t)
+	obs.Default.SetEnabled(true)
+	t.Cleanup(func() { obs.Default.SetEnabled(false) })
+
+	stop := Watch(5 * time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stats := stop()
+	if again := stop(); again != stats { // idempotent
+		t.Fatalf("second stop returned %+v, want %+v", again, stats)
+	}
+
+	if stats.Samples < 2 {
+		t.Fatalf("only %d samples", stats.Samples)
+	}
+	if stats.MaxGoroutines < 1 || stats.LastGoroutines < 1 {
+		t.Fatalf("goroutine stats: %+v", stats)
+	}
+	if stats.MaxHeapBytes == 0 || stats.LastHeapBytes == 0 {
+		t.Fatalf("heap stats: %+v", stats)
+	}
+	if stats.MaxGoroutines < stats.LastGoroutines ||
+		stats.MaxHeapBytes < stats.LastHeapBytes {
+		t.Fatalf("max below last: %+v", stats)
+	}
+
+	if obs.Default.Value("privedit_runtime_goroutines") < 1 {
+		t.Fatal("goroutine gauge not set")
+	}
+	if obs.Default.Value("privedit_runtime_heap_alloc_bytes") == 0 {
+		t.Fatal("heap gauge not set")
+	}
+
+	// Each sample emitted a runtime_sample trace with annotations.
+	snap := col.Snapshot()
+	if len(snap) < stats.Samples {
+		t.Fatalf("%d traces for %d samples", len(snap), stats.Samples)
+	}
+	for _, tr := range snap {
+		if tr.Root != SpanRuntimeSample {
+			t.Fatalf("unexpected trace root %q", tr.Root)
+		}
+		if !tr.HasAnnotation("goroutines") || !tr.HasAnnotation("heap_alloc_bytes") {
+			t.Fatalf("sample trace missing annotations: %+v", tr)
+		}
+	}
+}
+
+func TestWatchDefaultInterval(t *testing.T) {
+	stop := Watch(0) // tracing disabled: gauges only, no traces
+	stats := stop()
+	if stats.Samples < 1 {
+		t.Fatal("no initial sample")
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Coverage gate: the packages that hold the correctness-critical logic —
-# the crypto core, the skip-list indices, the delta algebra, and the
-# mediating extension (including the PR-4 resilience stack) — must each
+# the crypto core, the skip-list indices, the delta algebra, the
+# mediating extension (including the PR-4 resilience stack), and the
+# observability layer (metrics + request tracing) — must each
 # keep at least MIN_COVER% statement coverage. CI fails the build below
 # the floor, so new code in these packages ships with tests or not at all.
 #
@@ -16,6 +17,8 @@ privedit/internal/core
 privedit/internal/skiplist
 privedit/internal/delta
 privedit/internal/mediator
+privedit/internal/obs
+privedit/internal/trace
 "
 
 fail=0
