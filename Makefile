@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke chaos-smoke trace-smoke profile-smoke hotpath clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke ot-smoke chaos-smoke trace-smoke profile-smoke hotpath clean
 
 all: build vet lint test
 
@@ -79,6 +79,16 @@ metrics-smoke:
 # serial-vs-parallel crypto kernel comparison. Writes /tmp/BENCH_load.json.
 load-smoke:
 	$(GO) run ./cmd/privedit-load -sessions 8 -docs 4 -duration 2s -workers 4 -json /tmp/BENCH_load.json
+
+# OT-pipeline gate: the committed-baseline load shape (16 sessions over 8
+# docs) through the pipelined save path. The run itself fails if any
+# rejected save fell back to a full conflict resync (every conflict must
+# transform-merge) or if throughput drops below the committed floor —
+# 640 ops/sec is ~5x the 119.5 the synchronous path recorded in
+# BENCH_load.json before the pipeline existed. Writes /tmp/BENCH_ot.json.
+ot-smoke:
+	$(GO) run ./cmd/privedit-load -sessions 16 -docs 8 -duration 5s -workers 4 \
+		-inflight 4 -min-ops-sec 640 -max-conflict-resyncs 0 -json /tmp/BENCH_ot.json
 
 # Short chaos run: concurrent resilient sessions through a seeded fault
 # storm, with per-document convergence verification (the run fails if any

@@ -106,7 +106,7 @@ func main() {
 		res.Retry.TryTimeout = *tryTimeout
 		extOpts = append(extOpts, mediator.WithResilience(res))
 	}
-	ext := mediator.New(http.DefaultTransport, mediator.StaticPassword(*password, opts), mit, extOpts...)
+	ext := mediator.New(http.DefaultTransport, mediator.StaticPassword(*password, opts), append([]mediator.Option{mediator.WithMitigator(mit)}, extOpts...)...)
 	client := gdocs.NewClient(ext.Client(), *base, *docID)
 
 	// Open or create the document.
@@ -208,7 +208,7 @@ func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 			fmt.Printf("saved (delta %q)\n", pending.String())
 		}
 	case ":cipher":
-		ed := ext.Editor(client.DocID())
+		ed := ext.Session(client.DocID()).Editor()
 		if ed == nil {
 			return fmt.Errorf("no encryption state yet")
 		}
@@ -216,7 +216,7 @@ func execute(client *gdocs.Client, ext *mediator.Extension, line string) error {
 		fmt.Printf("server stores %d chars of ciphertext:\n%.120s...\n", len(transport), transport)
 	case ":stats":
 		fmt.Printf("%+v\n", ext.Stats())
-		if ext.Degraded(client.DocID()) {
+		if ext.Session(client.DocID()).Degraded() {
 			fmt.Println("document is in degraded mode (breaker open or saves queued)")
 		}
 	case ":metrics":

@@ -58,6 +58,9 @@ func main() {
 	workers := flag.Int("workers", 0, "crypto worker bound (0 = GOMAXPROCS)")
 	reloadEvery := flag.Int("reload-every", 16, "every n-th op is a full document reload/decrypt (0 = deltas only)")
 	netScale := flag.Int("net-scale", 0, "enable netsim Broadband2009 delays divided by this factor (0 = off)")
+	inflight := flag.Int("inflight", 0, "pipelined async saves with this in-flight depth (0 = legacy synchronous path)")
+	minOpsSec := flag.Float64("min-ops-sec", 0, "fail the run if throughput falls below this floor (0 = no check)")
+	maxResyncs := flag.Int("max-conflict-resyncs", -1, "fail the run if conflict-driven full resyncs exceed this (-1 = no check)")
 	seed := flag.Int64("seed", 2011, "workload seed")
 	jsonPath := flag.String("json", "", "write BENCH_load.json artifact to this path")
 	encBench := flag.Bool("enc-bench", true, "include serial-vs-parallel encrypt kernel comparison in -json output")
@@ -158,6 +161,7 @@ func main() {
 		Workers:     *workers,
 		ReloadEvery: *reloadEvery,
 		NetScale:    *netScale,
+		Inflight:    *inflight,
 		Seed:        *seed,
 		Trace:       *tracing,
 		TraceSink:   traceSink,
@@ -189,6 +193,11 @@ func main() {
 	fmt.Printf("  conflicts  %d version conflicts, %d errored ops\n", report.Conflicts, report.Errors)
 	fmt.Printf("  mediator   %d sessions, %d full encrypts, %d deltas, %d loads\n",
 		report.MediatorSessions, report.MediatorFullEncrypts, report.MediatorDeltas, report.MediatorLoads)
+	if *inflight > 0 {
+		fmt.Printf("  pipeline   depth=%d, %d queued saves (%d coalesced), %d OT merges, %d conflict resyncs, %d dropped\n",
+			report.Inflight, report.QueuedSaves, report.QueueCoalesced,
+			report.OTMerges, report.ConflictResyncs, report.DroppedSaves)
+	}
 	if report.Watch != nil {
 		fmt.Printf("  watchdog   %d samples, max %d goroutines, max heap %.1f MiB\n",
 			report.Watch.Samples, report.Watch.MaxGoroutines,
@@ -199,6 +208,23 @@ func main() {
 		// trace-smoke relies on this: a traced run that attributed nothing
 		// means the span plumbing regressed somewhere.
 		fmt.Fprintln(os.Stderr, "privedit-load: tracing was on but the phase breakdown is empty")
+		os.Exit(1)
+	}
+
+	// ot-smoke gates: the pipelined save path commits to a throughput floor
+	// and to resolving conflicts by transform, not full resync.
+	failed := false
+	if *minOpsSec > 0 && report.OpsPerSec < *minOpsSec {
+		fmt.Fprintf(os.Stderr, "privedit-load: throughput %.1f ops/s is below the %.1f ops/s floor\n",
+			report.OpsPerSec, *minOpsSec)
+		failed = true
+	}
+	if *maxResyncs >= 0 && report.ConflictResyncs > *maxResyncs {
+		fmt.Fprintf(os.Stderr, "privedit-load: %d conflict resyncs exceed the allowed %d\n",
+			report.ConflictResyncs, *maxResyncs)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 

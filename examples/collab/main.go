@@ -30,7 +30,7 @@ func main() {
 	const password = "shared-via-secure-channel"
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}
 	newUser := func(doc string) *gdocs.Client {
-		ext := mediator.New(ts.Client().Transport, mediator.StaticPassword(password, opts), nil)
+		ext := mediator.New(ts.Client().Transport, mediator.StaticPassword(password, opts))
 		return gdocs.NewClient(ext.Client(), ts.URL, doc)
 	}
 

@@ -35,7 +35,7 @@ func main() {
 	// mitigations on.
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}
 	mit := covert.New(covert.Config{CanonicalizeDeltas: true, PadQuantum: 64}, nil)
-	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("tax-season-2011", opts), mit)
+	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("tax-season-2011", opts), mediator.WithMitigator(mit))
 
 	// The unmodified client application, routed through the extension.
 	client := gdocs.NewClient(ext.Client(), ts.URL, "tax-return")
@@ -82,7 +82,7 @@ func main() {
 	must(err)
 
 	// ...and the next session refuses the document.
-	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("tax-season-2011", opts), nil)
+	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("tax-season-2011", opts))
 	client2 := gdocs.NewClient(ext2.Client(), ts.URL, "tax-return")
 	if err := client2.Load(); err != nil {
 		fmt.Printf("integrity:       tampered document rejected on load: %v\n", err)

@@ -183,7 +183,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 	faults.SetEnabled(false) // clean network while seeding
 
 	opts := core.Options{Scheme: cfg.Scheme, BlockChars: cfg.BlockChars, Workers: cfg.Workers}
-	ext := mediator.New(faults, mediator.StaticPassword("chaos-pw", opts), nil,
+	ext := mediator.New(faults, mediator.StaticPassword("chaos-pw", opts),
 		mediator.WithResilience(cfg.Resilience))
 	httpc := ext.Client()
 
@@ -283,7 +283,7 @@ func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
 			diverged++
 			continue
 		}
-		fresh := mediator.New(ts.Client().Transport, mediator.StaticPassword("chaos-pw", core.Options{}), nil)
+		fresh := mediator.New(ts.Client().Transport, mediator.StaticPassword("chaos-pw", core.Options{}))
 		fc := gdocs.NewClient(fresh.Client(), ts.URL, docID)
 		if err := fc.Load(); err != nil || fc.Text() != plain {
 			diverged++

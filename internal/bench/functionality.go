@@ -39,7 +39,7 @@ func Functionality(cfg Config) (FuncResult, error) {
 		BlockChars: 8,
 		Nonces:     crypt.NewSeededNonceSource(uint64(cfg.Seed) + 900),
 	}
-	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("bench-pw", opts), nil)
+	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("bench-pw", opts))
 
 	plain := gdocs.NewClient(ts.Client(), ts.URL, "plain-doc")
 	enc := gdocs.NewClient(ext.Client(), ts.URL, "enc-doc")
@@ -77,7 +77,7 @@ func Functionality(cfg Config) (FuncResult, error) {
 
 	// Load in a fresh session.
 	plain2 := gdocs.NewClient(ts.Client(), ts.URL, "plain-doc")
-	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("bench-pw", opts), nil)
+	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("bench-pw", opts))
 	enc2 := gdocs.NewClient(ext2.Client(), ts.URL, "enc-doc")
 	pe = plain2.Load()
 	ee = enc2.Load()

@@ -54,6 +54,9 @@ type LoadConfig struct {
 	// delays by the given factor (e.g. 1000 for a fast smoke run). 0
 	// disables network simulation entirely.
 	NetScale int
+	// Inflight enables the pipelined save path with the given in-flight
+	// depth (mediator.WithPipeline). 0 keeps the legacy synchronous path.
+	Inflight int
 	// Seed makes the workload reproducible.
 	Seed int64
 	// Trace enables request-scoped tracing for the run: every operation
@@ -119,6 +122,14 @@ type LoadReport struct {
 	MediatorPlainBytesIn   int `json:"mediator_plain_bytes_in"`
 	MediatorCipherBytesOut int `json:"mediator_cipher_bytes_out"`
 
+	// Pipelined-save counters (all zero on the legacy synchronous path).
+	Inflight        int `json:"inflight"`
+	QueuedSaves     int `json:"queued_saves"`
+	QueueCoalesced  int `json:"queue_coalesced"`
+	OTMerges        int `json:"ot_merges"`
+	ConflictResyncs int `json:"conflict_resyncs"`
+	DroppedSaves    int `json:"dropped_saves"`
+
 	// Phases is the per-phase latency breakdown aggregated from spans,
 	// present when the run traced (LoadConfig.Trace).
 	Phases *PhaseBreakdown `json:"phases,omitempty"`
@@ -173,7 +184,11 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		BlockChars: cfg.BlockChars,
 		Workers:    cfg.Workers,
 	}
-	ext := mediator.New(transport, mediator.StaticPassword("load-pw", opts), nil)
+	var extOpts []mediator.Option
+	if cfg.Inflight > 0 {
+		extOpts = append(extOpts, mediator.WithPipeline(cfg.Inflight))
+	}
+	ext := mediator.New(transport, mediator.StaticPassword("load-pw", opts), extOpts...)
 	httpc := ext.Client()
 
 	// Latency percentiles come from the raw per-operation samples, not a
@@ -263,6 +278,18 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Pipelined mode: drain every queue before reading counters, so the
+	// report reflects acknowledged saves, not in-flight ones.
+	if cfg.Inflight > 0 {
+		flushCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		for d := 0; d < cfg.Docs; d++ {
+			if err := ext.Session(fmt.Sprintf("load-doc-%d", d)).Flush(flushCtx); err != nil {
+				errs.Add(1)
+			}
+		}
+		cancel()
+	}
+
 	var lat Sample
 	for _, sessionLat := range latSamples {
 		for _, v := range sessionLat {
@@ -294,9 +321,16 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		MediatorFullEncrypts:   stats.FullEncrypts,
 		MediatorDeltas:         stats.DeltasTransformed,
 		MediatorLoads:          stats.LoadsDecrypted,
-		MediatorSessions:       ext.Sessions(),
+		MediatorSessions:       ext.SessionCount(),
 		MediatorPlainBytesIn:   stats.PlainBytesIn,
 		MediatorCipherBytesOut: stats.CipherBytesOut,
+
+		Inflight:        cfg.Inflight,
+		QueuedSaves:     stats.QueuedSaves,
+		QueueCoalesced:  stats.QueueCoalesced,
+		OTMerges:        stats.OTMerges,
+		ConflictResyncs: stats.ConflictResyncs,
+		DroppedSaves:    stats.DroppedSaves,
 	}
 	if stopWatch != nil {
 		ws := stopWatch()

@@ -38,11 +38,14 @@ type PhaseBreakdown struct {
 func (b PhaseBreakdown) Empty() bool { return b.Ops == 0 }
 
 // AggregatePhases reduces collected traces to a PhaseBreakdown. Only
-// operation roots (trace.SpanEditOp) participate; middleware-rooted or
-// watchdog traces in the same collector are skipped. Per operation, the
-// durations of every span named after an edit phase (trace.EditPhases)
-// are summed by phase; an operation with no span of a given phase simply
-// doesn't contribute to that phase's sample.
+// operation roots participate — client edit operations (trace.SpanEditOp)
+// and the pipelined writer's drain cycles (trace.SpanWriterDrain), which
+// carry the encrypt/transform/save work that moved off the client's
+// critical path; middleware-rooted or watchdog traces in the same
+// collector are skipped. Per operation, the durations of every span named
+// after an edit phase (trace.EditPhases) are summed by phase; an operation
+// with no span of a given phase simply doesn't contribute to that phase's
+// sample.
 func AggregatePhases(traces []trace.Trace) PhaseBreakdown {
 	type acc struct {
 		samples map[string]*Sample
@@ -53,7 +56,7 @@ func AggregatePhases(traces []trace.Trace) PhaseBreakdown {
 
 	var b PhaseBreakdown
 	for _, tr := range traces {
-		if tr.Root != trace.SpanEditOp {
+		if tr.Root != trace.SpanEditOp && tr.Root != trace.SpanWriterDrain {
 			continue
 		}
 		b.Ops++

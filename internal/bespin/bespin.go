@@ -245,7 +245,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err != nil {
 			return blocked(req, "privedit: "+err.Error()), nil
 		}
-		ed, err := core.Open(password, string(raw), nil)
+		ed, err := core.OpenWith(password, string(raw), core.Options{})
 		if err != nil {
 			return blocked(req, "privedit: open: "+err.Error()), nil
 		}

@@ -215,14 +215,6 @@ func OpenWith(password, transport string, opts Options) (*Editor, error) {
 	return &Editor{scheme: scheme, doc: doc, workers: opts.Workers}, nil
 }
 
-// Open restores the encryption state from an existing container. nonces may
-// be nil for the default secure source.
-//
-// Deprecated: use OpenWith, which shares the Options path with NewEditor.
-func Open(password, transport string, nonces crypt.NonceSource) (*Editor, error) {
-	return OpenWith(password, transport, Options{Nonces: nonces})
-}
-
 // Scheme returns the editor's protection level.
 func (e *Editor) Scheme() Scheme { return e.scheme }
 
@@ -317,14 +309,6 @@ func (e *Editor) RekeyWith(newPassword string, opts Options) (string, error) {
 	e.doc = replacement.doc
 	e.workers = workers
 	return transport, nil
-}
-
-// Rekey re-encrypts the document under a new password. nonces may be nil
-// for the default secure source.
-//
-// Deprecated: use RekeyWith, which shares the Options path with NewEditor.
-func (e *Editor) Rekey(newPassword string, nonces crypt.NonceSource) (string, error) {
-	return e.RekeyWith(newPassword, Options{Nonces: nonces})
 }
 
 // Reload replaces the editor's state from a container produced under the

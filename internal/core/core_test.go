@@ -78,7 +78,7 @@ func TestOpenPreservesSchemeAndBlockSize(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Encrypt: %v", err)
 	}
-	ed2, err := Open("pw", transport, crypt.NewSeededNonceSource(4))
+	ed2, err := OpenWith("pw", transport, Options{Nonces: crypt.NewSeededNonceSource(4)})
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
@@ -113,7 +113,7 @@ func TestBadSchemeRejected(t *testing.T) {
 }
 
 func TestOpenGarbageRejected(t *testing.T) {
-	if _, err := Open("pw", "definitely not a container", nil); !errors.Is(err, blockdoc.ErrCorrupt) {
+	if _, err := OpenWith("pw", "definitely not a container", Options{}); !errors.Is(err, blockdoc.ErrCorrupt) {
 		t.Errorf("garbage open = %v, want ErrCorrupt", err)
 	}
 }
@@ -190,7 +190,7 @@ func TestSessionAcrossReopen(t *testing.T) {
 			t.Fatalf("apply: %v", err)
 		}
 
-		ed2, err := Open("pw", server, crypt.NewSeededNonceSource(8))
+		ed2, err := OpenWith("pw", server, Options{Nonces: crypt.NewSeededNonceSource(8)})
 		if err != nil {
 			t.Fatalf("reopen: %v", err)
 		}

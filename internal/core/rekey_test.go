@@ -17,7 +17,7 @@ func TestRekeyChangesPasswordKeepsContent(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Encrypt: %v", err)
 		}
-		newTransport, err := ed.Rekey("new password", crypt.NewSeededNonceSource(32))
+		newTransport, err := ed.RekeyWith("new password", Options{Nonces: crypt.NewSeededNonceSource(32)})
 		if err != nil {
 			t.Fatalf("Rekey: %v", err)
 		}
@@ -52,7 +52,7 @@ func TestRekeyPreservesParametersAndEditing(t *testing.T) {
 	if _, err := ed.Encrypt("editable after rotation"); err != nil {
 		t.Fatalf("Encrypt: %v", err)
 	}
-	server, err := ed.Rekey("pw2", crypt.NewSeededNonceSource(34))
+	server, err := ed.RekeyWith("pw2", Options{Nonces: crypt.NewSeededNonceSource(34)})
 	if err != nil {
 		t.Fatalf("Rekey: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestRekeyBadSchemeStatePreserved(t *testing.T) {
 	}
 	// Rekey cannot fail for valid inputs here, but verify the state is
 	// sane after a successful call chain regardless.
-	if _, err := ed.Rekey("pw2", crypt.NewSeededNonceSource(36)); err != nil {
+	if _, err := ed.RekeyWith("pw2", Options{Nonces: crypt.NewSeededNonceSource(36)}); err != nil {
 		t.Fatalf("Rekey: %v", err)
 	}
 	if ed.Plaintext() != "unchanged" {

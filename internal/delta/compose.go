@@ -1,0 +1,142 @@
+package delta
+
+import "fmt"
+
+// Compose collapses two *sequential* deltas into one: a applies to a base
+// document of length docLen, b applies to the result of a. The composed
+// delta applies to the original base and
+//
+//	Compose(a, b, len(doc)).Apply(doc) == b.Apply(a.Apply(doc))
+//
+// for every doc of that length. Where Transform reconciles *concurrent*
+// edits, Compose chains *consecutive* ones — it is what lets a save queue
+// coalesce a run of edits into a single wire delta without re-diffing the
+// whole document.
+//
+// Like Transform, the result is returned in burst-canonical form
+// (Coalesce), matching the delete-before-insert spelling diff.Diff emits,
+// so composed queue entries transform exactly like a fresh diff of the
+// same net edit would.
+func Compose(a, b Delta, docLen int) (Delta, error) {
+	if err := a.Validate(docLen); err != nil {
+		return nil, fmt.Errorf("delta: compose: a: %w", err)
+	}
+	midLen := docLen - a.DeleteLen() + a.InsertLen()
+	if err := b.Validate(midLen); err != nil {
+		return nil, fmt.Errorf("delta: compose: b: %w", err)
+	}
+
+	sa := newSeqStream(a, docLen)
+	sb := newSeqStream(b, midLen)
+	var out Delta
+	for {
+		// b's inserts are new text in the final document: they pass
+		// through regardless of what a did.
+		if bOp, ok := sb.peek(); ok && bOp.Kind == Insert {
+			out = append(out, InsertOp(bOp.Str))
+			sb.advance(len(bOp.Str))
+			continue
+		}
+		// a's deletes removed base characters b never saw: they pass
+		// through on the base side.
+		aOp, aOk := sa.peek()
+		if aOk && aOp.Kind == Delete {
+			out = append(out, DeleteOp(aOp.N))
+			sa.advance(aOp.N)
+			continue
+		}
+		bOp, bOk := sb.peek()
+		if !aOk && !bOk {
+			break
+		}
+		if !aOk || !bOk {
+			// Unreachable: both streams pad to their document length, and
+			// a's output length equals b's base length by construction.
+			return nil, fmt.Errorf("delta: compose: stream length mismatch")
+		}
+
+		// a's head produces output characters (Retain or Insert); b's head
+		// consumes them (Retain or Delete). Walk the overlap.
+		an := aOp.N
+		if aOp.Kind == Insert {
+			an = len(aOp.Str)
+		}
+		n := an
+		if bOp.N < n {
+			n = bOp.N
+		}
+		switch {
+		case aOp.Kind == Retain && bOp.Kind == Retain:
+			out = append(out, RetainOp(n))
+		case aOp.Kind == Retain && bOp.Kind == Delete:
+			out = append(out, DeleteOp(n))
+		case aOp.Kind == Insert && bOp.Kind == Retain:
+			out = append(out, InsertOp(aOp.Str[:n]))
+		case aOp.Kind == Insert && bOp.Kind == Delete:
+			// Text a inserted and b deleted never existed for the base.
+		}
+		sa.advance(n)
+		sb.advance(n)
+	}
+	return out.Coalesce(), nil
+}
+
+// seqStream iterates a delta with partial consumption of every op kind —
+// unlike opStream it can split an Insert's payload, which composition
+// needs when b's retain boundary lands mid-insert. It pads an implicit
+// trailing retain to docLen so the composed walk covers both documents
+// end to end.
+type seqStream struct {
+	ops  Delta
+	idx  int
+	used int // consumed chars of the current op
+}
+
+func newSeqStream(d Delta, docLen int) *seqStream {
+	padded := make(Delta, 0, len(d)+1)
+	padded = append(padded, d...)
+	if rest := docLen - d.BaseLen(); rest > 0 {
+		padded = append(padded, RetainOp(rest))
+	}
+	return &seqStream{ops: padded}
+}
+
+// peek returns the unconsumed remainder of the current operation.
+func (s *seqStream) peek() (Op, bool) {
+	for s.idx < len(s.ops) {
+		op := s.ops[s.idx]
+		switch op.Kind {
+		case Insert:
+			if len(op.Str)-s.used <= 0 {
+				s.idx++
+				s.used = 0
+				continue
+			}
+			return Op{Kind: Insert, Str: op.Str[s.used:]}, true
+		case Retain, Delete:
+			if op.N-s.used <= 0 {
+				s.idx++
+				s.used = 0
+				continue
+			}
+			return Op{Kind: op.Kind, N: op.N - s.used}, true
+		default:
+			s.idx++
+		}
+	}
+	return Op{}, false
+}
+
+// advance consumes n characters of the current operation.
+func (s *seqStream) advance(n int) {
+	s.used += n
+	op := s.ops[s.idx]
+	size := op.N
+	if op.Kind == Insert {
+		size = len(op.Str)
+	}
+	if s.used >= size {
+		s.idx++
+		s.used = 0
+	}
+}

@@ -1,0 +1,171 @@
+package delta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustCompose(t *testing.T, a, b Delta, docLen int) Delta {
+	t.Helper()
+	c, err := Compose(a, b, docLen)
+	if err != nil {
+		t.Fatalf("Compose(%q, %q, %d): %v", a.String(), b.String(), docLen, err)
+	}
+	return c
+}
+
+func TestComposeSequentialEdits(t *testing.T) {
+	doc := "hello world"
+	a := Delta{RetainOp(5), InsertOp(",")}                  // "hello, world"
+	b := Delta{RetainOp(7), DeleteOp(5), InsertOp("there")} // "hello, there"
+	c := mustCompose(t, a, b, len(doc))
+	got, err := c.Apply(doc)
+	if err != nil {
+		t.Fatalf("apply composed: %v", err)
+	}
+	if got != "hello, there" {
+		t.Errorf("composed apply = %q, want %q", got, "hello, there")
+	}
+}
+
+func TestComposeDeleteOfInsertedText(t *testing.T) {
+	// b deletes text that only exists because a inserted it: the composed
+	// delta must not touch the base document there at all.
+	doc := "ab"
+	a := Delta{RetainOp(1), InsertOp("XYZ")} // "aXYZb"
+	b := Delta{RetainOp(1), DeleteOp(3)}     // "ab"
+	c := mustCompose(t, a, b, len(doc))
+	if !c.IsNoop() {
+		t.Errorf("insert-then-delete composed to %q, want a no-op", c.String())
+	}
+}
+
+func TestComposeSplitsInsertAtRetainBoundary(t *testing.T) {
+	doc := "xx"
+	a := Delta{InsertOp("abcd")}         // "abcdxx"
+	b := Delta{RetainOp(2), DeleteOp(2)} // "abxx"
+	c := mustCompose(t, a, b, len(doc))
+	got, err := c.Apply(doc)
+	if err != nil {
+		t.Fatalf("apply composed: %v", err)
+	}
+	if got != "abxx" {
+		t.Errorf("composed apply = %q, want %q", got, "abxx")
+	}
+}
+
+func TestComposeValidates(t *testing.T) {
+	if _, err := Compose(Delta{DeleteOp(10)}, nil, 5); err == nil {
+		t.Error("oversized a accepted")
+	}
+	// b must fit a's output length (here 3), not the base length.
+	a := Delta{DeleteOp(2)} // 5 -> 3
+	if _, err := Compose(a, Delta{DeleteOp(4)}, 5); err == nil {
+		t.Error("b larger than a's output accepted")
+	}
+}
+
+// TestComposeRandom is the defining property: applying the composition
+// equals applying the two deltas in sequence, for random documents and
+// random edit chains.
+func TestComposeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	alphabet := "abcdef"
+	randDelta := func(n int) Delta {
+		var d Delta
+		cursor := 0
+		for ops := rng.Intn(6) + 1; ops > 0; ops-- {
+			switch rng.Intn(3) {
+			case 0:
+				if cursor < n {
+					k := 1 + rng.Intn(n-cursor)
+					d = append(d, RetainOp(k))
+					cursor += k
+				}
+			case 1:
+				var sb strings.Builder
+				for j := rng.Intn(4) + 1; j > 0; j-- {
+					sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+				}
+				d = append(d, InsertOp(sb.String()))
+			default:
+				if cursor < n {
+					k := 1 + rng.Intn(n-cursor)
+					d = append(d, DeleteOp(k))
+					cursor += k
+				}
+			}
+		}
+		return d
+	}
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(40)
+		docBytes := make([]byte, n)
+		for i := range docBytes {
+			docBytes[i] = byte('A' + rng.Intn(26))
+		}
+		doc := string(docBytes)
+		a := randDelta(n)
+		mid, err := a.Apply(doc)
+		if err != nil {
+			t.Fatalf("trial %d: apply a: %v", trial, err)
+		}
+		b := randDelta(len(mid))
+		want, err := b.Apply(mid)
+		if err != nil {
+			t.Fatalf("trial %d: apply b: %v", trial, err)
+		}
+
+		c := mustCompose(t, a, b, n)
+		got, err := c.Apply(doc)
+		if err != nil {
+			t.Fatalf("trial %d: apply composed: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: compose diverged\n doc %q\n a %q\n b %q\n sequential %q\n composed %q (%q)",
+				trial, doc, a.String(), b.String(), want, got, c.String())
+		}
+	}
+}
+
+// TestComposeChainRandom composes long chains left-to-right, the exact
+// shape the mediator's queue coalescing produces.
+func TestComposeChainRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(30)
+		docBytes := make([]byte, n)
+		for i := range docBytes {
+			docBytes[i] = byte('a' + rng.Intn(26))
+		}
+		doc := string(docBytes)
+		cur := doc
+		var acc Delta
+		for step := 0; step < 6; step++ {
+			pos := rng.Intn(len(cur) + 1)
+			del := 0
+			if pos < len(cur) {
+				del = rng.Intn(len(cur) - pos + 1)
+			}
+			d := Delta{RetainOp(pos), DeleteOp(del), InsertOp("ins")}.Normalize()
+			next, err := d.Apply(cur)
+			if err != nil {
+				t.Fatalf("trial %d step %d: apply: %v", trial, step, err)
+			}
+			if step == 0 {
+				acc = d
+			} else {
+				acc = mustCompose(t, acc, d, len(doc))
+			}
+			cur = next
+		}
+		got, err := acc.Apply(doc)
+		if err != nil {
+			t.Fatalf("trial %d: apply chain: %v", trial, err)
+		}
+		if got != cur {
+			t.Fatalf("trial %d: chain composed to %q, want %q", trial, got, cur)
+		}
+	}
+}

@@ -16,7 +16,16 @@ import "fmt"
 // converge (the TP1 property, verified in tests).
 //
 // This is the machinery a SPORC-style collaborative editor builds on; here
-// it powers the gdocs client's conflict recovery (Sync).
+// it powers the gdocs client's conflict recovery (Sync) and the mediator's
+// OT-first save pipeline.
+//
+// The result is returned in burst-canonical form (Coalesce). Canonical
+// form matters for determinism: "replace a range" has two equivalent
+// spellings — insert-then-delete and delete-then-insert — and the two
+// transform differently when a concurrent insert lands inside the
+// replaced range. Keeping every delta the algebra emits in one canonical
+// spelling makes independently-computed merges of the same edits agree
+// byte for byte.
 func Transform(a, b Delta, docLen int, aFirst bool) (Delta, error) {
 	if err := a.Validate(docLen); err != nil {
 		return nil, fmt.Errorf("delta: transform: a: %w", err)
@@ -75,7 +84,7 @@ func Transform(a, b Delta, docLen int, aFirst bool) (Delta, error) {
 		sa.consume(n)
 		sb.consume(n)
 	}
-	return out.Normalize(), nil
+	return out.Coalesce(), nil
 }
 
 // Merge applies two concurrent deltas to doc, b first, then a transformed

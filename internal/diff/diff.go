@@ -26,9 +26,18 @@ import (
 )
 
 // Diff returns a rune-aligned minimal edit script transforming a into b,
-// expressed as a normalized delta with byte counts:
+// expressed as a burst-canonical delta (delta.Coalesce) with byte counts:
 // Apply(Diff(a, b), a) == b. Minimality is in rune units: no script that
 // also respects rune boundaries inserts or deletes fewer runes.
+//
+// Canonical form matters beyond tidiness: the Myers recursion can split
+// one replaced region into interleaved delete/insert fragments depending
+// on where the middle snake lands, and two equivalent spellings of the
+// same edit transform differently against a concurrent delta (an insert
+// placed between two delete fragments lands at a different spot than one
+// placed after the merged delete). Every delta producer in the module —
+// Diff, Compose, Transform — emits the same canonical spelling, so
+// independently derived deltas of the same edit merge identically.
 func Diff(a, b string) delta.Delta {
 	var d delta.Delta
 
@@ -64,7 +73,7 @@ func Diff(a, b string) delta.Delta {
 	if s > 0 {
 		d = append(d, delta.RetainOp(s))
 	}
-	return d.Normalize()
+	return d.Coalesce()
 }
 
 // Distance returns the edit distance between a and b in bytes (inserted

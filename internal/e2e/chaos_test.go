@@ -55,7 +55,6 @@ func TestChaosSharedDocConvergence(t *testing.T) {
 	const password = "chaos-e2e-pw"
 	ext := mediator.New(faults,
 		mediator.StaticPassword(password, core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}),
-		nil,
 		mediator.WithResilience(mediator.Resilience{
 			Retry:   mediator.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Seed: 1},
 			Breaker: mediator.BreakerPolicy{TripAfter: 3, Cooldown: 2 * time.Millisecond, MaxCooldown: 50 * time.Millisecond},
@@ -172,7 +171,7 @@ func TestChaosSharedDocConvergence(t *testing.T) {
 	}
 
 	// (3) A brand-new mediated session agrees too.
-	fresh := mediator.New(ts.Client().Transport, mediator.StaticPassword(password, core.Options{}), nil)
+	fresh := mediator.New(ts.Client().Transport, mediator.StaticPassword(password, core.Options{}))
 	fc := gdocs.NewClient(fresh.Client(), ts.URL, docID)
 	if err := fc.Load(); err != nil {
 		t.Fatalf("fresh load: %v", err)
@@ -203,7 +202,6 @@ func TestChaosDistinctDocsUnderStorm(t *testing.T) {
 	const password = "chaos-multi-pw"
 	ext := mediator.New(faults,
 		mediator.StaticPassword(password, core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}),
-		nil,
 		mediator.WithResilience(mediator.Resilience{
 			Retry:   mediator.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond, Seed: 2},
 			Breaker: mediator.BreakerPolicy{TripAfter: 3, Cooldown: 0, MaxCooldown: 50 * time.Millisecond},

@@ -28,7 +28,7 @@ func TestConcurrentSessionsDistinctDocs(t *testing.T) {
 	defer ts.Close()
 
 	ext := mediator.New(ts.Client().Transport,
-		mediator.StaticPassword("pw", core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}), nil)
+		mediator.StaticPassword("pw", core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}))
 
 	const sessions = 6
 	const edits = 25
@@ -81,7 +81,7 @@ func TestConcurrentSessionsDistinctDocs(t *testing.T) {
 		// A completely fresh mediated session must see exactly what the
 		// writing session last had.
 		fresh := mediator.New(ts.Client().Transport,
-			mediator.StaticPassword("pw", core.Options{}), nil)
+			mediator.StaticPassword("pw", core.Options{}))
 		c := gdocs.NewClient(fresh.Client(), ts.URL, docID)
 		if err := c.Load(); err != nil {
 			t.Fatalf("fresh load %s: %v", docID, err)
@@ -117,7 +117,7 @@ func TestConcurrentSessionsSharedDoc(t *testing.T) {
 	defer ts.Close()
 
 	ext := mediator.New(ts.Client().Transport,
-		mediator.StaticPassword("pw", core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}), nil)
+		mediator.StaticPassword("pw", core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}))
 
 	obs.Enable()
 	const docID = "shared-doc"

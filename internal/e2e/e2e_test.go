@@ -44,7 +44,7 @@ func TestFullStackLongSession(t *testing.T) {
 			defer ts.Close()
 
 			mit := covert.New(covert.Config{CanonicalizeDeltas: true, PadQuantum: 32}, crypt.NewSeededNonceSource(99))
-			ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 1)), mit)
+			ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 1)), mediator.WithMitigator(mit))
 			client := gdocs.NewClient(ext.Client(), ts.URL, "long-session")
 
 			if err := client.Create(); err != nil {
@@ -96,7 +96,7 @@ func TestFullStackLongSession(t *testing.T) {
 				t.Fatalf("stored container mismatch (err %v)", err)
 			}
 			// (c) a fresh session agrees.
-			ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 2)), nil)
+			ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(scheme, 2)))
 			client2 := gdocs.NewClient(ext2.Client(), ts.URL, "long-session")
 			if err := client2.Load(); err != nil {
 				t.Fatalf("fresh load: %v", err)
@@ -122,7 +122,7 @@ func TestSizeLimitInteraction(t *testing.T) {
 	// b=1: blowup ~28x -> ~224 KB container -> rejected.
 	o1 := opts(core.ConfidentialityOnly, 10)
 	o1.BlockChars = 1
-	ext1 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o1), nil)
+	ext1 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o1))
 	c1 := gdocs.NewClient(ext1.Client(), ts.URL, "doc-b1")
 	if err := c1.Create(); err != nil {
 		t.Fatalf("Create: %v", err)
@@ -134,7 +134,7 @@ func TestSizeLimitInteraction(t *testing.T) {
 
 	// b=8: blowup ~3.6x -> ~29 KB container -> accepted.
 	o8 := opts(core.ConfidentialityOnly, 11)
-	ext8 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o8), nil)
+	ext8 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", o8))
 	c8 := gdocs.NewClient(ext8.Client(), ts.URL, "doc-b8")
 	if err := c8.Create(); err != nil {
 		t.Fatalf("Create: %v", err)
@@ -157,7 +157,7 @@ func TestStegoOverDelayedNetwork(t *testing.T) {
 		Base:    ts.Client().Transport,
 		Profile: netsim.Profile{RTT: 20 * time.Millisecond},
 	}
-	ext := mediator.New(slow, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 20)), nil,
+	ext := mediator.New(slow, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 20)),
 		mediator.WithStego())
 	client := gdocs.NewClient(ext.Client(), ts.URL, "slow-doc")
 
@@ -185,7 +185,7 @@ func TestStegoOverDelayedNetwork(t *testing.T) {
 	if !stego.LooksInnocuous(stored) {
 		t.Error("stored content looks like ciphertext")
 	}
-	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 21)), nil,
+	ext2 := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 21)),
 		mediator.WithStego())
 	client2 := gdocs.NewClient(ext2.Client(), ts.URL, "slow-doc")
 	if err := client2.Load(); err != nil {
@@ -263,8 +263,8 @@ func TestWrongSchemeContainersNeverConfused(t *testing.T) {
 	ts := httptest.NewServer(server)
 	defer ts.Close()
 
-	extA := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityOnly, 40)), nil)
-	extB := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 41)), nil)
+	extA := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityOnly, 40)))
+	extB := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 41)))
 	a := gdocs.NewClient(extA.Client(), ts.URL, "recb-doc")
 	b := gdocs.NewClient(extB.Client(), ts.URL, "rpc-doc")
 	for _, c := range []*gdocs.Client{a, b} {

@@ -48,7 +48,7 @@ func TestMetricsMoveAcrossStack(t *testing.T) {
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
-	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 7)), nil)
+	ext := mediator.New(ts.Client().Transport, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 7)))
 	client := gdocs.NewClient(ext.Client(), ts.URL, "metrics-doc")
 
 	if err := client.Create(); err != nil {

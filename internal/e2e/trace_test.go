@@ -91,7 +91,7 @@ func TestTracePropagationAcrossRetry(t *testing.T) {
 	defer ts.Close()
 
 	failer := &failNext{base: ts.Client().Transport}
-	ext := mediator.New(failer, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 50)), nil,
+	ext := mediator.New(failer, mediator.StaticPassword("pw", opts(core.ConfidentialityIntegrity, 50)),
 		mediator.WithResilience(mediator.DefaultResilience()))
 	client := gdocs.NewClient(ext.Client(), ts.URL, "traced-doc")
 

@@ -418,6 +418,76 @@ func (c *Client) fetchLocked(ctx context.Context) (string, int, error) {
 	return string(raw), version, nil
 }
 
+// fetchSinceLocked is the catch-up variant of fetchLocked: it asks the
+// server (or the pipelined mediator) for the deltas applied after the
+// client's version. When the response is a delta catch-up, the returned
+// serverDelta is their composition against lastSaved — recovery can
+// transform over it directly instead of re-diffing two whole documents,
+// which for long-diverged copies costs a full Myers run. On any shortfall
+// (history gap, unusable body) it degrades to the plain full fetch with
+// viaDeltas=false.
+func (c *Client) fetchSinceLocked(ctx context.Context) (base string, version int, serverDelta delta.Delta, viaDeltas bool, err error) {
+	u := c.base + PathDoc + "?" + url.Values{
+		FieldDocID: {c.docID},
+		FieldSince: {strconv.Itoa(c.version)},
+	}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", 0, nil, false, err
+	}
+	trace.SetRequestHeader(req)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return "", 0, nil, false, fmt.Errorf("gdocs: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", 0, nil, false, fmt.Errorf("gdocs: read fetch response: %w", err)
+	}
+	if err := c.checkStatus(resp, string(raw)); err != nil {
+		return "", 0, nil, false, err
+	}
+	version = c.version
+	if v := resp.Header.Get(HeaderDocVersion); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			version = parsed
+		}
+	}
+	if resp.Header.Get(HeaderDeltas) == "" {
+		return string(raw), version, nil, false, nil
+	}
+	if cu, perr := ParseCatchup(string(raw)); perr == nil {
+		base = c.lastSaved
+		var acc delta.Delta
+		good := true
+		for i, w := range cu.Deltas {
+			d, derr := delta.Parse(w)
+			if derr == nil {
+				if i == 0 {
+					acc = d
+				} else {
+					acc, derr = delta.Compose(acc, d, len(c.lastSaved))
+				}
+			}
+			if derr == nil {
+				base, derr = d.Apply(base)
+			}
+			if derr != nil {
+				good = false
+				break
+			}
+		}
+		if good {
+			return base, cu.Version, acc, true, nil
+		}
+	}
+	// The catch-up body was unusable (corruption, inapplicable deltas):
+	// fall back to a whole-document fetch.
+	base, version, err = c.fetchLocked(ctx)
+	return base, version, nil, false, err
+}
+
 // Sync saves local edits, resolving version conflicts by merging: on a
 // conflict the client fetches the server's current content, expresses both
 // parties' changes as deltas against the last common base, and transforms
@@ -447,13 +517,15 @@ func (c *Client) Sync() error {
 		}
 		sp.Annotate("conflict", "1")
 		rctx, rsp := trace.Start(ctx, trace.SpanResync)
-		base, version, err := c.fetchLocked(rctx)
+		base, version, serverDelta, viaDeltas, err := c.fetchSinceLocked(rctx)
 		if err != nil {
 			rsp.End()
 			return err
 		}
 		myDelta := diff.Diff(c.lastSaved, c.local)
-		serverDelta := diff.Diff(c.lastSaved, base)
+		if !viaDeltas {
+			serverDelta = diff.Diff(c.lastSaved, base)
+		}
 		merged, mergeErr := delta.Merge(c.lastSaved, myDelta, serverDelta, false)
 		if mergeErr != nil {
 			// Should not happen for valid deltas; fall back to local-wins.

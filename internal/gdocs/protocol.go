@@ -39,6 +39,13 @@ const (
 	FieldDocContents = "docContents"
 	FieldDelta       = "delta"
 	FieldVersion     = "version"
+	// FieldSince is a GET /Doc query parameter: when present, the server
+	// answers with the deltas applied after that version (a catch-up fetch)
+	// instead of the full content, when its history still covers the span.
+	FieldSince = "since"
+	// FieldCatchupDelta is the repeated field carrying each missed delta in
+	// a catch-up response body, oldest first.
+	FieldCatchupDelta = "d"
 )
 
 // Response headers.
@@ -51,7 +58,47 @@ const (
 	// locally while a document's circuit breaker was open: the save is
 	// queued, not yet durable on the server.
 	HeaderDegraded = "X-Privedit-Degraded"
+	// HeaderDeltas marks a GET /Doc response whose body is a form-encoded
+	// catch-up (FieldVersion plus zero or more FieldCatchupDelta entries,
+	// oldest first) rather than raw document content.
+	HeaderDeltas = "X-Doc-Deltas"
+	// HeaderSaveID carries a client-chosen idempotency token on update
+	// POSTs. If the server already holds the token in a document's recent
+	// history it acknowledges the earlier application instead of applying
+	// the update twice — which makes "response lost but save applied"
+	// faults safe to retry.
+	HeaderSaveID = "X-Privedit-Save-Id"
 )
+
+// Catchup is a parsed catch-up response: the deltas applied after the
+// requested version, oldest first, and the version they lead to.
+type Catchup struct {
+	Deltas  []string
+	Version int
+}
+
+// Encode serializes the catch-up as a form-encoded body.
+func (c Catchup) Encode() string {
+	v := url.Values{}
+	v.Set(FieldVersion, strconv.Itoa(c.Version))
+	for _, d := range c.Deltas {
+		v.Add(FieldCatchupDelta, d)
+	}
+	return v.Encode()
+}
+
+// ParseCatchup decodes a form-encoded catch-up body.
+func ParseCatchup(body string) (Catchup, error) {
+	v, err := url.ParseQuery(body)
+	if err != nil {
+		return Catchup{}, fmt.Errorf("gdocs: parse catchup: %w", err)
+	}
+	version, err := strconv.Atoi(v.Get(FieldVersion))
+	if err != nil {
+		return Catchup{}, fmt.Errorf("gdocs: parse catchup version: %w", err)
+	}
+	return Catchup{Deltas: v[FieldCatchupDelta], Version: version}, nil
+}
 
 // Ack is the server's response to a content update. The paper found the
 // client "works flawlessly when the values are replaced with an empty

@@ -156,6 +156,10 @@ func (s *Server) Content(ctx context.Context, docID string) (string, int, error)
 // baseVersion is the server version the client last saw; pass -1 to skip
 // the optimistic-concurrency check.
 func (s *Server) SetContents(ctx context.Context, docID, content string, baseVersion int) (Ack, error) {
+	return s.setContents(ctx, docID, content, baseVersion, "")
+}
+
+func (s *Server) setContents(ctx context.Context, docID, content string, baseVersion int, saveID string) (Ack, error) {
 	if err := ctx.Err(); err != nil {
 		return Ack{}, err
 	}
@@ -169,6 +173,11 @@ func (s *Server) SetContents(ctx context.Context, docID, content string, baseVer
 	}
 	doc.mu.Lock()
 	defer doc.mu.Unlock()
+	if version, ok := doc.replayLocked(saveID); ok {
+		// Idempotent replay: the save applied but its response was lost.
+		sp.Annotate("replay", "1")
+		return Ack{Version: version}, nil
+	}
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
 		sp.Annotate("conflict", "1")
@@ -180,6 +189,7 @@ func (s *Server) SetContents(ctx context.Context, docID, content string, baseVer
 	s.see(content)
 	doc.content = content
 	doc.version++
+	doc.recordLocked(histEntry{id: saveID, full: true, version: doc.version})
 	return Ack{
 		ContentFromServer:     doc.content,
 		ContentFromServerHash: ContentHash(doc.content),
@@ -191,6 +201,10 @@ func (s *Server) SetContents(ctx context.Context, docID, content string, baseVer
 // has no idea whether the stored text is plaintext or ciphertext; it just
 // executes the edit script. baseVersion as in SetContents.
 func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion int) (Ack, error) {
+	return s.applyDelta(ctx, docID, wire, baseVersion, "")
+}
+
+func (s *Server) applyDelta(ctx context.Context, docID, wire string, baseVersion int, saveID string) (Ack, error) {
 	if err := ctx.Err(); err != nil {
 		return Ack{}, err
 	}
@@ -204,6 +218,11 @@ func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion
 	}
 	doc.mu.Lock()
 	defer doc.mu.Unlock()
+	if version, ok := doc.replayLocked(saveID); ok {
+		// Idempotent replay: the save applied but its response was lost.
+		sp.Annotate("replay", "1")
+		return Ack{Version: version}, nil
+	}
 	if baseVersion >= 0 && baseVersion != doc.version {
 		metricConflicts.Inc()
 		sp.Annotate("conflict", "1")
@@ -227,11 +246,37 @@ func (s *Server) ApplyDelta(ctx context.Context, docID, wire string, baseVersion
 	}
 	doc.content = updated
 	doc.version++
+	doc.recordLocked(histEntry{id: saveID, wire: wire, version: doc.version})
 	return Ack{
 		ContentFromServer:     doc.content,
 		ContentFromServerHash: ContentHash(doc.content),
 		Version:               doc.version,
 	}, nil
+}
+
+// DeltasSince returns the updates applied after version since as a
+// catch-up, when the document's bounded history still covers the span and
+// it contains no full-content save. ok is false when the caller must fall
+// back to a full fetch.
+func (s *Server) DeltasSince(ctx context.Context, docID string, since int) (Catchup, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Catchup{}, false, err
+	}
+	_, sp := trace.Start(ctx, trace.SpanServerStore)
+	defer sp.End()
+	sp.Annotate("op", "deltas_since")
+	sp.Annotate("doc", docID)
+	doc := s.store.get(docID)
+	if doc == nil {
+		return Catchup{}, false, errNotFound
+	}
+	doc.mu.RLock()
+	defer doc.mu.RUnlock()
+	wires, ok := doc.deltasSinceLocked(since)
+	if !ok {
+		return Catchup{}, false, nil
+	}
+	return Catchup{Deltas: wires, Version: doc.version}, true, nil
 }
 
 // featureReply models the server-side features of §VII-A. They "work" by
@@ -283,7 +328,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "ok")
 
 	case r.URL.Path == PathDoc && r.Method == http.MethodGet:
-		content, version, err := s.Content(ctx, r.URL.Query().Get(FieldDocID))
+		q := r.URL.Query()
+		docID := q.Get(FieldDocID)
+		if sv := q.Get(FieldSince); sv != "" {
+			since, err := strconv.Atoi(sv)
+			if err != nil {
+				http.Error(w, "gdocs: bad since version", http.StatusBadRequest)
+				return
+			}
+			cu, ok, err := s.DeltasSince(ctx, docID, since)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			if ok {
+				w.Header().Set(HeaderDeltas, "1")
+				w.Header().Set(HeaderDocVersion, strconv.Itoa(cu.Version))
+				fmt.Fprint(w, cu.Encode())
+				return
+			}
+			// History gap: fall through to the full-content response.
+		}
+		content, version, err := s.Content(ctx, docID)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -309,14 +375,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			baseVersion = parsed
 		}
+		saveID := r.Header.Get(HeaderSaveID)
 		var (
 			ack Ack
 			err error
 		)
 		if r.PostForm.Has(FieldDocContents) {
-			ack, err = s.SetContents(ctx, docID, r.PostForm.Get(FieldDocContents), baseVersion)
+			ack, err = s.setContents(ctx, docID, r.PostForm.Get(FieldDocContents), baseVersion, saveID)
 		} else if r.PostForm.Has(FieldDelta) {
-			ack, err = s.ApplyDelta(ctx, docID, r.PostForm.Get(FieldDelta), baseVersion)
+			ack, err = s.applyDelta(ctx, docID, r.PostForm.Get(FieldDelta), baseVersion, saveID)
 		} else {
 			http.Error(w, "gdocs: no docContents or delta", http.StatusBadRequest)
 			return

@@ -15,12 +15,85 @@ import (
 // while costing a few hundred bytes of fixed overhead.
 const NumShards = 32
 
+// History bounds. The per-document update history exists for two
+// consumers: catch-up fetches (GET /Doc?since=V) and save idempotency
+// (HeaderSaveID replay detection). Both only need recent entries — a
+// mediator's save queue is a handful of deltas deep — so the ring is kept
+// small and evicts oldest-first. A full-content save breaks the delta
+// lineage and is recorded as a gap marker: catch-ups crossing it fall back
+// to full content.
+const (
+	maxHistoryEntries = 128
+	maxHistoryBytes   = 512 * 1024
+)
+
+// histEntry is one applied update in a document's recent history.
+type histEntry struct {
+	id      string // HeaderSaveID token, "" when the client sent none
+	wire    string // the delta as applied, "" for full-content saves
+	full    bool   // full-content save: a catch-up gap
+	version int    // document version after this update applied
+}
+
 // serverDoc is one stored document. The embedded lock serializes content
 // access per document; the owning shard's lock only guards map membership.
 type serverDoc struct {
 	mu      sync.RWMutex
 	content string
 	version int
+
+	hist      []histEntry
+	histBytes int
+}
+
+// recordLocked appends an applied update to the history ring, evicting
+// oldest entries past the bounds. Callers hold doc.mu.
+func (d *serverDoc) recordLocked(e histEntry) {
+	d.hist = append(d.hist, e)
+	d.histBytes += len(e.wire)
+	for len(d.hist) > maxHistoryEntries || d.histBytes > maxHistoryBytes {
+		d.histBytes -= len(d.hist[0].wire)
+		d.hist = d.hist[1:]
+	}
+}
+
+// replayLocked reports whether a save with the given idempotency token was
+// already applied, and at which resulting version. Callers hold doc.mu.
+func (d *serverDoc) replayLocked(saveID string) (int, bool) {
+	if saveID == "" {
+		return 0, false
+	}
+	for i := len(d.hist) - 1; i >= 0; i-- {
+		if d.hist[i].id == saveID {
+			return d.hist[i].version, true
+		}
+	}
+	return 0, false
+}
+
+// deltasSinceLocked returns the delta wires applied after version since,
+// oldest first, when the history still covers the whole span without a
+// full-save gap. Callers hold doc.mu (read suffices).
+func (d *serverDoc) deltasSinceLocked(since int) ([]string, bool) {
+	if since == d.version {
+		return nil, true
+	}
+	if since > d.version {
+		return nil, false
+	}
+	need := d.version - since
+	if need > len(d.hist) {
+		return nil, false // evicted: history no longer reaches back to since
+	}
+	tail := d.hist[len(d.hist)-need:]
+	wires := make([]string, 0, need)
+	for _, e := range tail {
+		if e.full {
+			return nil, false // lineage break: serve full content instead
+		}
+		wires = append(wires, e.wire)
+	}
+	return wires, true
 }
 
 // shard is one lock stripe of the store.

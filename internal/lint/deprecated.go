@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DeprecatedAPI keeps migrations honest: once an API carries a
+// "Deprecated:" paragraph, the only sanctioned call sites are _test.go
+// files (which pin the forwarders' behaviour until deletion). Non-test
+// code calling a deprecated function or method either predates the
+// migration — and should move to the replacement the paragraph names —
+// or is new code reaching for an API already scheduled to disappear.
+// Either way the build should say so, not a reviewer.
+var DeprecatedAPI = &Analyzer{
+	Name: "deprecated-api",
+	Doc:  "non-test code must not call APIs marked Deprecated:",
+	Run:  runDeprecatedAPI,
+}
+
+func runDeprecatedAPI(u *Unit, m *Module, report reporter) {
+	index := deprecatedIndex(m, u)
+	if len(index) == 0 {
+		return
+	}
+	inspectFiles(u, true, func(f *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(u, call)
+		if fn == nil {
+			return true
+		}
+		if note, ok := index[fn.Pos()]; ok {
+			report(call.Pos(), "call to deprecated %s — %s", fn.Name(), note)
+		}
+		return true
+	})
+}
+
+// deprecatedIndex maps the name position of every function or method in
+// the module whose doc comment carries a Deprecated: paragraph to that
+// paragraph's first line. Positions are stable across the loader's two
+// type-checking passes (plain and augmented packages share AST files), so
+// a callee resolved through either pass finds its declaration here. The
+// unit's own files are indexed too, covering fixture units from CheckDir
+// that are not registered in m.Units.
+func deprecatedIndex(m *Module, u *Unit) map[token.Pos]string {
+	idx := make(map[token.Pos]string)
+	add := func(files []*ast.File) {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				if note, ok := deprecationNote(fd.Doc.Text()); ok {
+					idx[fd.Name.Pos()] = note
+				}
+			}
+		}
+	}
+	for _, mu := range m.Units {
+		add(mu.Files)
+	}
+	add(u.Files)
+	return idx
+}
+
+// deprecationNote extracts the first line of a doc comment's
+// "Deprecated:" paragraph, per the godoc convention: the marker must
+// start a line.
+func deprecationNote(docText string) (string, bool) {
+	for _, line := range strings.Split(docText, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return strings.TrimSpace(line), true
+		}
+	}
+	return "", false
+}

@@ -51,6 +51,7 @@ var Analyzers = []*Analyzer{
 	MutexByValue,
 	MetricName,
 	SpanName,
+	DeprecatedAPI,
 }
 
 // DirectiveRule is the pseudo-rule under which malformed //lint:ignore

@@ -114,6 +114,7 @@ func TestFixtures(t *testing.T) {
 		{"mutexcopy", "privedit/internal/fixture"},
 		{"metricname", "privedit/internal/fixture"},
 		{"spanname", "privedit/internal/fixture"},
+		{"deprecated", "privedit/internal/fixture"},
 		{"directive", "privedit/internal/fixture"},
 	}
 	m := loadTestModule(t)

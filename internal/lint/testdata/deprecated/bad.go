@@ -1,0 +1,27 @@
+package fixture
+
+// OldOpen is the legacy entry point.
+//
+// Deprecated: use NewOpen instead.
+func OldOpen(pw string) string { return pw }
+
+// NewOpen is the replacement.
+func NewOpen(pw string) string { return pw }
+
+type handle struct{}
+
+// Close tears the handle down.
+//
+// Deprecated: use Shutdown.
+func (handle) Close() {}
+
+// Shutdown is the replacement for Close.
+func (handle) Shutdown() {}
+
+func caller() {
+	_ = OldOpen("pw") // want `call to deprecated OldOpen — Deprecated: use NewOpen instead\.`
+	_ = NewOpen("pw")
+	var h handle
+	h.Close() // want `call to deprecated Close — Deprecated: use Shutdown\.`
+	h.Shutdown()
+}

@@ -1,0 +1,9 @@
+package fixture
+
+// Test files may keep exercising deprecated forwarders until deletion:
+// no diagnostics expected anywhere in this file.
+func testOnlyCaller() {
+	_ = OldOpen("pw")
+	var h handle
+	h.Close()
+}

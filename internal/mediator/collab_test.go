@@ -25,10 +25,10 @@ func TestEncryptedCollaborationWithSync(t *testing.T) {
 	}
 
 	alice := gdocs.NewClient(
-		New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil).Client(),
+		New(h.ts.Client().Transport, StaticPassword("hunter2", opts)).Client(),
 		h.ts.URL, "pad")
 	bob := gdocs.NewClient(
-		New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil).Client(),
+		New(h.ts.Client().Transport, StaticPassword("hunter2", opts)).Client(),
 		h.ts.URL, "pad")
 
 	if err := alice.Create(); err != nil {

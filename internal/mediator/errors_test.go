@@ -19,7 +19,7 @@ func failingProvider(string) (string, core.Options, error) {
 
 func TestPasswordProviderErrorBlocksEverything(t *testing.T) {
 	h := newHarness(t, core.ConfidentialityOnly, nil)
-	ext := New(h.ts.Client().Transport, failingProvider, nil)
+	ext := New(h.ts.Client().Transport, failingProvider)
 	client := gdocs.NewClient(ext.Client(), h.ts.URL, "doc")
 	if err := client.Create(); !errors.Is(err, gdocs.ErrBlocked) {
 		t.Errorf("Create = %v, want ErrBlocked", err)
@@ -89,7 +89,7 @@ func TestNonDocPathsNeverReachNetwork(t *testing.T) {
 		return nil, errors.New("network must not be touched")
 	})
 	opts := core.Options{Scheme: core.ConfidentialityOnly, Nonces: crypt.NewSeededNonceSource(1)}
-	ext := New(deadTransport, StaticPassword("pw", opts), nil)
+	ext := New(deadTransport, StaticPassword("pw", opts))
 	resp, err := ext.Client().Get("http://example.com/Translate")
 	if err != nil {
 		t.Fatalf("blocked request errored: %v", err)
@@ -109,7 +109,7 @@ func TestNetworkFailurePropagates(t *testing.T) {
 		return nil, errors.New("connection refused")
 	})
 	opts := core.Options{Scheme: core.ConfidentialityOnly, Nonces: crypt.NewSeededNonceSource(2)}
-	ext := New(deadTransport, StaticPassword("pw", opts), nil)
+	ext := New(deadTransport, StaticPassword("pw", opts))
 	client := gdocs.NewClient(ext.Client(), "http://example.com", "doc")
 	if err := client.Create(); err == nil {
 		t.Error("network failure swallowed")

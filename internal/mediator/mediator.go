@@ -22,10 +22,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"privedit/internal/core"
 	"privedit/internal/covert"
+	"privedit/internal/crypt"
 	"privedit/internal/delta"
 	"privedit/internal/gdocs"
 	"privedit/internal/obs"
@@ -45,6 +45,7 @@ var (
 	metricOpLoad    = metricOps("load_decrypt")
 	metricOpPass    = metricOps("pass")
 	metricOpBlocked = metricOps("blocked")
+	metricOpQueued  = metricOps("queued_save")
 
 	metricEncryptLatency = obs.NewHistogram("privedit_mediator_encrypt_seconds",
 		"Full-content encryption latency inside the extension (incl. stego), seconds.", obs.TimeBuckets)
@@ -58,6 +59,15 @@ var (
 		"Ciphertext delta bytes actually sent to the server.")
 	metricDeltaOpsCoalesced = obs.NewCounter("privedit_mediator_delta_ops_coalesced_total",
 		"Plaintext delta operations folded away by coalescing before transform_delta.")
+
+	metricQueueDepth = obs.NewGauge("privedit_mediator_queue_depth",
+		"Saves currently queued in per-document pipelines across all sessions.")
+	metricOTMerges = obs.NewCounter("privedit_mediator_ot_merges_total",
+		"Rejected saves repaired by transforming the queue over server catch-up deltas.")
+	metricConflictResyncs = obs.NewCounter("privedit_mediator_conflict_resyncs_total",
+		"Rejected saves that fell back to a full refetch-and-resync.")
+	metricQueueCoalesced = obs.NewCounter("privedit_mediator_queue_coalesced_total",
+		"Saves folded into the pipeline queue tail because the queue was at max depth.")
 )
 
 // PasswordProvider supplies the per-document password and encryption
@@ -70,7 +80,11 @@ func StaticPassword(password string, opts core.Options) PasswordProvider {
 	return func(string) (string, core.Options, error) { return password, opts, nil }
 }
 
-// Stats counts what the extension did, for the evaluation harness.
+// Stats counts what the extension did, for the evaluation harness. A
+// snapshot is internally consistent: every field is read under one lock,
+// so a reader never sees, say, a queued save whose queue-depth increment
+// is missing. (The old per-field atomics were racy as a *set* once the
+// async writer started mutating several fields per event.)
 type Stats struct {
 	FullEncrypts      int // docContents saves encrypted
 	DeltasTransformed int // delta saves transformed
@@ -83,47 +97,16 @@ type Stats struct {
 	Retries       int // retry attempts beyond the first try
 	RetryGiveups  int // round trips that exhausted the retry budget
 	BreakerTrips  int // per-document breakers tripped open (closed→open)
-	DegradedSaves int // saves absorbed into the local shadow while open
+	DegradedSaves int // saves absorbed locally while the breaker was open
 	DegradedLoads int // loads served from local state while open
 	Drains        int // queued degraded saves successfully replayed
-}
 
-// counters is the lock-free live form of Stats: mediation paths bump
-// atomics so concurrent round trips on distinct documents never contend.
-type counters struct {
-	fullEncrypts      atomic.Int64
-	deltasTransformed atomic.Int64
-	loadsDecrypted    atomic.Int64
-	passed            atomic.Int64
-	blocked           atomic.Int64
-	plainBytesIn      atomic.Int64
-	cipherBytesOut    atomic.Int64
-
-	retries       atomic.Int64
-	retryGiveups  atomic.Int64
-	breakerTrips  atomic.Int64
-	degradedSaves atomic.Int64
-	degradedLoads atomic.Int64
-	drains        atomic.Int64
-}
-
-func (c *counters) snapshot() Stats {
-	return Stats{
-		FullEncrypts:      int(c.fullEncrypts.Load()),
-		DeltasTransformed: int(c.deltasTransformed.Load()),
-		LoadsDecrypted:    int(c.loadsDecrypted.Load()),
-		Passed:            int(c.passed.Load()),
-		Blocked:           int(c.blocked.Load()),
-		PlainBytesIn:      int(c.plainBytesIn.Load()),
-		CipherBytesOut:    int(c.cipherBytesOut.Load()),
-
-		Retries:       int(c.retries.Load()),
-		RetryGiveups:  int(c.retryGiveups.Load()),
-		BreakerTrips:  int(c.breakerTrips.Load()),
-		DegradedSaves: int(c.degradedSaves.Load()),
-		DegradedLoads: int(c.degradedLoads.Load()),
-		Drains:        int(c.drains.Load()),
-	}
+	QueuedSaves     int // saves accepted into a per-document pipeline queue
+	QueueCoalesced  int // saves folded into the queue tail at max depth
+	QueueDepth      int // saves currently queued across all documents
+	OTMerges        int // rejected saves repaired by delta.Transform catch-up
+	ConflictResyncs int // rejected saves that fell back to a full resync
+	DroppedSaves    int // queued saves abandoned after repeated rejection
 }
 
 // session is the per-document mediation state: one encryption editor plus
@@ -136,6 +119,7 @@ type session struct {
 	mu  sync.Mutex
 	ed  *core.Editor // nil until first use
 	brk breakerState // circuit breaker + degraded-mode shadow (resilience.go)
+	pl  *plState     // pipelined save state, nil on the legacy sync path
 }
 
 // Extension is the mediating extension. Install it as the Transport of the
@@ -147,11 +131,15 @@ type Extension struct {
 	mitigator *covert.Mitigator
 	useStego  bool
 	res       *resilience // nil = legacy fail-fast mediation
+	pipeDepth int         // >0 = pipelined async saves, max queue depth
+	saveToken uint64      // random per-extension idempotency-token prefix
 
 	mu       sync.RWMutex
 	sessions map[string]*session
-	stats    counters
 	rngMu    sync.Mutex // guards res.rng (backoff jitter)
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 var _ http.RoundTripper = (*Extension)(nil)
@@ -167,23 +155,63 @@ func WithStego() Option {
 	return func(e *Extension) { e.useStego = true }
 }
 
+// WithMitigator installs the §VI-B covert-channel countermeasures
+// (padding, delay, delta canonicalization).
+func WithMitigator(m *covert.Mitigator) Option {
+	return func(e *Extension) { e.mitigator = m }
+}
+
+// DefaultInflight is the pipeline queue depth WithPipeline(0) selects.
+const DefaultInflight = 4
+
+// WithPipeline switches save mediation from the legacy synchronous path
+// to pipelined asynchronous saves: updates are acknowledged locally and
+// enqueued into a per-document ordered queue that a writer goroutine
+// drains in the background, transforming each queued delta against any
+// server updates that interleaved (OT-first merge) instead of resyncing.
+// depth bounds the per-document queue (0 selects DefaultInflight); once
+// full, new saves coalesce into the queue tail so local editing never
+// blocks on a slow backend.
+func WithPipeline(depth int) Option {
+	return func(e *Extension) {
+		if depth <= 0 {
+			depth = DefaultInflight
+		}
+		e.pipeDepth = depth
+	}
+}
+
 // New builds an extension. base is the underlying transport (nil for
-// http.DefaultTransport); mitigator may be nil to disable the §VI-B
-// covert-channel countermeasures.
-func New(base http.RoundTripper, passwords PasswordProvider, mitigator *covert.Mitigator, opts ...Option) *Extension {
+// http.DefaultTransport). Covert-channel mitigation, stego encoding,
+// resilience, and save pipelining are all options.
+func New(base http.RoundTripper, passwords PasswordProvider, opts ...Option) *Extension {
 	if base == nil {
 		base = http.DefaultTransport
 	}
 	e := &Extension{
 		base:      base,
 		passwords: passwords,
-		mitigator: mitigator,
 		sessions:  make(map[string]*session),
 	}
 	for _, opt := range opts {
-		opt(e)
+		if opt != nil {
+			opt(e)
+		}
+	}
+	if e.pipeDepth > 0 {
+		e.saveToken = crypt.CryptoNonceSource{}.Nonce64()
 	}
 	return e
+}
+
+// NewWithMitigator builds an extension with a positional mitigator.
+//
+// Deprecated: use New with the WithMitigator option.
+func NewWithMitigator(base http.RoundTripper, passwords PasswordProvider, mitigator *covert.Mitigator, opts ...Option) *Extension {
+	if mitigator != nil {
+		opts = append([]Option{WithMitigator(mitigator)}, opts...)
+	}
+	return New(base, passwords, opts...)
 }
 
 // Client returns an http.Client routed through the extension.
@@ -191,43 +219,28 @@ func (e *Extension) Client() *http.Client {
 	return &http.Client{Transport: e}
 }
 
-// Stats returns a snapshot of the extension's counters.
+// bump applies a mutation to the live stats under the stats lock, so
+// multi-field updates (queue depth + queued count, say) stay atomic as a
+// set with respect to Stats().
+func (e *Extension) bump(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
+
+// Stats returns a consistent snapshot of the extension's counters.
 func (e *Extension) Stats() Stats {
-	return e.stats.snapshot()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
 }
 
-// Editor exposes the per-document encryption state (tests and tooling).
-func (e *Extension) Editor(docID string) *core.Editor {
-	e.mu.RLock()
-	sess := e.sessions[docID]
-	e.mu.RUnlock()
-	if sess == nil {
-		return nil
-	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	return sess.ed
-}
-
-// Sessions returns the number of per-document sessions currently managed.
-func (e *Extension) Sessions() int {
+// SessionCount returns the number of per-document sessions currently
+// managed.
+func (e *Extension) SessionCount() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return len(e.sessions)
-}
-
-// Degraded reports whether the document's circuit breaker is currently
-// open or has queued degraded-mode saves awaiting drain.
-func (e *Extension) Degraded(docID string) bool {
-	e.mu.RLock()
-	sess := e.sessions[docID]
-	e.mu.RUnlock()
-	if sess == nil {
-		return false
-	}
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
-	return sess.brk.state != brkClosed || sess.brk.hasShadow
 }
 
 // sessionFor returns the document's session, creating the (empty) session
@@ -383,7 +396,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		return e.mediateCreate(req)
 	default:
 		// "Drop all unknown requests."
-		e.stats.blocked.Add(1)
+		e.bump(func(s *Stats) { s.Blocked++ })
 		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: request blocked by extension"), nil
 	}
@@ -421,9 +434,20 @@ func (e *Extension) mediateCreate(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return synthesize(req, http.StatusForbidden, "privedit: "+err.Error()), nil
 	}
-	e.stats.passed.Add(1)
+	e.bump(func(s *Stats) { s.Passed++ })
 	metricOpPass.Inc()
-	return e.forward(req, form)
+	resp, err := e.forward(req, form)
+	if err == nil && resp.StatusCode == http.StatusOK && e.pipeDepth > 0 {
+		// Pipelined mode: a successful create establishes the session's
+		// server lineage (empty document at version 0) up front, so the
+		// first save can already be queued and acknowledged locally.
+		sess.mu.Lock()
+		if sess.pl == nil {
+			e.pipeBootstrapLocked(sess, docID, req.URL, "", "", 0)
+		}
+		sess.mu.Unlock()
+	}
+	return resp, err
 }
 
 func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
@@ -436,6 +460,10 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 	defer op.End()
 	op.Annotate("doc", docID)
 	req = req.WithContext(ctx)
+
+	if e.pipeDepth > 0 {
+		return e.pipeUpdate(req, op, form, docID)
+	}
 
 	// The session lock is held across the whole round trip, not just the
 	// crypto: the editor's ciphertext state must advance in the same order
@@ -471,9 +499,11 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		form.Set(gdocs.FieldDocContents, ctxt)
 		e.applyPadding(form, len(ctxt))
 		e.applyDelay()
-		e.stats.fullEncrypts.Add(1)
-		e.stats.plainBytesIn.Add(int64(len(content)))
-		e.stats.cipherBytesOut.Add(int64(len(ctxt)))
+		e.bump(func(s *Stats) {
+			s.FullEncrypts++
+			s.PlainBytesIn += len(content)
+			s.CipherBytesOut += len(ctxt)
+		})
 		metricOpFull.Inc()
 		sctx, ssp := trace.Start(ctx, trace.SpanSave)
 		resp, err := e.mediateAck(req.WithContext(sctx), form)
@@ -545,9 +575,11 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		form.Set(gdocs.FieldDelta, cwire)
 		e.applyPadding(form, len(cwire))
 		e.applyDelay()
-		e.stats.deltasTransformed.Add(1)
-		e.stats.plainBytesIn.Add(int64(len(wire)))
-		e.stats.cipherBytesOut.Add(int64(len(cwire)))
+		e.bump(func(s *Stats) {
+			s.DeltasTransformed++
+			s.PlainBytesIn += len(wire)
+			s.CipherBytesOut += len(cwire)
+		})
 		metricOpDelta.Inc()
 		metricDeltaPlainBytes.Add(int64(len(wire)))
 		metricDeltaCipherBytes.Add(int64(len(cwire)))
@@ -564,7 +596,7 @@ func (e *Extension) mediateUpdate(req *http.Request) (*http.Response, error) {
 		return resp, err
 
 	default:
-		e.stats.blocked.Add(1)
+		e.bump(func(s *Stats) { s.Blocked++ })
 		metricOpBlocked.Inc()
 		return synthesize(req, http.StatusForbidden, "privedit: unrecognized update"), nil
 	}
@@ -604,6 +636,18 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	defer op.End()
 	op.Annotate("doc", docID)
 	req = req.WithContext(ctx)
+	if e.pipeDepth > 0 {
+		return e.pipeLoad(req, op, docID)
+	}
+	if q := req.URL.Query(); q.Has(gdocs.FieldSince) {
+		// The synchronous path decrypts whole containers; a delta catch-up
+		// response would be ciphertext deltas it cannot serve. Ask the
+		// server for full content instead.
+		u2 := *req.URL
+		q.Del(gdocs.FieldSince)
+		u2.RawQuery = q.Encode()
+		req.URL = &u2
+	}
 	// The session lock must cover the fetch itself, not just the decrypt:
 	// re-opening the editor from a snapshot that predates a concurrent save
 	// would silently rewind the mediation state behind the server's back.
@@ -657,7 +701,7 @@ func (e *Extension) mediateLoad(req *http.Request) (*http.Response, error) {
 	}
 	sp.EndExemplar(op.TraceID())
 	dsp.End()
-	e.stats.loadsDecrypted.Add(1)
+	e.bump(func(s *Stats) { s.LoadsDecrypted++ })
 	metricOpLoad.Inc()
 	replaceBody(resp, ed.Plaintext())
 	return resp, nil

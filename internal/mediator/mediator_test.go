@@ -34,7 +34,7 @@ func newHarness(t *testing.T, scheme core.Scheme, mit *covert.Mitigator) *harnes
 		BlockChars: 8,
 		Nonces:     crypt.NewSeededNonceSource(12345),
 	}
-	ext := New(ts.Client().Transport, StaticPassword("hunter2", opts), mit)
+	ext := New(ts.Client().Transport, StaticPassword("hunter2", opts), WithMitigator(mit))
 	client := gdocs.NewClient(ext.Client(), ts.URL, "private-doc")
 	return &harness{server: server, ts: ts, ext: ext, client: client}
 }
@@ -119,7 +119,7 @@ func TestLoadDecryptsForNewSession(t *testing.T) {
 
 	// A second session (fresh extension, same password) loads the doc.
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8, Nonces: crypt.NewSeededNonceSource(777)}
-	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil)
+	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts))
 	client2 := gdocs.NewClient(ext2.Client(), h.ts.URL, "private-doc")
 	if err := client2.Load(); err != nil {
 		t.Fatalf("Load: %v", err)
@@ -163,7 +163,7 @@ func TestWrongPasswordOnLoad(t *testing.T) {
 		t.Fatalf("save: %v", err)
 	}
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, Nonces: crypt.NewSeededNonceSource(1)}
-	extWrong := New(h.ts.Client().Transport, StaticPassword("not the password", opts), nil)
+	extWrong := New(h.ts.Client().Transport, StaticPassword("not the password", opts))
 	clientWrong := gdocs.NewClient(extWrong.Client(), h.ts.URL, "private-doc")
 	if err := clientWrong.Load(); !errors.Is(err, gdocs.ErrBlocked) {
 		t.Errorf("wrong-password load = %v, want ErrBlocked", err)
@@ -238,7 +238,7 @@ func TestTamperedContainerRejectedOnLoad(t *testing.T) {
 	}
 
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, Nonces: crypt.NewSeededNonceSource(3)}
-	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil)
+	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts))
 	client2 := gdocs.NewClient(ext2.Client(), h.ts.URL, "private-doc")
 	if err := client2.Load(); !errors.Is(err, gdocs.ErrBlocked) {
 		t.Errorf("tampered load = %v, want ErrBlocked (integrity failure)", err)
@@ -369,7 +369,7 @@ func TestCollaborationThroughSharedPassword(t *testing.T) {
 
 	// Friend with the right password: reads fine.
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, Nonces: crypt.NewSeededNonceSource(2)}
-	extFriend := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil)
+	extFriend := New(h.ts.Client().Transport, StaticPassword("hunter2", opts))
 	friend := gdocs.NewClient(extFriend.Client(), h.ts.URL, "private-doc")
 	if err := friend.Load(); err != nil {
 		t.Fatalf("friend load: %v", err)

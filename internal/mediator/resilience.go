@@ -241,7 +241,7 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 		var rsp *trace.Span
 		if attempt > 0 {
 			backoff = e.nextBackoff(backoff)
-			e.stats.retries.Add(1)
+			e.bump(func(s *Stats) { s.Retries++ })
 			metricRetryAttempts.Inc()
 			metricRetryBackoff.Observe(backoff.Seconds())
 			parent.AnnotateInt("retry_attempt", int64(attempt+1))
@@ -281,7 +281,7 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 		rsp.End()
 		return resp, nil
 	}
-	e.stats.retryGiveups.Add(1)
+	e.bump(func(s *Stats) { s.RetryGiveups++ })
 	metricRetryGiveups.Inc()
 	parent.Annotate("retry_giveup", "1")
 	if lastResp != nil {
@@ -426,7 +426,7 @@ func (e *Extension) recordLocked(ctx context.Context, sess *session, ok bool) {
 	case b.state == brkHalfOpen:
 		e.openLocked(ctx, b) // failed probe: back off harder
 	case b.state == brkClosed && b.failures >= e.res.breaker.TripAfter:
-		e.stats.breakerTrips.Add(1)
+		e.bump(func(s *Stats) { s.BreakerTrips++ })
 		e.openLocked(ctx, b)
 	}
 }
@@ -510,7 +510,7 @@ func (e *Extension) degradeUpdateLocked(sess *session, req *http.Request, form u
 		return synthesize(req, http.StatusForbidden, "privedit: unrecognized update"), nil
 	}
 	e.setShadowLocked(b, next)
-	e.stats.degradedSaves.Add(1)
+	e.bump(func(s *Stats) { s.DegradedSaves++ })
 	metricDegradedSave.Inc()
 
 	version, _ := strconv.Atoi(form.Get(gdocs.FieldVersion))
@@ -535,7 +535,7 @@ func (e *Extension) degradeLoadLocked(sess *session, req *http.Request) (*http.R
 		return synthesize(req, http.StatusServiceUnavailable,
 			"privedit: degraded: document unavailable until the server recovers"), nil
 	}
-	e.stats.degradedLoads.Add(1)
+	e.bump(func(s *Stats) { s.DegradedLoads++ })
 	metricDegradedLoad.Inc()
 	resp := synthesize(req, http.StatusOK, text)
 	resp.Header.Set(gdocs.HeaderDegraded, "1")
@@ -596,7 +596,7 @@ func (e *Extension) drainLocked(sess *session, docID string, req *http.Request) 
 		}
 		form.Set(gdocs.FieldDelta, cd.String())
 	}
-	resp, err := e.postForm(req.Context(), req.URL, gdocs.PathDoc, form)
+	resp, err := e.postForm(req.Context(), req.URL, gdocs.PathDoc, form, "")
 	if err != nil {
 		e.resyncLocked(sess, docID, req)
 		return fmt.Errorf("mediator: drain: %w", err)
@@ -608,13 +608,15 @@ func (e *Extension) drainLocked(sess *session, docID string, req *http.Request) 
 		return fmt.Errorf("mediator: drain rejected: status %d", resp.StatusCode)
 	}
 	e.clearShadowLocked(b)
-	e.stats.drains.Add(1)
+	e.bump(func(s *Stats) { s.Drains++ })
 	metricDrains.Inc()
 	return nil
 }
 
 // postForm sends a freshly built form POST through the resilient path.
-func (e *Extension) postForm(ctx context.Context, baseURL *url.URL, path string, form url.Values) (*http.Response, error) {
+// saveID, when non-empty, rides along as the idempotency token so the
+// server can deduplicate a retried save whose earlier response was lost.
+func (e *Extension) postForm(ctx context.Context, baseURL *url.URL, path string, form url.Values, saveID string) (*http.Response, error) {
 	body := form.Encode()
 	u := *baseURL
 	u.Path = path
@@ -625,6 +627,9 @@ func (e *Extension) postForm(ctx context.Context, baseURL *url.URL, path string,
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		if saveID != "" {
+			req.Header.Set(gdocs.HeaderSaveID, saveID)
+		}
 		return req, nil
 	})
 }

@@ -85,7 +85,7 @@ func newResilientHarness(t *testing.T, res Resilience) *resilientHarness {
 		BlockChars: 8,
 		Nonces:     crypt.NewSeededNonceSource(777),
 	}
-	ext := New(flaky, StaticPassword("hunter2", opts), nil, WithResilience(res))
+	ext := New(flaky, StaticPassword("hunter2", opts), WithResilience(res))
 	client := gdocs.NewClient(ext.Client(), ts.URL, "resilient-doc")
 	return &resilientHarness{server: server, ts: ts, flaky: flaky, ext: ext, client: client}
 }
@@ -323,7 +323,7 @@ func plainCheck(t *testing.T, h *resilientHarness, want string) {
 	if plain != want {
 		t.Errorf("server plaintext = %q, want %q", plain, want)
 	}
-	fresh := New(h.ts.Client().Transport, StaticPassword("hunter2", core.Options{}), nil)
+	fresh := New(h.ts.Client().Transport, StaticPassword("hunter2", core.Options{}))
 	fc := gdocs.NewClient(fresh.Client(), h.ts.URL, h.client.DocID())
 	if err := fc.Load(); err != nil {
 		t.Fatalf("fresh load: %v", err)
@@ -358,7 +358,7 @@ func TestDegradedUnavailableWithoutLocalState(t *testing.T) {
 
 func TestBackoffScheduleDeterministicAndBounded(t *testing.T) {
 	mk := func(seed int64) *Extension {
-		return New(http.DefaultTransport, StaticPassword("x", core.Options{}), nil,
+		return New(http.DefaultTransport, StaticPassword("x", core.Options{}),
 			WithResilience(Resilience{Retry: RetryPolicy{
 				MaxAttempts: 4,
 				BaseBackoff: 5 * time.Millisecond,

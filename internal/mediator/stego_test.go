@@ -19,7 +19,7 @@ func newGdocsClient(ext *Extension, h *harness) *gdocs.Client {
 func TestStegoSessionEndToEnd(t *testing.T) {
 	h := newHarness(t, core.ConfidentialityIntegrity, nil)
 	opts := core.Options{Scheme: core.ConfidentialityIntegrity, BlockChars: 8}
-	ext := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil, WithStego())
+	ext := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), WithStego())
 	client := newGdocsClient(ext, h)
 
 	secret := "the merger closes friday; keep it quiet"
@@ -50,7 +50,7 @@ func TestStegoSessionEndToEnd(t *testing.T) {
 	}
 
 	// A fresh stego-enabled session reads it back.
-	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil, WithStego())
+	ext2 := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), WithStego())
 	client2 := newGdocsClient(ext2, h)
 	if err := client2.Load(); err != nil {
 		t.Fatalf("stego load: %v", err)
@@ -78,7 +78,7 @@ func TestStegoDeltasStayAligned(t *testing.T) {
 	// prose must track the editor state the whole way.
 	h := newHarness(t, core.ConfidentialityOnly, nil)
 	opts := core.Options{Scheme: core.ConfidentialityOnly, BlockChars: 4}
-	ext := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), nil, WithStego())
+	ext := New(h.ts.Client().Transport, StaticPassword("hunter2", opts), WithStego())
 	client := newGdocsClient(ext, h)
 
 	if err := client.Create(); err != nil {

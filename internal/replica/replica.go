@@ -261,7 +261,7 @@ func (s *Store) Load(password string) (*core.Editor, LoadReport, error) {
 			report.Damaged[p.Name] = err.Error()
 			continue
 		}
-		ed, err := core.Open(password, transport, nil)
+		ed, err := core.OpenWith(password, transport, core.Options{})
 		if err != nil {
 			report.Damaged[p.Name] = err.Error()
 			continue

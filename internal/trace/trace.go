@@ -50,8 +50,10 @@ const (
 	SpanDiff      = "diff"      // client-side diff against last-saved text
 	SpanTransform = "transform" // delta parse/coalesce/mitigate/transform
 	SpanEncrypt   = "encrypt"   // full-document encrypt + stego encode
+	SpanEnqueue   = "enqueue"   // pipelined save accepted into the per-doc queue
 	SpanSave      = "save"      // save/update POST round trip (all attempts)
 	SpanRetry     = "retry"     // one resilience retry attempt (backoff + send)
+	SpanMerge     = "merge"     // OT-first conflict repair: catch-up + transform
 	SpanResync    = "resync"    // conflict recovery: refetch + merge/replay
 
 	// Structural spans around the phases.
@@ -62,6 +64,7 @@ const (
 	SpanClientSave    = "client_save"    // gdocs.Client.Save
 	SpanClientSync    = "client_sync"    // gdocs.Client.Sync
 	SpanDrain         = "drain"          // degraded-mode shadow replay
+	SpanWriterDrain   = "writer_drain"   // pipelined writer: one queued save round trip
 	SpanServerRequest = "server_request" // gdocs server handler (middleware)
 	SpanServerStore   = "server_store"   // gdocs server store operation
 	SpanNetDelay      = "net_delay"      // netsim simulated link+server delay
@@ -72,7 +75,7 @@ const (
 // per-phase latency breakdown, in presentation order.
 var EditPhases = []string{
 	SpanLoad, SpanDecrypt, SpanDiff, SpanTransform,
-	SpanEncrypt, SpanSave, SpanRetry, SpanResync,
+	SpanEncrypt, SpanEnqueue, SpanSave, SpanRetry, SpanMerge, SpanResync,
 }
 
 // Telemetry about the tracer itself. No-ops until obs.Enable().
