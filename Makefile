@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke ot-smoke chaos-smoke trace-smoke profile-smoke hotpath clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke ot-smoke chaos-smoke trace-smoke profile-smoke taint-smoke hotpath clean
 
 all: build vet lint test
 
@@ -13,10 +13,19 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: the crypto & concurrency invariant
-# suite (internal/lint). Run `go run ./cmd/privedit-lint -rules` for the
-# rule list; suppress with `//lint:ignore RULE reason`.
+# suite (internal/lint), including the interprocedural plaintext-flow
+# taint rule. Run `go run ./cmd/privedit-lint -rules` for the rule list;
+# suppress with `//lint:ignore RULE reason`.
 lint:
 	$(GO) run ./cmd/privedit-lint ./...
+
+# Taint-analysis cost gate: run only the whole-module taint pass, print
+# its size/cost statistics (functions, fixpoint passes, derived
+# plaintext-reachable package set), and fail if the wall time blows the
+# 30s CI budget — a complexity regression in the fixpoint must show up
+# as a red check, not a slow one.
+taint-smoke:
+	$(GO) run ./cmd/privedit-lint -taint
 
 test:
 	$(GO) test ./...

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"privedit/internal/lint"
 )
@@ -28,8 +30,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	listRules := flag.Bool("rules", false, "list the rules and exit")
+	taintStats := flag.Bool("taint", false, "emit taint-analysis statistics as JSON and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: privedit-lint [-json] [-rules] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: privedit-lint [-json] [-rules] [-taint] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,7 +41,7 @@ func main() {
 		for _, a := range lint.Analyzers {
 			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
 		}
-		fmt.Printf("%-22s %s\n", lint.DirectiveRule, "malformed //lint:ignore directives (not suppressible)")
+		fmt.Printf("%-22s %s\n", lint.DirectiveRule, "malformed //lint:ignore and //taint: directives (not suppressible)")
 		return
 	}
 
@@ -49,6 +52,11 @@ func main() {
 	m, err := lint.LoadModule(root)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *taintStats {
+		emitTaintStats(m)
+		return
 	}
 
 	diags := lint.Unsuppressed(m.Run(lint.Analyzers))
@@ -72,6 +80,53 @@ func main() {
 		if !*jsonOut {
 			fmt.Fprintf(os.Stderr, "privedit-lint: %d diagnostic(s)\n", len(diags))
 		}
+		os.Exit(1)
+	}
+}
+
+// taintBudget is the CI wall-time ceiling for the whole-module taint
+// analysis. The -taint output reports the measured time against it and
+// the process exits 1 when the budget is blown, so a complexity
+// regression in the fixpoint shows up as a red check, not a slow one.
+const taintBudget = 30 * time.Second
+
+// emitTaintStats runs only the taint analysis and prints its size and
+// cost: analyzed functions, fixpoint passes, findings, the derived
+// plaintext-reachable package set, and wall time against taintBudget.
+func emitTaintStats(m *lint.Module) {
+	start := time.Now()
+	res := m.TaintResult()
+	elapsed := time.Since(start)
+
+	pkgs := make([]string, 0, len(res.ReachablePkgs))
+	for p := range res.ReachablePkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	out := struct {
+		Functions     int      `json:"functions"`
+		Passes        int      `json:"passes"`
+		Findings      int      `json:"findings"`
+		ReachablePkgs []string `json:"reachable_pkgs"`
+		WallMs        int64    `json:"wall_ms"`
+		BudgetMs      int64    `json:"budget_ms"`
+		WithinBudget  bool     `json:"within_budget"`
+	}{
+		Functions:     res.Functions,
+		Passes:        res.Passes,
+		Findings:      len(res.Findings),
+		ReachablePkgs: pkgs,
+		WallMs:        elapsed.Milliseconds(),
+		BudgetMs:      taintBudget.Milliseconds(),
+		WithinBudget:  elapsed <= taintBudget,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if !out.WithinBudget {
+		fmt.Fprintf(os.Stderr, "privedit-lint: taint analysis took %v, over the %v budget\n", elapsed, taintBudget)
 		os.Exit(1)
 	}
 }

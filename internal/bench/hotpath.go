@@ -169,11 +169,12 @@ func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, text 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	for _, op := range tape {
+	for i, op := range tape {
 		opStart := time.Now()
 		cd, err := doc.TransformDelta(op.pd)
 		if err != nil {
-			return HotpathRow{}, "", fmt.Errorf("%s: transform %q: %w", name, op.pd.String(), err)
+			// Index and op count only: the delta carries document content.
+			return HotpathRow{}, "", fmt.Errorf("%s: transform op %d (%d ops): %w", name, i, len(op.pd), err)
 		}
 		lat.Add(time.Since(opStart).Seconds())
 		cipherBytes += len(cd.String())

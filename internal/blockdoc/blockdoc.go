@@ -53,6 +53,7 @@ var (
 // Block is one plaintext block and its encrypted record. Codecs populate
 // Record and Nonce; the engine owns Chars and list placement.
 type Block struct {
+	//taint:source plaintext block contents
 	Chars  []byte // 1..MaxChars plaintext characters
 	Record []byte // fixed-width container record
 	Nonce  uint64 // the block's leading nonce r_i (chaining state for RPC)

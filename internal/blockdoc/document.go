@@ -171,10 +171,11 @@ func (d *Document) LoadTransport(transport string) error {
 		return err
 	}
 	if h.SchemeID != d.codec.ID() {
-		return fmt.Errorf("%w: container scheme %d, codec %d", ErrCorrupt, h.SchemeID, d.codec.ID())
+		// int() marks the ids as discriminators, not content.
+		return fmt.Errorf("%w: container scheme %d, codec %d", ErrCorrupt, int(h.SchemeID), int(d.codec.ID()))
 	}
 	if int(h.BlockChars) != d.blockChars {
-		return fmt.Errorf("%w: container block size %d, document %d", ErrCorrupt, h.BlockChars, d.blockChars)
+		return fmt.Errorf("%w: container block size %d, document %d", ErrCorrupt, int(h.BlockChars), d.blockChars)
 	}
 	if h.KeyCheck != d.header.KeyCheck {
 		return fmt.Errorf("%w: key check mismatch (wrong password?)", ErrCorrupt)
@@ -255,6 +256,8 @@ func (d *Document) Plaintext() string {
 // stores in place of the plaintext document. Every record occupies a fixed
 // character slot, so large documents encode their record stream in parallel
 // into one shared buffer.
+//
+//taint:sanitizer encodes encrypted records only
 func (d *Document) Transport() string {
 	n := d.list.Len()
 	if parallel.UseSerial(n, d.workers, parallel.MinParallelBlocks) {

@@ -56,6 +56,8 @@ var metricCoalescedOps = obs.NewCounter("privedit_delta_ops_coalesced_total",
 // and each delete-insert pair at one cursor position runs as a single
 // block-range splice: a replacement edit rewrites its boundary blocks
 // once, not once for the delete and again for the insert.
+//
+//taint:sanitizer emits a ciphertext delta
 func (d *Document) TransformDelta(pd delta.Delta) (delta.Delta, error) {
 	if err := pd.Validate(d.Len()); err != nil {
 		return nil, fmt.Errorf("blockdoc: plaintext delta: %w", err)
@@ -97,6 +99,8 @@ func (d *Document) TransformDelta(pd delta.Delta) (delta.Delta, error) {
 
 // Splice performs a single edit — delete del characters at pos, then
 // insert ins there — and returns the ciphertext delta for it.
+//
+//taint:sanitizer emits a ciphertext delta
 func (d *Document) Splice(pos, del int, ins string) (delta.Delta, error) {
 	return d.TransformDelta(delta.Delta{
 		delta.RetainOp(pos),

@@ -205,7 +205,12 @@ func NewExtension(base http.RoundTripper, password func(docID string) (string, c
 // Client returns an http.Client routed through the extension.
 func (e *Extension) Client() *http.Client { return &http.Client{Transport: e} }
 
-func (e *Extension) transformDoc(raw string, encrypt bool) (string, error) {
+// encryptDoc and decryptDoc are deliberately separate functions: the
+// outbound (encrypting) path must never share a body with the inbound
+// (decrypting) one, so the taint analyzer can prove the document handed
+// to the base transport is free of core.Decrypt output.
+
+func (e *Extension) encryptDoc(raw string) (string, error) {
 	doc, err := ParseDocument(raw)
 	if err != nil {
 		return "", err
@@ -215,23 +220,34 @@ func (e *Extension) transformDoc(raw string, encrypt bool) (string, error) {
 		return "", err
 	}
 	for i := range doc.Runs {
-		if encrypt {
-			ed, err := core.NewEditor(password, opts)
-			if err != nil {
-				return "", err
-			}
-			ctxt, err := ed.Encrypt(doc.Runs[i].Text)
-			if err != nil {
-				return "", err
-			}
-			doc.Runs[i].Text = ctxt
-		} else {
-			plain, err := core.Decrypt(password, doc.Runs[i].Text)
-			if err != nil {
-				return "", err
-			}
-			doc.Runs[i].Text = plain
+		ed, err := core.NewEditor(password, opts)
+		if err != nil {
+			return "", err
 		}
+		ctxt, err := ed.Encrypt(doc.Runs[i].Text)
+		if err != nil {
+			return "", err
+		}
+		doc.Runs[i].Text = ctxt
+	}
+	return doc.Marshal()
+}
+
+func (e *Extension) decryptDoc(raw string) (string, error) {
+	doc, err := ParseDocument(raw)
+	if err != nil {
+		return "", err
+	}
+	password, _, err := e.password(doc.ID)
+	if err != nil {
+		return "", err
+	}
+	for i := range doc.Runs {
+		plain, err := core.Decrypt(password, doc.Runs[i].Text)
+		if err != nil {
+			return "", err
+		}
+		doc.Runs[i].Text = plain
 	}
 	return doc.Marshal()
 }
@@ -248,7 +264,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err != nil {
 			return nil, fmt.Errorf("buzzword extension: read body: %w", err)
 		}
-		enc, err := e.transformDoc(string(body), true)
+		enc, err := e.encryptDoc(string(body))
 		if err != nil {
 			return blockedResp(req, "privedit: "+err.Error()), nil
 		}
@@ -269,7 +285,7 @@ func (e *Extension) RoundTrip(req *http.Request) (*http.Response, error) {
 		if err != nil {
 			return nil, fmt.Errorf("buzzword extension: read response: %w", err)
 		}
-		plain, err := e.transformDoc(string(raw), false)
+		plain, err := e.decryptDoc(string(raw))
 		if err != nil {
 			return blockedResp(req, "privedit: "+err.Error()), nil
 		}

@@ -193,7 +193,8 @@ func OpenWith(password, transport string, opts Options) (*Editor, error) {
 	case rpcmode.SchemeID:
 		scheme = ConfidentialityIntegrity
 	default:
-		return nil, fmt.Errorf("%w: container scheme id %d", ErrBadScheme, h.SchemeID)
+		// int() marks the scheme id as a discriminator, not content.
+		return nil, fmt.Errorf("%w: container scheme id %d", ErrBadScheme, int(h.SchemeID))
 	}
 	key := crypt.DeriveDocumentKey(password, h.Salt[:])
 	kc := keyCheck(key, h.Salt[:])
@@ -224,6 +225,8 @@ func (e *Editor) BlockChars() int { return e.doc.BlockChars() }
 // Encrypt replaces the document contents with plaintext and returns the
 // full ciphertext container (Enc). This is what the mediator does with the
 // docContents field of the first save in an editing session.
+//
+//taint:sanitizer Enc: plaintext leaves only as ciphertext container
 func (e *Editor) Encrypt(plaintext string) (string, error) {
 	defer metricEncrypt.Start().End()
 	if err := e.doc.LoadPlaintext(plaintext); err != nil {
@@ -236,6 +239,8 @@ func (e *Editor) Encrypt(plaintext string) (string, error) {
 func (e *Editor) Plaintext() string { return e.doc.Plaintext() }
 
 // Transport returns the current ciphertext container.
+//
+//taint:sanitizer returns the ciphertext transport form
 func (e *Editor) Transport() string { return e.doc.Transport() }
 
 // TransportLen returns the ciphertext container length in characters.
@@ -248,6 +253,8 @@ func (e *Editor) Len() int { return e.doc.Len() }
 // ciphertext delta (wire form) that performs the corresponding update on
 // the server's stored container: the mediator's transform_delta call in
 // Figure 2. The editor's state advances to reflect the edit.
+//
+//taint:sanitizer emits a ciphertext delta
 func (e *Editor) TransformDelta(wire string) (string, error) {
 	pd, err := delta.Parse(wire)
 	if err != nil {
@@ -261,6 +268,8 @@ func (e *Editor) TransformDelta(wire string) (string, error) {
 }
 
 // TransformDeltaOps is TransformDelta on parsed operations.
+//
+//taint:sanitizer emits a ciphertext delta
 func (e *Editor) TransformDeltaOps(pd delta.Delta) (delta.Delta, error) {
 	sp := metricTransform.Start()
 	cd, err := e.doc.TransformDelta(pd)
@@ -270,6 +279,8 @@ func (e *Editor) TransformDeltaOps(pd delta.Delta) (delta.Delta, error) {
 
 // Splice performs a single programmatic edit (delete del characters at
 // pos, insert ins) and returns the ciphertext delta.
+//
+//taint:sanitizer emits a ciphertext delta
 func (e *Editor) Splice(pos, del int, ins string) (delta.Delta, error) {
 	sp := metricSplice.Start()
 	cd, err := e.doc.Splice(pos, del, ins)
@@ -284,6 +295,8 @@ func (e *Editor) Splice(pos, del int, ins string) (delta.Delta, error) {
 // that the key did not really change). Zero-valued options inherit from
 // the current editor: scheme and block size always carry over, and
 // opts.Workers == 0 keeps the editor's worker bound.
+//
+//taint:sanitizer re-encrypts wholesale; returns ciphertext container
 func (e *Editor) RekeyWith(newPassword string, opts Options) (string, error) {
 	defer metricRekey.Start().End()
 	if opts.Nonces == nil {

@@ -116,7 +116,7 @@ func unescapePayload(s string) (string, error) {
 		case 't':
 			b.WriteByte('\t')
 		default:
-			return "", fmt.Errorf("%w: unknown escape \\%c", ErrSyntax, s[i])
+			return "", fmt.Errorf("%w: unknown escape at offset %d", ErrSyntax, i)
 		}
 	}
 	return b.String(), nil
@@ -130,18 +130,21 @@ func Parse(s string) (Delta, error) {
 	}
 	parts := strings.Split(s, "\t")
 	d := make(Delta, 0, len(parts))
-	for _, part := range parts {
+	// Parse errors carry op index and length only: a malformed wire string
+	// can hold insert payloads, and payload bytes must never ride an error
+	// out of the envelope.
+	for i, part := range parts {
 		if part == "" {
-			return nil, fmt.Errorf("%w: empty operation", ErrSyntax)
+			return nil, fmt.Errorf("%w: empty operation (op %d)", ErrSyntax, i)
 		}
 		switch part[0] {
 		case '=', '-':
 			n, err := strconv.Atoi(part[1:])
 			if err != nil {
-				return nil, fmt.Errorf("%w: bad count %q: %v", ErrSyntax, part, err)
+				return nil, fmt.Errorf("%w: bad count (op %d, %d bytes)", ErrSyntax, i, len(part))
 			}
 			if n < 0 {
-				return nil, fmt.Errorf("%w: negative count %q", ErrSyntax, part)
+				return nil, fmt.Errorf("%w: negative count (op %d)", ErrSyntax, i)
 			}
 			kind := Retain
 			if part[0] == '-' {
@@ -155,7 +158,7 @@ func Parse(s string) (Delta, error) {
 			}
 			d = append(d, Op{Kind: Insert, Str: payload})
 		default:
-			return nil, fmt.Errorf("%w: unknown operation %q", ErrSyntax, part)
+			return nil, fmt.Errorf("%w: unknown operation (op %d, %d bytes)", ErrSyntax, i, len(part))
 		}
 	}
 	return d, nil

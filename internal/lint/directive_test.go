@@ -3,6 +3,8 @@ package lint
 import (
 	"strings"
 	"testing"
+
+	"privedit/internal/lint/taint"
 )
 
 func TestParseIgnoreDirective(t *testing.T) {
@@ -49,9 +51,13 @@ func TestParseIgnoreDirective(t *testing.T) {
 	}
 }
 
-// FuzzDirective hammers the directive parser: it must never panic, and a
-// successful parse must uphold the invariants suppression matching
-// relies on (non-empty validated rules, non-empty reason).
+// FuzzDirective hammers both directive parsers — //lint:ignore and
+// //taint: share the comment namespace, so they are fuzzed on the same
+// corpus. Neither may panic; a successful parse must uphold the
+// invariants its consumer relies on: suppression matching needs
+// non-empty validated rules and a reason, and the taint engine needs
+// every well-formed verb to be one it implements (an unknown verb that
+// parsed cleanly would change the taint verdict without a trace).
 func FuzzDirective(f *testing.F) {
 	f.Add("lint:ignore nonce-source seeded workload generator")
 	f.Add("lint:ignore a,b two rules")
@@ -62,27 +68,57 @@ func FuzzDirective(f *testing.F) {
 	f.Add("lint:ignore \t weird\twhitespace everywhere ")
 	f.Add("lint:ignore a,,b reason")
 	f.Add("lint:ignore " + strings.Repeat("x", 1000) + " long rule")
+	f.Add("taint:source decrypted body")
+	f.Add("taint:sanitizer encrypt-then-encode path")
+	f.Add("taint:clean ciphertext mirror")
+	f.Add("taint:")
+	f.Add("taint:sink transport body")
+	f.Add("taint:Source case matters")
+	f.Add("taint: source leading space before the verb")
+	f.Add("taint:" + strings.Repeat("v", 1000))
 	f.Fuzz(func(t *testing.T, text string) {
 		rules, reason, err := ParseIgnoreDirective(text)
 		if err != nil {
 			if len(rules) != 0 || reason != "" {
 				t.Fatalf("error %v returned with non-zero results (%v, %q)", err, rules, reason)
 			}
-			return
-		}
-		if len(rules) == 0 {
-			t.Fatal("ok parse returned no rules")
-		}
-		for _, r := range rules {
-			if r == "" || !validRuleName(r) {
-				t.Fatalf("ok parse returned invalid rule %q", r)
+		} else {
+			if len(rules) == 0 {
+				t.Fatal("ok parse returned no rules")
+			}
+			for _, r := range rules {
+				if r == "" || !validRuleName(r) {
+					t.Fatalf("ok parse returned invalid rule %q", r)
+				}
+			}
+			if strings.TrimSpace(reason) == "" {
+				t.Fatal("ok parse returned empty reason")
+			}
+			if reason != strings.TrimSpace(reason) {
+				t.Fatalf("reason %q not trimmed", reason)
 			}
 		}
-		if strings.TrimSpace(reason) == "" {
-			t.Fatal("ok parse returned empty reason")
+
+		verb, note, terr := taint.ParseTaintDirective(text)
+		if terr != nil {
+			if verb != "" || note != "" {
+				t.Fatalf("taint error %v returned with non-zero results (%q, %q)", terr, verb, note)
+			}
+			// The two families must stay disjoint: a comment can be a
+			// malformed taint directive or a malformed lint directive,
+			// never both (the sweep reports the taint error first).
+			if terr != taint.ErrNotDirective && err != nil && err != ErrNotDirective {
+				t.Fatalf("text %q is malformed under both parsers", text)
+			}
+			return
 		}
-		if reason != strings.TrimSpace(reason) {
-			t.Fatalf("reason %q not trimmed", reason)
+		switch verb {
+		case taint.VerbSource, taint.VerbSanitizer, taint.VerbClean:
+		default:
+			t.Fatalf("ok taint parse returned unimplemented verb %q", verb)
+		}
+		if note != strings.TrimSpace(note) {
+			t.Fatalf("taint note %q not trimmed", note)
 		}
 	})
 }

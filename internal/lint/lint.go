@@ -13,6 +13,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"privedit/internal/lint/taint"
 )
 
 // Diagnostic is one analyzer finding.
@@ -46,6 +48,7 @@ type Analyzer struct {
 var Analyzers = []*Analyzer{
 	NonceSource,
 	PlaintextLog,
+	PlaintextFlow,
 	CtxFirst,
 	GoroutineTestFatal,
 	MutexByValue,
@@ -138,8 +141,22 @@ func (m *Module) collectDirectives(u *Unit) ([]*ignoreDirective, []Diagnostic) {
 					continue // block comments cannot carry directives
 				}
 				text := strings.TrimPrefix(c.Text, "//")
-				rules, reason, err := ParseIgnoreDirective(text)
 				p := m.Fset.Position(c.Pos())
+				// Malformed //taint: directives are directive errors too: a
+				// typo'd annotation must never silently change the taint
+				// verdict.
+				if _, _, terr := taint.ParseTaintDirective(text); terr != nil && terr != taint.ErrNotDirective {
+					diags = append(diags, Diagnostic{
+						Rule:    DirectiveRule,
+						Pos:     p,
+						File:    m.relFile(p.Filename),
+						Line:    p.Line,
+						Col:     p.Column,
+						Message: terr.Error(),
+					})
+					continue
+				}
+				rules, reason, err := ParseIgnoreDirective(text)
 				if err != nil {
 					if err != ErrNotDirective {
 						diags = append(diags, Diagnostic{

@@ -85,6 +85,63 @@ func TestRandomnessConfinedToCrypt(t *testing.T) {
 	}
 }
 
+// TestModuleCleanTaint is the taint rule's own acceptance gate, pinned
+// separately from TestModuleClean so a regression names the rule: the
+// whole-module interprocedural analysis must prove zero unsuppressed
+// plaintext flows — with no //lint:ignore anywhere in the tree — while
+// the seeded leaks in testdata/taintflow stay detected.
+func TestModuleCleanTaint(t *testing.T) {
+	m := loadTestModule(t)
+	diags := m.Run([]*Analyzer{PlaintextFlow})
+	for _, d := range diags {
+		if d.Suppressed {
+			t.Errorf("plaintext-flow finding hidden behind //lint:ignore (the tree must stay ignore-free for this rule): %s", d)
+			continue
+		}
+		t.Errorf("plaintext reaches an untrusted sink: %s", d)
+	}
+	res := m.TaintResult()
+	if res.Functions < 300 {
+		t.Errorf("taint analysis covered only %d functions; the module walk is missing bodies", res.Functions)
+	}
+	if res.Passes < 2 {
+		t.Errorf("taint fixpoint converged in %d pass(es); summaries are not propagating", res.Passes)
+	}
+}
+
+// TestPlaintextPkgsDerived pins the no-plaintext-log package set as
+// machine-derived: packages that only receive ciphertext or metadata
+// must stay out, and packages the analysis proves to receive plaintext
+// must be in — even when nobody added them to the hand-written seeds.
+func TestPlaintextPkgsDerived(t *testing.T) {
+	m := loadTestModule(t)
+	pkgs := m.PlaintextPkgs()
+	// Derived members: none of these are in plaintextSeedPkgs; they are in
+	// the set only because the taint analysis proves plaintext reaches
+	// them. This is the drift hazard the derivation closes.
+	for _, p := range []string{"internal/bespin", "internal/buzzword", "internal/blockdoc", "internal/stego"} {
+		if seed := plaintextSeedPkgs[p]; seed {
+			t.Errorf("%s is hand-seeded; this test needs it derived", p)
+		}
+		if !pkgs[p] {
+			t.Errorf("PlaintextPkgs() is missing %s, which demonstrably handles decrypted bytes", p)
+		}
+	}
+	// The seeds themselves must survive the union.
+	for p := range plaintextSeedPkgs {
+		if !pkgs[p] {
+			t.Errorf("PlaintextPkgs() dropped seed package %s", p)
+		}
+	}
+	// Observability and tooling packages carry only ciphertext sizes,
+	// names, and timings; pulling them in would ban all their logging.
+	for _, p := range []string{"internal/obs", "internal/trace", "internal/netsim", "internal/lint"} {
+		if pkgs[p] {
+			t.Errorf("PlaintextPkgs() wrongly includes %s: no plaintext reaches it", p)
+		}
+	}
+}
+
 func equalStrings(a, b []string) bool {
 	if len(a) != len(b) {
 		return false
@@ -116,6 +173,8 @@ func TestFixtures(t *testing.T) {
 		{"spanname", "privedit/internal/fixture"},
 		{"deprecated", "privedit/internal/fixture"},
 		{"directive", "privedit/internal/fixture"},
+		{"taintflow", "privedit/internal/fixture"},
+		{"taintdirective", "privedit/internal/fixture"},
 	}
 	m := loadTestModule(t)
 	for _, fx := range fixtures {

@@ -26,6 +26,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"privedit/internal/lint/taint"
 )
 
 // Module is a fully parsed and type-checked module.
@@ -37,6 +40,18 @@ type Module struct {
 
 	std  types.Importer
 	base map[string]*types.Package // import path -> checked plain package
+
+	// basePkgs are the plain (non-test) packages in their pass-1
+	// type-check universe, retained for the taint analysis: they import
+	// each other through m.base, so cross-package object identity holds,
+	// which the interprocedural summary lookup depends on. (The analysis
+	// units are re-checked with test files and have distinct objects.)
+	basePkgs []*taint.Package
+
+	// Whole-module taint analysis, computed once on first use (the
+	// plaintext-flow rule and the derived plaintext-package set share it).
+	taintOnce sync.Once
+	taintRes  *taint.Result
 }
 
 // Unit is one type-checked analysis unit.
@@ -99,11 +114,17 @@ func LoadModule(root string) (*Module, error) {
 		if len(d.plain) == 0 {
 			continue
 		}
-		pkg, _, err := m.check(d.importPath(modPath), d.plain, nil)
+		pkg, info, err := m.check(d.importPath(modPath), d.plain, nil)
 		if err != nil {
 			return nil, err
 		}
 		m.base[d.importPath(modPath)] = pkg
+		m.basePkgs = append(m.basePkgs, &taint.Package{
+			Path:  d.importPath(modPath),
+			Files: append([]*ast.File(nil), d.plain...),
+			Pkg:   pkg,
+			Info:  info,
+		})
 	}
 	// Pass 2: analysis units. Augmented packages and external test
 	// packages only ever import plain packages, so order is free here.

@@ -1,0 +1,114 @@
+// The plaintext-flow rule: the interprocedural taint analysis in
+// internal/lint/taint, adapted to the lint driver. One whole-module
+// analysis run is shared by every unit (and by the derived
+// plaintext-package set of no-plaintext-log); findings are attributed to
+// the unit that owns the sink's file so suppression and sorting behave
+// like any other rule.
+package lint
+
+import (
+	"privedit/internal/lint/taint"
+)
+
+// PlaintextFlow is the taint-flow rule: decrypted plaintext must never
+// reach an untrusted-server or auxiliary-channel sink. Each finding
+// carries the complete source→sink path, every hop with file:line.
+var PlaintextFlow = &Analyzer{
+	Name: "plaintext-flow",
+	Doc:  "decrypted plaintext must not flow to network, trace, metric, or escaping-error sinks",
+	Run:  runPlaintextFlow,
+}
+
+// TaintResult returns the whole-module taint analysis, computing it on
+// first use. Units loaded via CheckDir are not part of it; they get a
+// standalone analysis in runPlaintextFlow.
+func (m *Module) TaintResult() *taint.Result {
+	m.taintOnce.Do(func() {
+		m.taintRes = taint.Analyze(m.Fset, m.basePkgs)
+	})
+	return m.taintRes
+}
+
+func taintPackage(u *Unit) *taint.Package {
+	return &taint.Package{
+		Path:   u.Path,
+		Files:  u.Files,
+		Pkg:    u.Pkg,
+		Info:   u.Info,
+		IsTest: u.IsTest,
+	}
+}
+
+func runPlaintextFlow(u *Unit, m *Module, report reporter) {
+	if u.XTest {
+		return // external test packages do not ship
+	}
+	res := m.TaintResult()
+	if !m.isModuleUnit(u) {
+		// Fixture unit (CheckDir): analyze it standalone. Sources and
+		// sinks are spec- and annotation-driven, so a fixture importing
+		// real module packages still exercises the real boundary.
+		res = taint.Analyze(m.Fset, []*taint.Package{taintPackage(u)})
+	}
+	own := make(map[string]bool)
+	for _, f := range u.Files {
+		if !u.IsTest[f] {
+			own[m.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	for _, fnd := range res.Findings {
+		if !own[m.Fset.Position(fnd.Pos).Filename] {
+			continue
+		}
+		report(fnd.Pos, "plaintext reaches %s: %s", fnd.Sink, taint.RenderSteps(m.Fset, fnd.Steps, m.Root))
+	}
+}
+
+func (m *Module) isModuleUnit(u *Unit) bool {
+	for _, mu := range m.Units {
+		if mu == u {
+			return true
+		}
+	}
+	return false
+}
+
+// PlaintextPkgs is the effective plaintext-bearing package set used by
+// no-plaintext-log: the hand-written seed packages plus every internal
+// package the taint analysis proves to receive plaintext. Keys are
+// module-relative ("internal/core"). Deriving the set from reachability
+// is what closes the drift hazard: a new package that starts handling
+// decrypted bytes is banned from logging without anyone editing a list.
+func (m *Module) PlaintextPkgs() map[string]bool {
+	out := make(map[string]bool, len(plaintextSeedPkgs))
+	for p := range plaintextSeedPkgs {
+		out[p] = true
+	}
+	for path := range m.TaintResult().ReachablePkgs {
+		rel := path
+		if r, ok := cutPathPrefix(path, m.Path); ok {
+			rel = r
+		}
+		// Only internal packages: cmd/ and examples/ run on the trusted
+		// client and legitimately display plaintext to the local user.
+		if rel == "internal" || hasPathPrefix(rel, "internal") {
+			out[rel] = true
+		}
+	}
+	return out
+}
+
+func cutPathPrefix(path, prefix string) (string, bool) {
+	if path == prefix {
+		return "", true
+	}
+	if len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/' {
+		return path[len(prefix)+1:], true
+	}
+	return path, false
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	_, ok := cutPathPrefix(path, prefix)
+	return ok
+}

@@ -1,0 +1,179 @@
+// Taint annotations. The trust boundary is declared in source with
+//
+//	//taint:source [note]     — on a func: its results carry plaintext;
+//	                            on a struct field: reads of it are plaintext
+//	//taint:sanitizer [note]  — on a func: the encrypt-then-encode path;
+//	                            its outputs are sanctioned ciphertext
+//	//taint:clean [note]      — on a struct field: holds ciphertext/wire
+//	                            form only. Reads are clean, and the claim
+//	                            is enforced: a write of tainted data into
+//	                            the field is itself reported as a sink.
+//
+// in the declaration's doc comment (or, for struct fields, the field's
+// doc or trailing line comment). The optional note documents why; the
+// verb list is closed — anything else spelled //taint:... is malformed
+// and must be reported (under the lint suite's non-suppressible
+// "directive" pseudo-rule), never silently ignored, because a typo'd
+// annotation would otherwise change the taint verdict without a trace.
+package taint
+
+import (
+	"errors"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrNotDirective reports that a comment is not a taint directive at all.
+var ErrNotDirective = errors.New("not a taint directive")
+
+// Directive verbs.
+const (
+	VerbSource    = "source"
+	VerbSanitizer = "sanitizer"
+	VerbClean     = "clean"
+)
+
+// ParseTaintDirective parses the text of a line comment (leading "//"
+// already stripped). It returns ErrNotDirective for ordinary comments and
+// a descriptive error for malformed taint directives.
+func ParseTaintDirective(text string) (verb, note string, err error) {
+	body, ok := strings.CutPrefix(strings.TrimLeft(text, " \t"), "taint:")
+	if !ok {
+		return "", "", ErrNotDirective
+	}
+	verb, note = cutSpace(body)
+	switch verb {
+	case VerbSource, VerbSanitizer, VerbClean:
+		return verb, note, nil
+	case "":
+		return "", "", errors.New("//taint: directive is missing its verb (source, sanitizer, or clean)")
+	default:
+		return "", "", errors.New("unknown taint directive //taint:" + quoteTrunc(verb) + " (only source, sanitizer, and clean are supported)")
+	}
+}
+
+// cutSpace splits s into its first whitespace-delimited token and the
+// trimmed remainder.
+func cutSpace(s string) (token, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+// quoteTrunc quotes a possibly hostile string for an error message,
+// keeping it short and printable.
+func quoteTrunc(s string) string {
+	const max = 40
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	out := make([]rune, 0, len(s)+2)
+	out = append(out, '"')
+	for _, c := range s {
+		if c < 0x20 || c == 0x7f {
+			out = append(out, '?')
+			continue
+		}
+		out = append(out, c)
+	}
+	return string(append(out, '"'))
+}
+
+// annotations holds the parsed //taint: markers of one analysis run.
+type annotations struct {
+	funcs  map[*types.Func]string // verb per annotated function
+	fields map[*types.Var]bool    // struct fields annotated //taint:source
+	clean  map[*types.Var]bool    // struct fields annotated //taint:clean
+}
+
+// collectAnnotations walks the packages' ASTs, resolving well-formed
+// directives to their annotated objects. Malformed directives are NOT
+// collected here — the lint driver reports them via ParseTaintDirective
+// during its own directive sweep, so they can never silently change the
+// verdict computed from the well-formed set.
+func collectAnnotations(pkgs []*Package) *annotations {
+	an := &annotations{
+		funcs:  make(map[*types.Func]string),
+		fields: make(map[*types.Var]bool),
+		clean:  make(map[*types.Var]bool),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if p.IsTest[f] {
+				continue
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					verb := directiveIn(d.Doc)
+					if verb == "" {
+						continue
+					}
+					if obj, ok := p.Info.Defs[d.Name].(*types.Func); ok {
+						an.funcs[obj] = verb
+					}
+				case *ast.GenDecl:
+					an.collectFieldDirectives(p, d)
+				}
+			}
+		}
+	}
+	return an
+}
+
+// collectFieldDirectives finds //taint:source and //taint:clean on struct
+// fields of type declarations. Only those two verbs have a field meaning;
+// a sanitizer verb on a field is treated as no annotation (the spelling is
+// still well-formed, so it is not a directive error).
+func (an *annotations) collectFieldDirectives(p *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			verb := directiveIn(field.Doc)
+			if verb == "" {
+				verb = directiveIn(field.Comment)
+			}
+			if verb != VerbSource && verb != VerbClean {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+					if verb == VerbSource {
+						an.fields[obj] = true
+					} else {
+						an.clean[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// directiveIn returns the verb of the first well-formed taint directive
+// in a comment group, or "".
+func directiveIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if verb, _, err := ParseTaintDirective(text); err == nil {
+			return verb
+		}
+	}
+	return ""
+}

@@ -1,0 +1,362 @@
+// The intraprocedural half of the engine: abstract evaluation of one
+// function body. Values are tracked per named object at struct-field
+// granularity; the inputs start as symbolic taints, sources create
+// concrete (source-rooted) facts, and the body is re-executed until the
+// state stops changing (loops propagate through iteration). Flow
+// recording is monotone and deduplicated, so re-execution is idempotent.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// origin is one reason a value is tainted: either "input #input (field)
+// was tainted at entry" (symbolic, used to build summaries) or "a source
+// was read" (input == -1, used to report findings). steps records the
+// hops taken since.
+type origin struct {
+	input int
+	field string
+	steps []Step
+}
+
+// fact is a set of origins.
+type fact struct {
+	origins []origin
+}
+
+// originKey deduplicates origins within a fact.
+type originKey struct {
+	input int
+	field string
+	src   token.Pos // first step position, NoPos for bare symbolic origins
+}
+
+func (o origin) key() originKey {
+	k := originKey{input: o.input, field: o.field}
+	if len(o.steps) > 0 {
+		k.src = o.steps[0].Pos
+	}
+	return k
+}
+
+// addOrigin merges o into f, reporting whether f changed.
+func (f *fact) addOrigin(o origin) bool {
+	if len(f.origins) >= maxOriginsPerFact {
+		return false
+	}
+	k := o.key()
+	for _, old := range f.origins {
+		if old.key() == k {
+			return false
+		}
+	}
+	f.origins = append(f.origins, o)
+	return true
+}
+
+func mergeFacts(a, b *fact) (*fact, bool) {
+	if b == nil || len(b.origins) == 0 {
+		return a, false
+	}
+	if a == nil {
+		a = &fact{}
+	}
+	changed := false
+	for _, o := range b.origins {
+		if a.addOrigin(o) {
+			changed = true
+		}
+	}
+	return a, changed
+}
+
+// binding is a method value: fn bound to a receiver abstraction.
+type binding struct {
+	fn   *types.Func
+	recv *val
+}
+
+// val is the abstract value of an expression or object.
+type val struct {
+	symInput int    // -1, or: this value IS input #symInput...
+	symField string // ...projected at this field ("" = the whole input)
+	whole    *fact
+	fields   map[string]*fact
+	bound    *binding
+}
+
+func newVal() *val { return &val{symInput: -1} }
+
+func (v *val) isClean() bool {
+	return v == nil || (v.symInput < 0 && v.whole == nil && len(v.fields) == 0)
+}
+
+// hasConcrete reports whether v carries any source-rooted origin.
+func (v *val) hasConcrete() bool {
+	if v == nil {
+		return false
+	}
+	has := func(f *fact) bool {
+		if f == nil {
+			return false
+		}
+		for _, o := range f.origins {
+			if o.input == -1 {
+				return true
+			}
+		}
+		return false
+	}
+	if has(v.whole) {
+		return true
+	}
+	for _, f := range v.fields {
+		if has(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// collapse folds a val into a single fact (whole + every field).
+func collapse(v *val) *fact {
+	if v == nil {
+		return nil
+	}
+	out := &fact{}
+	if v.symInput >= 0 {
+		out.addOrigin(origin{input: v.symInput, field: v.symField})
+	}
+	mergeInto := func(f *fact) {
+		if f == nil {
+			return
+		}
+		for _, o := range f.origins {
+			out.addOrigin(o)
+		}
+	}
+	mergeInto(v.whole)
+	for _, name := range sortedFieldNames(v.fields) {
+		mergeInto(v.fields[name])
+	}
+	if len(out.origins) == 0 {
+		return nil
+	}
+	return out
+}
+
+func sortedFieldNames(m map[string]*fact) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// coverOrigins returns the origins under which the given field of v (""
+// = any part of v) is tainted. Symbolic inputs yield symbolic origins.
+func coverOrigins(v *val, field string) []origin {
+	if v == nil {
+		return nil
+	}
+	var out []origin
+	if v.symInput >= 0 {
+		eff := v.symField
+		if eff == "" {
+			eff = field
+		}
+		out = append(out, origin{input: v.symInput, field: eff})
+	}
+	if v.whole != nil {
+		out = append(out, v.whole.origins...)
+	}
+	if field != "" {
+		if f := v.fields[field]; f != nil {
+			out = append(out, f.origins...)
+		}
+	} else {
+		for _, name := range sortedFieldNames(v.fields) {
+			out = append(out, v.fields[name].origins...)
+		}
+	}
+	return out
+}
+
+// extend returns o with extra steps appended (copy-on-write, capped).
+func (o origin) extend(steps ...Step) origin {
+	if len(steps) == 0 {
+		return o
+	}
+	n := len(o.steps) + len(steps)
+	if n > maxStepsPerPath {
+		n = maxStepsPerPath
+	}
+	out := make([]Step, 0, n)
+	out = append(out, o.steps...)
+	for _, s := range steps {
+		if len(out) >= maxStepsPerPath {
+			break
+		}
+		out = append(out, s)
+	}
+	return origin{input: o.input, field: o.field, steps: out}
+}
+
+// evalCtx is the per-function evaluation state.
+type evalCtx struct {
+	a  *analyzer
+	fi *funcInfo
+
+	state map[types.Object]*val
+	// closures maps objects holding a *ast.FuncLit value to the literal.
+	closures map[types.Object]*ast.FuncLit
+
+	inClosure   bool
+	iterChanged bool
+}
+
+// analyzeFunc (re)computes fi's summary and findings.
+func (a *analyzer) analyzeFunc(fi *funcInfo) {
+	ec := &evalCtx{
+		a:        a,
+		fi:       fi,
+		state:    make(map[types.Object]*val),
+		closures: make(map[types.Object]*ast.FuncLit),
+	}
+	for i, in := range fi.inputs {
+		// Scalar inputs (counts, offsets, flags) cannot carry content, so
+		// they never get a symbolic identity: flows conditioned on them
+		// would be vacuous and only manufacture false error-escape paths.
+		if !taintCapable(in.Type()) {
+			continue
+		}
+		ec.state[in] = &val{symInput: i}
+	}
+	for it := 0; it < maxIntraIterations; it++ {
+		ec.iterChanged = false
+		ec.execStmt(fi.decl.Body)
+		if !ec.iterChanged {
+			break
+		}
+	}
+}
+
+// --- state management -------------------------------------------------
+
+func (ec *evalCtx) lookup(obj types.Object) *val {
+	if obj == nil {
+		return nil
+	}
+	return ec.state[obj]
+}
+
+// mergeState merges v into obj's state (monotone), returning nothing;
+// iterChanged is set when anything was added.
+func (ec *evalCtx) mergeState(obj types.Object, v *val) {
+	if obj == nil || obj.Name() == "_" || v.isClean() && (v == nil || v.bound == nil) {
+		return
+	}
+	old := ec.state[obj]
+	if old == nil {
+		old = newVal()
+		ec.state[obj] = old
+	}
+	if v == nil {
+		return
+	}
+	// Symbolic identity is never overwritten; concrete taint accumulates.
+	if v.symInput >= 0 && old.symInput < 0 && old != v {
+		// Aliasing an input: fold as whole-of-that-input taint.
+		if f, ch := mergeFacts(old.whole, &fact{origins: []origin{{input: v.symInput, field: v.symField}}}); ch {
+			old.whole = f
+			ec.iterChanged = true
+		}
+	}
+	if f, ch := mergeFacts(old.whole, v.whole); ch {
+		old.whole = f
+		ec.iterChanged = true
+	}
+	for _, name := range sortedFieldNames(v.fields) {
+		if old.fields == nil {
+			old.fields = make(map[string]*fact)
+		}
+		if f, ch := mergeFacts(old.fields[name], v.fields[name]); ch {
+			old.fields[name] = f
+			ec.iterChanged = true
+		}
+	}
+	if v.bound != nil && old.bound == nil {
+		old.bound = v.bound
+		ec.iterChanged = true
+	}
+}
+
+// mergeField merges a fact into one field of obj's state.
+func (ec *evalCtx) mergeField(obj types.Object, field string, f *fact) {
+	if obj == nil || obj.Name() == "_" || f == nil || len(f.origins) == 0 {
+		return
+	}
+	old := ec.state[obj]
+	if old == nil {
+		old = newVal()
+		ec.state[obj] = old
+	}
+	if old.fields == nil {
+		old.fields = make(map[string]*fact)
+	}
+	if nf, ch := mergeFacts(old.fields[field], f); ch {
+		old.fields[field] = nf
+		ec.iterChanged = true
+	}
+}
+
+// --- helpers ----------------------------------------------------------
+
+func (ec *evalCtx) pos(p token.Pos) token.Position { return ec.a.fset.Position(p) }
+
+func mergeVals(vs ...*val) *val {
+	out := newVal()
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if v.symInput >= 0 {
+			f, _ := mergeFacts(out.whole, &fact{origins: []origin{{input: v.symInput, field: v.symField}}})
+			out.whole = f
+		}
+		if v.whole != nil {
+			f, _ := mergeFacts(out.whole, v.whole)
+			out.whole = f
+		}
+		for _, name := range sortedFieldNames(v.fields) {
+			if out.fields == nil {
+				out.fields = make(map[string]*fact)
+			}
+			f, _ := mergeFacts(out.fields[name], v.fields[name])
+			out.fields[name] = f
+		}
+		if v.bound != nil && out.bound == nil {
+			out.bound = v.bound
+		}
+	}
+	if out.isClean() && out.bound == nil {
+		return nil
+	}
+	return out
+}
+
+// factVal wraps a fact as a whole-value val.
+func factVal(f *fact) *val {
+	if f == nil || len(f.origins) == 0 {
+		return nil
+	}
+	return &val{symInput: -1, whole: f}
+}

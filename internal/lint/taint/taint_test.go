@@ -1,0 +1,154 @@
+package taint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestParseTaintDirective(t *testing.T) {
+	cases := []struct {
+		in      string
+		verb    string
+		note    string
+		errPart string // "" = ok, "not" = ErrNotDirective, else substring of the error
+	}{
+		{"taint:source decrypted document body", VerbSource, "decrypted document body", ""},
+		{"taint:sanitizer encrypt-then-encode commit path", VerbSanitizer, "encrypt-then-encode commit path", ""},
+		{"taint:clean ciphertext mirror of the last save", VerbClean, "ciphertext mirror of the last save", ""},
+		{"taint:source", VerbSource, "", ""},
+		{" \t taint:clean leading whitespace is fine", VerbClean, "leading whitespace is fine", ""},
+		{"taint:source   extra   spaces collapse around the verb only", VerbSource, "extra   spaces collapse around the verb only", ""},
+		{"taint: source space before the verb is tolerated", VerbSource, "space before the verb is tolerated", ""},
+		{"just a comment", "", "", "not"},
+		{"lint:ignore nonce-source other family", "", "", "not"},
+		{"taints:source near miss", "", "", "not"},
+		{"taint:", "", "", "missing its verb"},
+		{"taint:sink transport body", "", "", "unknown taint directive"},
+		{"taint:Source case matters", "", "", "unknown taint directive"},
+		{"taint:" + strings.Repeat("v", 100), "", "", "unknown taint directive"},
+	}
+	for _, c := range cases {
+		verb, note, err := ParseTaintDirective(c.in)
+		switch {
+		case c.errPart == "":
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.in, err)
+				continue
+			}
+			if verb != c.verb || note != c.note {
+				t.Errorf("%q: got (%q, %q), want (%q, %q)", c.in, verb, note, c.verb, c.note)
+			}
+		case c.errPart == "not":
+			if err != ErrNotDirective {
+				t.Errorf("%q: err = %v, want ErrNotDirective", c.in, err)
+			}
+		default:
+			if err == nil || err == ErrNotDirective || !strings.Contains(err.Error(), c.errPart) {
+				t.Errorf("%q: err = %v, want error containing %q", c.in, err, c.errPart)
+			}
+		}
+	}
+}
+
+// TestTaintCapable pins the cleanliness frontier the whole analysis
+// rests on: content-bearing types carry taint, numeric metadata does
+// not — which is exactly why length/offset-only errors are provably
+// safe to return across the boundary.
+func TestTaintCapable(t *testing.T) {
+	str := types.Typ[types.String]
+	integer := types.Typ[types.Int]
+	byteT := types.Typ[types.Byte]
+	runeT := types.Typ[types.Rune]
+	boolT := types.Typ[types.Bool]
+	errT := types.Universe.Lookup("error").Type()
+	field := func(typ types.Type) *types.Struct {
+		return types.NewStruct([]*types.Var{types.NewField(token.NoPos, nil, "F", typ, false)}, nil)
+	}
+	cases := []struct {
+		name string
+		typ  types.Type
+		want bool
+	}{
+		{"string", str, true},
+		{"int", integer, false},
+		{"byte", byteT, true},
+		{"rune", runeT, true},
+		{"bool", boolT, false},
+		{"float64", types.Typ[types.Float64], false},
+		{"error", errT, true},
+		{"[]byte", types.NewSlice(byteT), true},
+		{"[]int", types.NewSlice(integer), false},
+		{"[4]byte", types.NewArray(byteT, 4), true},
+		{"map[string]int", types.NewMap(str, integer), true},
+		{"map[int]int", types.NewMap(integer, integer), false},
+		{"chan byte", types.NewChan(types.SendRecv, byteT), true},
+		{"*int", types.NewPointer(integer), false},
+		{"*string", types.NewPointer(str), true},
+		{"struct{F int}", field(integer), false},
+		{"struct{F string}", field(str), true},
+		{"func()", types.NewSignatureType(nil, nil, nil, nil, nil, false), false},
+	}
+	for _, c := range cases {
+		if got := taintCapable(c.typ); got != c.want {
+			t.Errorf("taintCapable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSymbolKey pins the naming scheme the source/sink spec tables key
+// on: pkgpath.Func for functions, pkgpath.Type.Method for methods with
+// pointer receivers normalized away.
+func TestSymbolKey(t *testing.T) {
+	const src = `package p
+
+type T struct{}
+
+func (t *T) M() {}
+func (t T) V() {}
+func F() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("privedit/internal/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupMethod := func(typeName, method string) *types.Func {
+		obj := pkg.Scope().Lookup(typeName)
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			t.Fatalf("%s is not a named type", typeName)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				return m
+			}
+		}
+		t.Fatalf("method %s.%s not found", typeName, method)
+		return nil
+	}
+	cases := []struct {
+		fn   *types.Func
+		want string
+	}{
+		{pkg.Scope().Lookup("F").(*types.Func), "privedit/internal/p.F"},
+		{lookupMethod("T", "M"), "privedit/internal/p.T.M"},
+		{lookupMethod("T", "V"), "privedit/internal/p.T.V"},
+	}
+	for _, c := range cases {
+		if got := symbolKey(c.fn); got != c.want {
+			t.Errorf("symbolKey(%s) = %q, want %q", c.fn.Name(), got, c.want)
+		}
+	}
+	if got := symbolKey(nil); got != "" {
+		t.Errorf("symbolKey(nil) = %q, want empty", got)
+	}
+}

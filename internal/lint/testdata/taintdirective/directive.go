@@ -1,0 +1,24 @@
+// Fixture: malformed //taint: directives are reported under the
+// non-suppressible "directive" pseudo-rule, exactly like malformed
+// //lint:ignore comments — a typo'd annotation must never silently
+// change the taint verdict. Diagnostics land on the comment line, so
+// the expectations use the want-above form.
+package fixture
+
+//taint:
+// want-above `missing its verb`
+func a() {}
+
+//taint:sink transport body
+// want-above `unknown taint directive`
+func b() {}
+
+//taint:Sanitizer verbs are case-sensitive
+// want-above `unknown taint directive`
+func c() {}
+
+// A well-formed directive in a position where it has no effect (a
+// sanitizer on a plain helper) is harmless, not an error.
+//
+//taint:sanitizer no-op here, but well-formed
+func d(s string) string { return s }

@@ -1,0 +1,114 @@
+// Fixture: seeded plaintext leaks, one per propagation pattern the
+// taint engine must prove it handles — direct call, interface dispatch,
+// slice aliasing, struct-field granularity, a multi-hop chain, and the
+// //taint:clean write contract. Each // want pins the diagnostic at the
+// sink position; the multi-hop want additionally pins the complete
+// source→sink path, hop by hop.
+package fixture
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+
+	"privedit/internal/trace"
+)
+
+// Doc is a decrypted document held client-side.
+type Doc struct {
+	//taint:source decrypted body
+	Text string
+	// Length is a plain int: numeric values never carry taint, which is
+	// what makes length-only diagnostics provably clean.
+	Length int
+}
+
+// Packet is the wire form. Payload is declared ciphertext-only; the
+// declaration is a contract, enforced at every write site below.
+type Packet struct {
+	//taint:clean ciphertext after Seal
+	Payload string
+	Hops    int
+}
+
+// DirectLeak is the simplest violation: the plaintext field goes
+// straight into an HTTP request body in the same function.
+func DirectLeak(d *Doc) {
+	http.Post("http://mediator/save", "text/plain", strings.NewReader(d.Text)) // want `plaintext reaches HTTP request body`
+}
+
+// Uploader abstracts the save path. The engine resolves dispatch through
+// interfaces defined in analyzed packages to every implementation.
+type Uploader interface {
+	Upload(body string) error
+}
+
+type wireUploader struct{}
+
+func (wireUploader) Upload(body string) error {
+	_, err := http.Post("http://mediator/up", "text/plain", strings.NewReader(body)) // want `plaintext reaches HTTP request body`
+	return err
+}
+
+// SaveVia leaks through interface dispatch: the engine must resolve
+// u.Upload to wireUploader.Upload and compose its sink summary.
+func SaveVia(u Uploader, d *Doc) {
+	u.Upload(d.Text)
+}
+
+// AliasLeak reslices the decrypted buffer; the window aliases the same
+// backing array, so the error built from it still carries plaintext, and
+// a tainted error returned from an exported API is itself a sink.
+func AliasLeak(d *Doc) error {
+	buf := []byte(d.Text)
+	window := buf[4:12]
+	return errors.New(string(window)) // want `plaintext reaches error escaping exported API`
+}
+
+// envelope exercises struct-field granularity: body and note live in the
+// same struct, but only body is tainted.
+type envelope struct {
+	body string
+	note string
+}
+
+// FieldLeak stores plaintext in one field of a local struct. The clean
+// sibling field must NOT produce a finding — field granularity is the
+// difference between this rule being usable and it flagging every
+// struct that ever touched plaintext.
+func FieldLeak(d *Doc) {
+	var e envelope
+	e.body = d.Text
+	e.note = "saved"
+	var sp trace.Span
+	sp.Annotate("note", e.note)
+	sp.Annotate("body", e.body) // want `plaintext reaches trace annotation`
+}
+
+// Deep3Leak pushes the plaintext through three helpers before the sink.
+// The acceptance bar: the finding must surface the complete path, every
+// hop with a position, not just the endpoints.
+func Deep3Leak(d *Doc) {
+	wrap(d.Text)
+}
+
+func wrap(s string) { frame("[" + s + "]") }
+
+func frame(s string) { send(s) }
+
+func send(s string) {
+	http.Post("http://mediator/deep", "text/plain", strings.NewReader(s)) // want `plaintext reaches HTTP request body: source: read of //taint:source field fixture\.Text.*passed to fixture\.wrap.*passed to fixture\.frame.*passed to fixture\.send.*sink: HTTP request body`
+}
+
+// CleanContract violates the //taint:clean declaration: the write of
+// tainted data into the field is the reportable event, so the "clean"
+// claim every later read relies on can never silently rot.
+func CleanContract(d *Doc, p *Packet) {
+	p.Payload = d.Text // want `plaintext reaches write into //taint:clean field fixture\.Payload`
+}
+
+// CleanLiteral seeds the same violation through composite-literal
+// initialization, the other way a field gets its first value.
+func CleanLiteral(d *Doc) Packet {
+	return Packet{Payload: d.Text} // want `plaintext reaches write into //taint:clean field fixture\.Payload`
+}

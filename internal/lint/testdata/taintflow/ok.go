@@ -1,0 +1,41 @@
+// Fixture: the negative space of the plaintext-flow rule. None of these
+// functions may produce a diagnostic — the harness fails on unexpected
+// findings, so this file pins sanitizers, clean reads, and the numeric
+// escape hatch as analyzer-clean.
+package fixture
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Seal is the fixture stand-in for the encrypt-then-encode commit path:
+// its output is sanctioned ciphertext, whatever went in.
+//
+//taint:sanitizer fixture stand-in for core.Encrypt
+func Seal(plain string) string {
+	return "sealed:" + plain
+}
+
+// SealedSave is the sanctioned shape of DirectLeak: same source, same
+// sink, but the sanitizer between them stops the taint.
+func SealedSave(d *Doc) {
+	http.Post("http://mediator/save", "text/plain", strings.NewReader(Seal(d.Text)))
+}
+
+// WireForward reads the //taint:clean Payload field: by the enforced
+// contract it holds ciphertext, so shipping it is fine.
+func WireForward(p *Packet) {
+	http.Post("http://mediator/wire", "text/plain", strings.NewReader(p.Payload))
+}
+
+// LengthOnly builds a diagnostic from numeric properties of the
+// plaintext. Lengths and offsets are deemed clean, so this error may
+// escape the exported API.
+func LengthOnly(d *Doc) error {
+	if len(d.Text) > d.Length {
+		return fmt.Errorf("doc overflows declared length %d by %d bytes", d.Length, len(d.Text)-d.Length)
+	}
+	return nil
+}

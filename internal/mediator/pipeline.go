@@ -65,9 +65,11 @@ type plEntry struct {
 	after  string
 	p      delta.Delta
 
-	id            string // idempotency token (HeaderSaveID)
-	wire          string // ciphertext delta (or full container when full)
-	sentTransport string // server-space mirror after this save applies
+	id string // idempotency token (HeaderSaveID)
+	//taint:clean ciphertext delta (or full container when full)
+	wire string
+	//taint:clean server-space ciphertext mirror after this save applies
+	sentTransport string
 	sentPlain     string // shadow plaintext after this save applies
 }
 
@@ -81,8 +83,9 @@ type plState struct {
 	// Server-acked lineage: what the server durably holds. Only the
 	// writer goroutine (and the idle catch-up, which runs only when the
 	// queue is empty) advance these.
-	srvPlain     string
-	srvTransport string // post-stego container bytes as stored
+	srvPlain string
+	//taint:clean post-stego container bytes as stored
+	srvTransport string
 	srvVersion   int
 
 	queue    []*plEntry
@@ -109,7 +112,8 @@ type plState struct {
 // plHist is one catch-up ring entry: the wire delta that took the local
 // view to version v.
 type plHist struct {
-	v    int
+	v int
+	//taint:clean ciphertext wire delta
 	wire string
 }
 

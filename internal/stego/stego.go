@@ -79,7 +79,7 @@ func Encode(transport string) (string, error) {
 	for i := 0; i < len(transport); i++ {
 		idx, ok := symbolIndex(transport[i])
 		if !ok {
-			return "", fmt.Errorf("%w: byte %q at %d", ErrNotTransport, transport[i], i)
+			return "", fmt.Errorf("%w: invalid symbol at offset %d", ErrNotTransport, i)
 		}
 		b.WriteString(vocabulary[idx])
 		b.WriteByte(' ')
@@ -97,11 +97,11 @@ func Decode(text string) (string, error) {
 	for i := 0; i < len(text); i += SymbolWidth {
 		tok := text[i : i+SymbolWidth]
 		if tok[SymbolWidth-1] != ' ' {
-			return "", fmt.Errorf("%w: token %q at %d", ErrNotStego, tok, i)
+			return "", fmt.Errorf("%w: malformed token at offset %d", ErrNotStego, i)
 		}
 		idx, ok := wordIndex[tok[:SymbolWidth-1]]
 		if !ok {
-			return "", fmt.Errorf("%w: unknown word %q at %d", ErrNotStego, tok[:SymbolWidth-1], i)
+			return "", fmt.Errorf("%w: unknown word at offset %d", ErrNotStego, i)
 		}
 		b.WriteByte(indexSymbol(idx))
 	}
