@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke ot-smoke chaos-smoke trace-smoke profile-smoke taint-smoke hotpath clean
+.PHONY: all build vet lint test race cover cover-gate bench experiments fuzz examples metrics-smoke load-smoke ot-smoke chaos-smoke trace-smoke profile-smoke taint-smoke store-smoke store-bench store-soak hotpath clean
 
 all: build vet lint test
 
@@ -131,6 +131,27 @@ profile-smoke:
 	@$(GO) tool pprof -top -nodecount=5 /tmp/privedit-mem.pprof > /dev/null \
 		|| { echo "profile-smoke: heap profile unparseable"; exit 1; }
 	@echo "profile-smoke: CPU and heap profiles non-empty and parseable"
+
+# Crash-recovery smoke: start a disk-backed server, write-storm it over
+# HTTP while journaling every ack, kill -9 mid-storm, restart, and verify
+# each acknowledged save survived byte-identically (SHA-256). See
+# scripts/crash_recovery.sh.
+store-smoke:
+	./scripts/crash_recovery.sh
+
+# Persistence bench: cold population in bulk-load mode, sustained mixed
+# ops with the cache far smaller than the population, and cold-recovery
+# timing. Writes /tmp/BENCH_store.json (the committed BENCH_store.json is
+# one such run at default scale; the 1M-doc ISSUE scale is
+# -store-docs 1000000 -cache-bytes 15000000 on a real machine).
+store-bench:
+	$(GO) run ./cmd/privedit-load -store -workers 4 -json /tmp/BENCH_store.json
+
+# Nightly eviction-churn soak: a tiny cache under sustained fault-in and
+# eviction pressure, gated on goroutine and live-heap growth.
+SOAK_DURATION ?= 30s
+store-soak:
+	$(GO) run ./cmd/privedit-load -store-soak -duration $(SOAK_DURATION) -workers 4
 
 # Hot-path benchmark: finger cache + delta coalescing vs baseline on the
 # burst-edit workload, with byte-identity cross-checks between variants.

@@ -32,6 +32,14 @@
 //	privedit-load -chaos -json BENCH_chaos.json
 //	privedit-load -chaos -ops 60 -fault-drop 0.1 -fault-5xx 0.08 \
 //	    -fault-429 0.04 -fault-timeout 0.04 -fault-corrupt 0.05
+//
+// Store modes exercise the persistence layer (internal/store):
+//
+//	privedit-load -store -json BENCH_store.json           # populate/sustain/recover bench
+//	privedit-load -store -store-docs 1000000 -cache-bytes 15000000
+//	privedit-load -store-soak -duration 60s               # eviction churn + leak gates
+//	privedit-load -store-storm -target URL -ack-log f     # crash_recovery.sh write storm
+//	privedit-load -verify -target URL -ack-log f          # post-recovery ack audit
 package main
 
 import (
@@ -70,6 +78,18 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append every collected trace to this JSONL file")
 	watchEvery := flag.Duration("watch", 250*time.Millisecond, "runtime watchdog sample interval (0 = off; load harness only)")
 
+	storeBench := flag.Bool("store", false, "run the persistence-layer bench (populate, sustain, recover)")
+	storeDocs := flag.Int("store-docs", 0, "store bench: cold population size (0 = default)")
+	storeCacheBytes := flag.Int64("cache-bytes", 0, "store bench/soak: resident cache budget, bytes (0 = default)")
+	storeOps := flag.Int("store-ops", 0, "store bench: sustained mixed operations (0 = default)")
+	storeHot := flag.Int("store-hot", 0, "store bench: hot working-set size (0 = default)")
+	storeDir := flag.String("store-dir", "", "store bench: data directory (empty = temp dir)")
+	storeSoak := flag.Bool("store-soak", false, "run the eviction-churn soak with goroutine/heap leak gates")
+	storeStorm := flag.Bool("store-storm", false, "run the crash-recovery write storm against -target, journaling acks to -ack-log")
+	verify := flag.Bool("verify", false, "verify a recovered -target server against the -ack-log journal")
+	target := flag.String("target", "http://127.0.0.1:8747", "storm/verify: server base URL")
+	ackLog := flag.String("ack-log", "acks.log", "storm/verify: acknowledged-save journal path")
+
 	chaos := flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the load harness")
 	ops := flag.Int("ops", 40, "chaos: edit operations per session")
 	faultSeed := flag.Int64("fault-seed", 0, "chaos: fault decision seed (0 = -seed)")
@@ -81,6 +101,50 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0.02, "chaos: response corruption probability")
 	faultJitter := flag.Float64("fault-jitter", 0.05, "chaos: latency jitter spike probability")
 	flag.Parse()
+
+	switch {
+	case *storeBench:
+		runStoreBench(bench.StoreConfig{
+			Docs:       *storeDocs,
+			DocChars:   *docChars,
+			CacheBytes: *storeCacheBytes,
+			SustainOps: *storeOps,
+			HotDocs:    *storeHot,
+			Workers:    *workers,
+			Dir:        *storeDir,
+			Seed:       *seed,
+		}, *jsonPath)
+		return
+	case *storeSoak:
+		runStoreSoak(bench.SoakConfig{
+			Duration:   *duration,
+			CacheBytes: *storeCacheBytes,
+			Workers:    *workers,
+			Seed:       *seed,
+		})
+		return
+	case *storeStorm:
+		fmt.Printf("privedit-load: write storm against %s, acks journaled to %s\n", *target, *ackLog)
+		if err := bench.RunStoreStorm(bench.StormConfig{
+			Target:   *target,
+			AckLog:   *ackLog,
+			Workers:  *sessions,
+			DocChars: *docChars,
+			Seed:     *seed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load: storm:", err)
+			os.Exit(1)
+		}
+		return
+	case *verify:
+		checked, err := bench.VerifyAckLog(*target, *ackLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load: verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("privedit-load: verified %d documents against %s: every acknowledged save survived\n", checked, *ackLog)
+		return
+	}
 
 	scheme := core.ConfidentialityIntegrity
 	switch *schemeName {
@@ -313,6 +377,68 @@ func runChaos(cfg bench.ChaosConfig, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Println("  wrote", jsonPath)
+}
+
+// runStoreBench executes the persistence bench and optionally writes
+// BENCH_store.json.
+func runStoreBench(cfg bench.StoreConfig, jsonPath string) {
+	report, err := bench.RunStore(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load: store:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("privedit-load: store bench, %d docs x %d chars, %d-byte cache, hot set %d\n",
+		report.Docs, report.DocChars, report.CacheBytes, report.HotDocs)
+	fmt.Printf("  populate   %.0f ops/s (%.2fs, bulk-load mode)\n", report.PopulateOpsPerSec, report.PopulateS)
+	fmt.Printf("  sustained  %.0f ops/s over %d mixed ops, p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		report.SustainedOpsPerSec, report.SustainedOps, report.P50Ms, report.P95Ms, report.P99Ms)
+	fmt.Printf("  cache      %.1f%% hit rate (%d hits, %d misses, %d evictions)\n",
+		100*report.CacheHitRate, report.CacheHits, report.CacheMisses, report.CacheEvictions)
+	fmt.Printf("  recovery   %.3fs for %d docs (%d snapshot + %d WAL records, %d torn bytes)\n",
+		report.RecoveryS, report.RecoveredDocs, report.SnapshotRecords, report.WALRecords, report.TornBytes)
+	if jsonPath == "" {
+		return
+	}
+	artifact := bench.StoreArtifact{
+		Title: "Persistence: WAL + snapshot store under a bounded cache",
+		Store: report,
+	}
+	out, err := artifact.MarshalIndent()
+	if err == nil {
+		err = os.WriteFile(jsonPath, out, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load:", err)
+		os.Exit(1)
+	}
+	fmt.Println("  wrote", jsonPath)
+}
+
+// runStoreSoak executes the nightly eviction-churn soak and fails on
+// goroutine or heap growth.
+func runStoreSoak(cfg bench.SoakConfig) {
+	fmt.Printf("privedit-load: store soak, %v of eviction churn\n", cfg.Duration)
+	report, err := bench.RunStoreSoak(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privedit-load: soak:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  churn      %d ops over %.0fs, %d evictions\n", report.Ops, report.DurationS, report.Evictions)
+	fmt.Printf("  leak gates goroutines %+d, heap %+d bytes\n", report.GoroutineDelta, report.HeapDeltaBytes)
+	if report.Evictions == 0 {
+		fmt.Fprintln(os.Stderr, "privedit-load: soak never evicted — the cache budget did not bind, so the churn tested nothing")
+		os.Exit(1)
+	}
+	// Gates: a leaky cache shows up as monotone goroutine or heap growth.
+	// Allow slack for runtime noise (timer goroutines, allocator jitter).
+	if report.GoroutineDelta > 5 {
+		fmt.Fprintf(os.Stderr, "privedit-load: soak leaked %d goroutines\n", report.GoroutineDelta)
+		os.Exit(1)
+	}
+	if report.HeapDeltaBytes > 32<<20 {
+		fmt.Fprintf(os.Stderr, "privedit-load: soak grew the live heap by %d bytes\n", report.HeapDeltaBytes)
+		os.Exit(1)
+	}
 }
 
 // printPhases renders the per-phase latency attribution the traced run

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,10 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"privedit/internal/gdocs"
 	"privedit/internal/obs"
+	"privedit/internal/store"
 	"privedit/internal/trace"
 
 	// Register the client-side metric families (core, blockdoc, skiplist,
@@ -49,11 +52,32 @@ func main() {
 	tracing := flag.Bool("trace", true, "trace document requests and serve /debug/traces")
 	traceBuf := flag.Int("trace-buf", 256, "flight recorder capacity, traces")
 	slowSpan := flag.Duration("slow-span", 0, "log spans slower than this threshold (0 = off)")
+	dataDir := flag.String("data-dir", "", "durable document store directory (empty = in-memory only)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "resident document cache budget in bytes (with -data-dir)")
+	rate := flag.Float64("rate", 0, "per-client sustained requests/sec admitted (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM/SIGINT")
 	flag.Parse()
 
 	obs.Enable()
 
-	server := gdocs.NewServer()
+	var opts []gdocs.ServerOption
+	var disk *store.Disk
+	if *dataDir != "" {
+		var err error
+		disk, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("privedit-server: open store: %v", err)
+		}
+		rec := disk.Recovery()
+		log.Printf("privedit-server: recovered %d docs from %s in %s (snapshot_records=%d wal_records=%d torn_bytes=%d)",
+			rec.Docs, *dataDir, rec.Duration.Round(time.Millisecond), rec.SnapshotRecords, rec.WALRecords, rec.TornBytes)
+		opts = append(opts, gdocs.WithBackend(disk), gdocs.WithCacheBytes(*cacheBytes))
+	}
+	if *rate > 0 {
+		opts = append(opts, gdocs.WithAdmission(gdocs.AdmissionPolicy{RatePerSec: *rate}))
+	}
+
+	server := gdocs.NewServer(opts...)
 	if *observe {
 		server.EnableObservation()
 	}
@@ -92,10 +116,28 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Graceful drain: on SIGTERM/SIGINT stop admitting new document work
+	// (503 + Retry-After so mediators back off and retry the replacement),
+	// let in-flight requests finish, flush the WALs, then exit. A kill -9
+	// skips all of this — which is exactly what the WAL is for.
 	done := make(chan os.Signal, 1)
-	signal.Notify(done, os.Interrupt)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-done
+		log.Printf("privedit-server: draining (budget %s)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := server.Drain(ctx); err != nil {
+			log.Printf("privedit-server: drain: %v", err)
+		}
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("privedit-server: shutdown: %v", err)
+		}
+		if disk != nil {
+			if err := disk.Close(); err != nil {
+				log.Printf("privedit-server: close store: %v", err)
+			}
+		}
 		if *observe {
 			fmt.Println("\n--- everything this untrusted server saw ---")
 			fmt.Println(server.Observed())
@@ -109,9 +151,14 @@ func main() {
 	if *tracing {
 		log.Printf("privedit-server: tracing on, last %d traces on /debug/traces", *traceBuf)
 	}
-	if err := httpServer.ListenAndServe(); err != nil {
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("privedit-server: %v", err)
 	}
+	// Graceful shutdown: ListenAndServe returned because the drain
+	// goroutine called Shutdown. Park here — that goroutine still has to
+	// flush and close the store before it calls os.Exit, and racing it
+	// with a return from main would cut the WAL flush short.
+	select {}
 }
 
 // pathLabel collapses unknown request paths to one label value so a

@@ -1,0 +1,374 @@
+package gdocs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memBackend is an in-memory Backend for cache tests: durable enough to
+// survive "server restarts" (a second NewServer over the same backend) and
+// instrumented so tests can assert write-through ordering.
+type memBackend struct {
+	mu   sync.Mutex
+	docs map[string]struct {
+		content string
+		version int
+	}
+	puts int
+	fail error // when set, Put and Get return it
+}
+
+func newMemBackend() *memBackend {
+	return &memBackend{docs: make(map[string]struct {
+		content string
+		version int
+	})}
+}
+
+func (m *memBackend) Get(docID string) (string, int, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return "", 0, false, m.fail
+	}
+	d, ok := m.docs[docID]
+	return d.content, d.version, ok, nil
+}
+
+func (m *memBackend) Put(docID, content string, version int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return m.fail
+	}
+	m.docs[docID] = struct {
+		content string
+		version int
+	}{content, version}
+	m.puts++
+	return nil
+}
+
+func (m *memBackend) Has(docID string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.docs[docID]
+	return ok, nil
+}
+
+func (m *memBackend) Docs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.docs))
+}
+
+func (m *memBackend) Flush() error { return nil }
+
+// sameShardIDs returns n document ids that all hash onto one shard, so a
+// test can overflow a single shard's byte budget deterministically.
+func sameShardIDs(n int) []string {
+	ids := make([]string, 0, n)
+	for i := 0; len(ids) < n; i++ {
+		id := fmt.Sprintf("shardmate-%d", i)
+		h := fnv.New32a()
+		h.Write([]byte(id))
+		if h.Sum32()%NumShards == 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func TestFaultInFromBackend(t *testing.T) {
+	mb := newMemBackend()
+	mb.Put("cold-doc", "durable ciphertext", 5)
+	s := NewServer(WithBackend(mb), WithCacheBytes(1<<20))
+	content, version, err := s.Content(context.Background(), "cold-doc")
+	if err != nil {
+		t.Fatalf("Content: %v", err)
+	}
+	if content != "durable ciphertext" || version != 5 {
+		t.Fatalf("faulted in (%q, v%d), want durable state v5", content, version)
+	}
+	if _, _, err := s.Content(context.Background(), "never-stored"); err == nil {
+		t.Fatal("Content of unknown doc accepted")
+	}
+}
+
+func TestCreateIsDurable(t *testing.T) {
+	mb := newMemBackend()
+	s := NewServer(WithBackend(mb), WithCacheBytes(1<<20))
+	if err := s.Create(context.Background(), "d1"); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// A "restarted" server over the same backend sees the document and
+	// rejects a duplicate create even though its cache is cold.
+	s2 := NewServer(WithBackend(mb), WithCacheBytes(1<<20))
+	if err := s2.Create(context.Background(), "d1"); err == nil {
+		t.Fatal("duplicate Create accepted after restart")
+	}
+	if _, _, err := s2.Content(context.Background(), "d1"); err != nil {
+		t.Fatalf("Content after restart: %v", err)
+	}
+}
+
+// TestWriteThroughBeforeAck: every accepted mutation must be in the
+// backend before the ack, so an eviction (or kill -9) after the ack can
+// never lose it.
+func TestWriteThroughBeforeAck(t *testing.T) {
+	mb := newMemBackend()
+	s := NewServer(WithBackend(mb), WithCacheBytes(1<<20))
+	if err := s.Create(context.Background(), "wt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetContents(context.Background(), "wt", "state one", -1); err != nil {
+		t.Fatal(err)
+	}
+	if c, v, _, _ := mb.Get("wt"); c != "state one" || v != 1 {
+		t.Fatalf("backend holds (%q, v%d) after ack, want (state one, v1)", c, v)
+	}
+	if _, err := s.ApplyDelta(context.Background(), "wt", "=6\t-3\t+two", -1); err != nil {
+		t.Fatal(err)
+	}
+	if c, v, _, _ := mb.Get("wt"); c != "state two" || v != 2 {
+		t.Fatalf("backend holds (%q, v%d) after delta ack, want (state two, v2)", c, v)
+	}
+}
+
+// TestEvictionThenFaultIn covers the dirty-eviction edge: a freshly
+// mutated document is evicted under cache pressure and must come back
+// byte-identical from the backend (write-through made eviction safe).
+func TestEvictionThenFaultIn(t *testing.T) {
+	mb := newMemBackend()
+	// Budget small enough that one shard holds only ~2 of the 1KB docs:
+	// per-shard budget = 128KB/32 = 4KB; each doc costs ~1KB + overhead.
+	s := NewServer(WithBackend(mb), WithCacheBytes(128<<10))
+	ids := sameShardIDs(8)
+	body := strings.Repeat("v", 1024)
+	for _, id := range ids {
+		if err := s.Create(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SetContents(context.Background(), id, body+id, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The early ids must have been evicted to stay inside the budget...
+	if res := s.ResidentDocs(); res >= int64(len(ids)) {
+		t.Fatalf("ResidentDocs = %d, want eviction below %d", res, len(ids))
+	}
+	// ...but every document — including the dirty-then-evicted first one —
+	// faults back in with its acknowledged content and version.
+	for _, id := range ids {
+		content, version, err := s.Content(context.Background(), id)
+		if err != nil {
+			t.Fatalf("Content(%s) after eviction: %v", id, err)
+		}
+		if content != body+id || version != 1 {
+			t.Fatalf("Content(%s) = (%d bytes, v%d), want acknowledged state", id, len(content), version)
+		}
+	}
+	if got, want := s.store.docs(), int64(len(ids)); got != want {
+		t.Fatalf("store.docs() = %d, want %d (durable count, not resident)", got, want)
+	}
+}
+
+// TestEvictionSurvivesVersionChain: edits interleaved with evictions keep
+// a coherent version chain (conflict detection still works on a faulted-in
+// document).
+func TestEvictionSurvivesVersionChain(t *testing.T) {
+	mb := newMemBackend()
+	s := NewServer(WithBackend(mb), WithCacheBytes(128<<10))
+	ids := sameShardIDs(6)
+	for _, id := range ids {
+		if err := s.Create(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filler := strings.Repeat("f", 1500)
+	for round := 1; round <= 3; round++ {
+		for _, id := range ids {
+			// Each round rewrites every doc at its current version; the
+			// shard churns through evictions the whole time.
+			_, ver, err := s.Content(context.Background(), id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ver != round-1 {
+				t.Fatalf("round %d: %s at v%d, want v%d", round, id, ver, round-1)
+			}
+			if _, err := s.SetContents(context.Background(), id, fmt.Sprintf("%s r%d %s", id, round, filler), ver); err != nil {
+				t.Fatalf("round %d SetContents(%s): %v", round, id, err)
+			}
+		}
+	}
+	// A stale base version is still rejected after a fault-in.
+	if _, err := s.SetContents(context.Background(), ids[0], "stale", 1); !errors.Is(err, errConflict) {
+		t.Fatalf("stale save after evictions = %v, want conflict", err)
+	}
+}
+
+// TestBackendFailureRejectsSave: when the backend cannot persist, the save
+// must fail and the in-memory state must not advance (no ack without
+// durability).
+func TestBackendFailureRejectsSave(t *testing.T) {
+	mb := newMemBackend()
+	s := NewServer(WithBackend(mb), WithCacheBytes(1<<20))
+	if err := s.Create(context.Background(), "flaky"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetContents(context.Background(), "flaky", "good", -1); err != nil {
+		t.Fatal(err)
+	}
+	mb.mu.Lock()
+	mb.fail = errors.New("disk full")
+	mb.mu.Unlock()
+	if _, err := s.SetContents(context.Background(), "flaky", "lost", -1); err == nil {
+		t.Fatal("save accepted while backend failing")
+	}
+	mb.mu.Lock()
+	mb.fail = nil
+	mb.mu.Unlock()
+	content, version, err := s.Content(context.Background(), "flaky")
+	if err != nil || content != "good" || version != 1 {
+		t.Fatalf("state after failed save = (%q, v%d, %v), want unchanged (good, v1)", content, version, err)
+	}
+}
+
+func TestRateLimitRejectsRetryably(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	s := NewServer(WithAdmission(AdmissionPolicy{RatePerSec: 1, Burst: 2}), WithClock(clock))
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func() *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+PathDoc+"?docID=x", nil)
+		req.Header.Set(HeaderClient, "client-a")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Burst of 2 admitted (404: the doc does not exist, but admission ran).
+	for i := 0; i < 2; i++ {
+		if resp := get(); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("request %d status = %d, want 404 (admitted)", i, resp.StatusCode)
+		}
+	}
+	resp := get()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderRetryable) != "1" {
+		t.Fatal("429 missing the retryable marker header")
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	// A different client has its own bucket.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+PathDoc+"?docID=x", nil)
+	req.Header.Set(HeaderClient, "client-b")
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fresh client rejected: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	// Time refills the bucket.
+	now = now.Add(2 * time.Second)
+	if resp := get(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-refill status = %d, want 404 (admitted)", resp.StatusCode)
+	}
+}
+
+func TestDrainRejectsRetryably(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	resp, err := http.Get(ts.URL + PathDoc + "?docID=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderRetryable) != "1" || resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain rejection missing retryable headers")
+	}
+}
+
+func TestDrainWaitsForInflight(t *testing.T) {
+	s := NewServer()
+	s.inflight.Add(1) // a request stuck between admission and response
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned while a request was in flight")
+	}
+	s.inflight.Add(-1)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after quiesce: %v", err)
+	}
+}
+
+// TestFaultInEvictStorm races concurrent readers, writers, and the
+// evictor over a tiny cache (run under -race in CI): pins must keep live
+// documents resident and write-through must keep every ack durable.
+func TestFaultInEvictStorm(t *testing.T) {
+	mb := newMemBackend()
+	s := NewServer(WithBackend(mb), WithCacheBytes(64<<10)) // 2KB per shard
+	ids := sameShardIDs(10)
+	for _, id := range ids {
+		if err := s.Create(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := strings.Repeat("s", 700)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 30; i++ {
+				id := ids[(w*7+i)%len(ids)]
+				if w%2 == 0 {
+					if _, err := s.SetContents(ctx, id, fmt.Sprintf("%s %d %s", id, i, body), -1); err != nil {
+						t.Errorf("SetContents(%s): %v", id, err)
+						return
+					}
+				} else if _, _, err := s.Content(ctx, id); err != nil {
+					t.Errorf("Content(%s): %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every document is still reachable and the cache sits inside budget.
+	for _, id := range ids {
+		if _, _, err := s.Content(context.Background(), id); err != nil {
+			t.Fatalf("Content(%s) after storm: %v", id, err)
+		}
+	}
+	if res := s.ResidentDocs(); res > int64(len(ids)) {
+		t.Fatalf("ResidentDocs = %d, exceeds document count", res)
+	}
+}

@@ -68,6 +68,15 @@ const (
 	// the update twice — which makes "response lost but save applied"
 	// faults safe to retry.
 	HeaderSaveID = "X-Privedit-Save-Id"
+	// HeaderRetryable marks a rejection the server considers transient —
+	// an admission-control 429/503 during rate limiting or drain. The
+	// mediator's resilience stack treats such responses as retry-worthy
+	// backpressure and honors the accompanying Retry-After hint.
+	HeaderRetryable = "X-Privedit-Retryable"
+	// HeaderClient carries the requester's self-declared client id, the
+	// key the server's per-client token-bucket rate limiter buckets by
+	// (falling back to the remote address when absent).
+	HeaderClient = "X-Privedit-Client"
 )
 
 // Catchup is a parsed catch-up response: the deltas applied after the

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"privedit/internal/delta"
 	"privedit/internal/obs"
@@ -35,6 +36,7 @@ var (
 	errNotFound = errors.New("gdocs: no such document")
 	errConflict = errors.New("gdocs: delta does not apply to stored content")
 	errTooLarge = errors.New("gdocs: document exceeds size limit")
+	errStore    = errors.New("gdocs: persistence failure")
 )
 
 // Server is the simulated Google Documents service: an in-memory document
@@ -59,22 +61,106 @@ type Server struct {
 	obsMu       sync.Mutex
 	observed    []byte
 	observedCap int
+
+	// Admission control (nil adm = unlimited). draining flips once, when
+	// the server starts refusing new work ahead of shutdown; inflight
+	// counts requests between admission and response so Drain can wait
+	// them out.
+	adm      *admission
+	draining atomic.Bool
+	inflight atomic.Int64
 }
 
 // DefaultObservationCap bounds the observation log: enough for several
 // maximum-size documents of history, small enough to leave on forever.
 const DefaultObservationCap = 4 * MaxDocBytes
 
-// NewServer creates an empty document store with the 500 KB per-document
-// limit.
-func NewServer() *Server {
+// serverConfig collects NewServer options before the store is built.
+type serverConfig struct {
+	backend    Backend
+	cacheBytes int64
+	admission  *AdmissionPolicy
+	clock      func() time.Time
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverConfig)
+
+// WithBackend attaches a persistence backend: every accepted update is
+// written through to it before the acknowledgment, documents absent from
+// the resident cache are faulted in from it, and the cache becomes
+// evictable (see WithCacheBytes).
+func WithBackend(b Backend) ServerOption {
+	return func(c *serverConfig) { c.backend = b }
+}
+
+// WithCacheBytes bounds the resident document cache (split evenly across
+// the shards). Only meaningful with a backend; 0 keeps every document
+// resident.
+func WithCacheBytes(n int64) ServerOption {
+	return func(c *serverConfig) { c.cacheBytes = n }
+}
+
+// WithAdmission enables per-client token-bucket rate limiting on the
+// document endpoints.
+func WithAdmission(p AdmissionPolicy) ServerOption {
+	return func(c *serverConfig) { c.admission = &p }
+}
+
+// WithClock overrides the admission controller's time source (tests).
+func WithClock(now func() time.Time) ServerOption {
+	return func(c *serverConfig) { c.clock = now }
+}
+
+// NewServer creates a document store with the 500 KB per-document limit.
+// Without options it is the original purely in-memory server.
+func NewServer(opts ...ServerOption) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Server{
-		store:       newStore(),
+		store:       newStore(cfg.backend, cfg.cacheBytes),
 		observedCap: DefaultObservationCap,
 	}
 	s.maxBytes.Store(MaxDocBytes)
+	if cfg.admission != nil {
+		s.adm = newAdmission(*cfg.admission, cfg.clock)
+	}
+	metricDocs.Set(float64(s.store.docs()))
 	return s
 }
+
+// ResidentDocs returns how many documents are currently cache-resident
+// (equal to the total store size when no backend is attached).
+func (s *Server) ResidentDocs() int64 { return s.store.resident() }
+
+// Drain puts the server into drain mode — every new document request is
+// refused with a retryable 503 — waits for in-flight requests to finish
+// (bounded by ctx), and flushes the persistence backend so every
+// acknowledged save is on stable storage. It is the graceful half of
+// shutdown; kill -9 is the other half, and recovery covers it.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		metricDraining.Set(1)
+	}
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("gdocs: drain: %d requests still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if s.store.backend != nil {
+		if err := s.store.backend.Flush(); err != nil {
+			return fmt.Errorf("gdocs: drain flush: %w", err)
+		}
+	}
+	return nil
+}
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // SetMaxBytes overrides the per-document size limit (tests). Safe to call
 // with requests in flight.
@@ -143,10 +229,14 @@ func (s *Server) Content(ctx context.Context, docID string) (string, int, error)
 	defer sp.End()
 	sp.Annotate("op", "content")
 	sp.Annotate("doc", docID)
-	doc := s.store.get(docID)
+	doc, err := s.store.acquire(docID)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %v", errStore, err)
+	}
 	if doc == nil {
 		return "", 0, errNotFound
 	}
+	defer s.store.release(doc)
 	doc.mu.RLock()
 	defer doc.mu.RUnlock()
 	return doc.content, doc.version, nil
@@ -167,10 +257,14 @@ func (s *Server) setContents(ctx context.Context, docID, content string, baseVer
 	defer sp.End()
 	sp.Annotate("op", "set_contents")
 	sp.Annotate("doc", docID)
-	doc := s.store.get(docID)
+	doc, err := s.store.acquire(docID)
+	if err != nil {
+		return Ack{}, fmt.Errorf("%w: %v", errStore, err)
+	}
 	if doc == nil {
 		return Ack{}, errNotFound
 	}
+	defer s.store.release(doc)
 	doc.mu.Lock()
 	defer doc.mu.Unlock()
 	if version, ok := doc.replayLocked(saveID); ok {
@@ -186,6 +280,11 @@ func (s *Server) setContents(ctx context.Context, docID, content string, baseVer
 	if int64(len(content)) > s.maxBytes.Load() {
 		return Ack{}, errTooLarge
 	}
+	// Write-ahead: the new state must be durable before it is applied or
+	// acknowledged, so kill -9 after the ack can never lose it.
+	if err := s.persistLocked(doc, docID, content, doc.version+1); err != nil {
+		return Ack{}, err
+	}
 	s.see(content)
 	doc.content = content
 	doc.version++
@@ -195,6 +294,20 @@ func (s *Server) setContents(ctx context.Context, docID, content string, baseVer
 		ContentFromServerHash: ContentHash(doc.content),
 		Version:               doc.version,
 	}, nil
+}
+
+// persistLocked writes a document's next state through to the backend
+// (when one is attached) and re-charges the cache budget for the size
+// change. Callers hold doc.mu; the pin keeps the document resident.
+func (s *Server) persistLocked(doc *serverDoc, docID, content string, version int) error {
+	if s.store.backend == nil {
+		return nil
+	}
+	if err := s.store.backend.Put(docID, content, version); err != nil {
+		return fmt.Errorf("%w: %v", errStore, err)
+	}
+	s.store.resize(doc, len(content))
+	return nil
 }
 
 // ApplyDelta applies an incremental update (the delta save). The server
@@ -212,10 +325,14 @@ func (s *Server) applyDelta(ctx context.Context, docID, wire string, baseVersion
 	defer sp.End()
 	sp.Annotate("op", "apply_delta")
 	sp.Annotate("doc", docID)
-	doc := s.store.get(docID)
+	doc, aerr := s.store.acquire(docID)
+	if aerr != nil {
+		return Ack{}, fmt.Errorf("%w: %v", errStore, aerr)
+	}
 	if doc == nil {
 		return Ack{}, errNotFound
 	}
+	defer s.store.release(doc)
 	doc.mu.Lock()
 	defer doc.mu.Unlock()
 	if version, ok := doc.replayLocked(saveID); ok {
@@ -244,6 +361,10 @@ func (s *Server) applyDelta(ctx context.Context, docID, wire string, baseVersion
 	if int64(len(updated)) > s.maxBytes.Load() {
 		return Ack{}, errTooLarge
 	}
+	// Write-ahead: durable before applied or acknowledged.
+	if err := s.persistLocked(doc, docID, updated, doc.version+1); err != nil {
+		return Ack{}, err
+	}
 	doc.content = updated
 	doc.version++
 	doc.recordLocked(histEntry{id: saveID, wire: wire, version: doc.version})
@@ -266,10 +387,14 @@ func (s *Server) DeltasSince(ctx context.Context, docID string, since int) (Catc
 	defer sp.End()
 	sp.Annotate("op", "deltas_since")
 	sp.Annotate("doc", docID)
-	doc := s.store.get(docID)
+	doc, err := s.store.acquire(docID)
+	if err != nil {
+		return Catchup{}, false, fmt.Errorf("%w: %v", errStore, err)
+	}
 	if doc == nil {
 		return Catchup{}, false, errNotFound
 	}
+	defer s.store.release(doc)
 	doc.mu.RLock()
 	defer doc.mu.RUnlock()
 	wires, ok := doc.deltasSinceLocked(since)
@@ -312,8 +437,25 @@ func (s *Server) featureReply(ctx context.Context, kind, docID string) (string, 
 
 // ServeHTTP implements the wire protocol. Each request runs under its own
 // context, so client-side timeouts and cancellations propagate into the
-// store operations.
+// store operations. Requests pass admission control first: a draining
+// server and a client over its token-bucket rate both get a typed,
+// retryable rejection (Retry-After + HeaderRetryable) that the mediating
+// extension's backoff/breaker stack already knows how to absorb.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		rejectRetryable(w, http.StatusServiceUnavailable, time.Second, ErrDraining)
+		metricAdmissionDrainRejects.Inc()
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.adm != nil {
+		if wait, ok := s.adm.allow(clientKey(r)); !ok {
+			rejectRetryable(w, http.StatusTooManyRequests, wait, ErrRateLimited)
+			metricAdmissionRateRejects.Inc()
+			return
+		}
+	}
 	ctx := r.Context()
 	switch {
 	case r.URL.Path == PathCreate && r.Method == http.MethodPost:

@@ -1,10 +1,13 @@
 package gdocs
 
 import (
+	"container/list"
 	"fmt"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"privedit/internal/obs"
 )
 
 // NumShards is the lock-stripe width of the document store. Document ids
@@ -15,17 +18,55 @@ import (
 // while costing a few hundred bytes of fixed overhead.
 const NumShards = 32
 
+// Cache telemetry. No-ops until obs.Enable().
+var (
+	metricCacheHits = obs.NewCounter("privedit_server_cache_hits_total",
+		"Document lookups served from the resident cache.")
+	metricCacheMisses = obs.NewCounter("privedit_server_cache_misses_total",
+		"Document lookups faulted in from the persistence backend.")
+	metricCacheEvictions = obs.NewCounter("privedit_server_cache_evictions_total",
+		"Resident documents evicted to stay inside the cache byte budget.")
+	metricCacheBytes = obs.NewGauge("privedit_server_cache_bytes",
+		"Bytes of document content currently resident in the cache.")
+)
+
+// Backend is the pluggable persistence seam behind the sharded store
+// (internal/store.Disk is the disk implementation). Put must be durable
+// when it returns: the serving path calls it before acknowledging a
+// save, which is what makes "acked implies survives kill -9" true. The
+// backend only ever sees what the untrusted server sees — ciphertext
+// when clients mediate through the extension.
+type Backend interface {
+	// Get returns the durable content and version, ok=false when the
+	// document has never been stored.
+	Get(docID string) (content string, version int, ok bool, err error)
+	// Put durably records a new document state.
+	Put(docID, content string, version int) error
+	// Has reports whether the document exists durably.
+	Has(docID string) (bool, error)
+	// Docs returns the total durable document count.
+	Docs() int64
+	// Flush forces any buffered writes to stable storage (drain path).
+	Flush() error
+}
+
 // History bounds. The per-document update history exists for two
 // consumers: catch-up fetches (GET /Doc?since=V) and save idempotency
 // (HeaderSaveID replay detection). Both only need recent entries — a
 // mediator's save queue is a handful of deltas deep — so the ring is kept
 // small and evicts oldest-first. A full-content save breaks the delta
 // lineage and is recorded as a gap marker: catch-ups crossing it fall back
-// to full content.
+// to full content. Evicting a document from the cache drops its ring the
+// same way: the next catch-up after a fault-in serves full content.
 const (
 	maxHistoryEntries = 128
 	maxHistoryBytes   = 512 * 1024
 )
+
+// docCostOverhead approximates the fixed per-resident-document memory
+// beyond its content bytes (locks, history headers, map and LRU entries)
+// for the cache byte budget.
+const docCostOverhead = 256
 
 // histEntry is one applied update in a document's recent history.
 type histEntry struct {
@@ -36,7 +77,8 @@ type histEntry struct {
 }
 
 // serverDoc is one stored document. The embedded lock serializes content
-// access per document; the owning shard's lock only guards map membership.
+// access per document; the owning shard's lock only guards map
+// membership, the LRU list, and the pin count.
 type serverDoc struct {
 	mu      sync.RWMutex
 	content string
@@ -44,6 +86,12 @@ type serverDoc struct {
 
 	hist      []histEntry
 	histBytes int
+
+	// Residency bookkeeping, guarded by the owning shard's lock.
+	id   string
+	elem *list.Element
+	pins int
+	cost int64
 }
 
 // recordLocked appends an applied update to the history ring, evicting
@@ -96,24 +144,44 @@ func (d *serverDoc) deltasSinceLocked(since int) ([]string, bool) {
 	return wires, true
 }
 
-// shard is one lock stripe of the store.
+// shard is one lock stripe of the store. lru orders resident documents
+// most-recent-first; bytes tracks their budgeted cost.
 type shard struct {
-	mu   sync.RWMutex
-	docs map[string]*serverDoc
+	mu    sync.RWMutex
+	docs  map[string]*serverDoc
+	lru   *list.List
+	bytes int64
 }
 
-// store is the sharded document map. Lookups take one shard read-lock;
-// creations take one shard write-lock. Nothing ever holds two shard locks
-// at once, so the striping cannot deadlock.
+// store is the sharded document map with an optional persistence backend.
+// Without one it is the original purely in-memory store: documents live
+// forever and the cache budget is ignored (evicting would lose data).
+// With one, resident documents form a per-shard LRU inside a byte budget;
+// cold documents are faulted in from the backend on demand, and every
+// mutation is written through to the backend before it is acknowledged.
+//
+// Lookups and residency changes take one shard lock; content access takes
+// the per-document lock. Nothing ever holds two shard locks at once, so
+// the striping cannot deadlock; the backend has its own locking and never
+// calls back into the store.
 type store struct {
-	shards [NumShards]shard
-	count  atomic.Int64 // total documents, for the gauge
+	shards  [NumShards]shard
+	count   atomic.Int64 // resident documents, for accounting
+	backend Backend
+	budget  int64 // per-shard resident byte budget; 0 = unbounded
 }
 
-func newStore() *store {
-	st := &store{}
+func newStore(backend Backend, cacheBytes int64) *store {
+	st := &store{backend: backend}
+	if backend != nil && cacheBytes > 0 {
+		st.budget = cacheBytes / NumShards
+		if st.budget <= 0 {
+			st.budget = 1
+		}
+	}
 	for i := range st.shards {
 		st.shards[i].docs = make(map[string]*serverDoc)
+		st.shards[i].lru = list.New()
 	}
 	return st
 }
@@ -124,16 +192,106 @@ func (st *store) shardFor(docID string) *shard {
 	return &st.shards[h.Sum32()%NumShards]
 }
 
-// get returns the document, or nil if absent.
-func (st *store) get(docID string) *serverDoc {
-	sh := st.shardFor(docID)
-	sh.mu.RLock()
-	doc := sh.docs[docID]
-	sh.mu.RUnlock()
-	return doc
+// docCost is a document's charge against the cache byte budget.
+func docCost(docID, content string) int64 {
+	return int64(len(content)) + int64(len(docID)) + docCostOverhead
 }
 
-// create inserts an empty document, failing if the id exists.
+// acquire returns the document pinned into residency (nil when absent),
+// faulting it in from the backend on a cache miss. Callers must release
+// it; a pinned document is never evicted, so the pointer stays the one
+// live instance for its id.
+func (st *store) acquire(docID string) (*serverDoc, error) {
+	sh := st.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if doc, ok := sh.docs[docID]; ok {
+		doc.pins++
+		sh.lru.MoveToFront(doc.elem)
+		if st.backend != nil {
+			metricCacheHits.Inc()
+		}
+		return doc, nil
+	}
+	if st.backend == nil {
+		return nil, nil
+	}
+	content, version, ok, err := st.backend.Get(docID)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	metricCacheMisses.Inc()
+	doc := &serverDoc{id: docID, content: content, version: version, pins: 1}
+	st.insertLocked(sh, doc)
+	return doc, nil
+}
+
+// release unpins a document acquired earlier.
+func (st *store) release(doc *serverDoc) {
+	sh := st.shardFor(doc.id)
+	sh.mu.Lock()
+	doc.pins--
+	sh.mu.Unlock()
+}
+
+// insertLocked makes a document resident and rebalances the shard.
+// Callers hold sh.mu.
+func (st *store) insertLocked(sh *shard, doc *serverDoc) {
+	doc.cost = docCost(doc.id, doc.content)
+	doc.elem = sh.lru.PushFront(doc)
+	sh.docs[doc.id] = doc
+	sh.bytes += doc.cost
+	st.count.Add(1)
+	metricCacheBytes.Add(float64(doc.cost))
+	st.evictLocked(sh)
+}
+
+// resize re-charges a document whose content size changed during a
+// mutation, evicting cold documents if the shard ran over budget. Called
+// without the shard lock (the caller holds only doc.mu or nothing; pins
+// keep the document itself resident).
+func (st *store) resize(doc *serverDoc, newContentLen int) {
+	sh := st.shardFor(doc.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	newCost := int64(newContentLen) + int64(len(doc.id)) + docCostOverhead
+	delta := newCost - doc.cost
+	doc.cost = newCost
+	sh.bytes += delta
+	metricCacheBytes.Add(float64(delta))
+	st.evictLocked(sh)
+}
+
+// evictLocked drops least-recently-used unpinned documents until the
+// shard is back inside its byte budget. Only meaningful with a backend:
+// every resident state was written through before it was acknowledged,
+// so eviction is a pure memory drop (the history ring goes with it; the
+// next catch-up for the document serves full content). Callers hold
+// sh.mu.
+func (st *store) evictLocked(sh *shard) {
+	if st.backend == nil || st.budget <= 0 {
+		return
+	}
+	for e := sh.lru.Back(); e != nil && sh.bytes > st.budget; {
+		prev := e.Prev()
+		doc := e.Value.(*serverDoc)
+		if doc.pins == 0 {
+			sh.lru.Remove(e)
+			delete(sh.docs, doc.id)
+			sh.bytes -= doc.cost
+			st.count.Add(-1)
+			metricCacheEvictions.Inc()
+			metricCacheBytes.Add(-float64(doc.cost))
+		}
+		e = prev
+	}
+}
+
+// create inserts an empty document, failing if the id exists (resident or
+// durable). With a backend the creation is durable before it returns.
 func (st *store) create(docID string) error {
 	sh := st.shardFor(docID)
 	sh.mu.Lock()
@@ -141,10 +299,30 @@ func (st *store) create(docID string) error {
 	if _, ok := sh.docs[docID]; ok {
 		return fmt.Errorf("gdocs: document %q already exists", docID)
 	}
-	sh.docs[docID] = &serverDoc{}
-	st.count.Add(1)
+	if st.backend != nil {
+		exists, err := st.backend.Has(docID)
+		if err != nil {
+			return err
+		}
+		if exists {
+			return fmt.Errorf("gdocs: document %q already exists", docID)
+		}
+		if err := st.backend.Put(docID, "", 0); err != nil {
+			return err
+		}
+	}
+	st.insertLocked(sh, &serverDoc{id: docID})
 	return nil
 }
 
-// docs returns the total number of stored documents.
-func (st *store) docs() int64 { return st.count.Load() }
+// docs returns the total number of stored documents (durable count when a
+// backend is attached, resident count otherwise).
+func (st *store) docs() int64 {
+	if st.backend != nil {
+		return st.backend.Docs()
+	}
+	return st.count.Load()
+}
+
+// resident returns the number of cache-resident documents.
+func (st *store) resident() int64 { return st.count.Load() }

@@ -94,8 +94,9 @@ type Stats struct {
 	PlainBytesIn      int // plaintext characters submitted by the client
 	CipherBytesOut    int // ciphertext characters actually sent
 
-	Retries       int // retry attempts beyond the first try
-	RetryGiveups  int // round trips that exhausted the retry budget
+	Retries          int // retry attempts beyond the first try
+	RetryGiveups     int // round trips that exhausted the retry budget
+	AdmissionRetries int // retries caused by typed admission rejects (429/503 + HeaderRetryable)
 	BreakerTrips  int // per-document breakers tripped open (closed→open)
 	DegradedSaves int // saves absorbed locally while the breaker was open
 	DegradedLoads int // loads served from local state while open

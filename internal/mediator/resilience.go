@@ -71,6 +71,9 @@ var (
 
 	metricDrains = obs.NewCounter("privedit_mediator_drains_total",
 		"Queued degraded-mode saves successfully replayed to the server.")
+
+	metricAdmissionRetries = obs.NewCounter("privedit_mediator_admission_retries_total",
+		"Retries triggered by typed server admission rejects (rate limit or drain).")
 )
 
 // RetryPolicy bounds the retry loop around one mediated round trip.
@@ -215,6 +218,20 @@ func retryableStatus(code int) bool {
 	return code >= 500 || code == http.StatusTooManyRequests
 }
 
+// admissionReject reports whether a response is a typed admission-control
+// rejection (the server rate-limiting or draining), and the server's
+// Retry-After hint when it gave one. These are deliberate backpressure,
+// not infrastructure failure: the server marked them retryable itself.
+func admissionReject(resp *http.Response) (hint time.Duration, ok bool) {
+	if resp == nil || resp.Header.Get(gdocs.HeaderRetryable) == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		hint = time.Duration(secs) * time.Second
+	}
+	return hint, true
+}
+
 // sendResilient performs one logical round trip through the base
 // transport, retrying transient failures per the retry policy. build is
 // called once per attempt with the attempt's context so the request body
@@ -235,12 +252,26 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 		lastErr  error
 		lastResp *http.Response
 		backoff  time.Duration
+		hint     time.Duration // server Retry-After from an admission reject
 	)
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		attemptCtx := ctx
 		var rsp *trace.Span
 		if attempt > 0 {
 			backoff = e.nextBackoff(backoff)
+			// An admission reject's Retry-After is a floor on the sleep:
+			// the server told us when capacity returns, so sleeping less
+			// just burns an attempt. Cap the hint at MaxBackoff to keep a
+			// hostile or confused server from stalling the client.
+			if hint > 0 {
+				if hint > pol.MaxBackoff {
+					hint = pol.MaxBackoff
+				}
+				if hint > backoff {
+					backoff = hint
+				}
+				hint = 0
+			}
 			e.bump(func(s *Stats) { s.Retries++ })
 			metricRetryAttempts.Inc()
 			metricRetryBackoff.Observe(backoff.Seconds())
@@ -269,6 +300,12 @@ func (e *Extension) sendResilient(ctx context.Context, build func(context.Contex
 		if retryableStatus(resp.StatusCode) {
 			rsp.AnnotateInt("status", int64(resp.StatusCode))
 			rsp.Annotate("outcome", "retryable_status")
+			if h, adm := admissionReject(resp); adm {
+				hint = h
+				rsp.Annotate("admission_reject", "1")
+				e.bump(func(s *Stats) { s.AdmissionRetries++ })
+				metricAdmissionRetries.Inc()
+			}
 			rsp.End()
 			lastErr, lastResp = nil, resp
 			if attempt < pol.MaxAttempts-1 {

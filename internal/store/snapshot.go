@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Snapshot + truncation protocol. A checkpoint collapses a shard's WAL
+// into a fresh snapshot and empties the log, bounding both recovery time
+// and disk growth:
+//
+//  1. Write snap.tmp: the snapshot magic, then every indexed document's
+//     latest record, copied verbatim from wherever it currently lives
+//     (old snapshot or WAL) — the record format is shared, so no
+//     re-encoding happens and CRCs carry over untouched.
+//  2. fsync snap.tmp, rename it over snap.db, fsync the directory. The
+//     rename is the commit point: before it the old snapshot + full WAL
+//     are authoritative; after it the new snapshot alone is.
+//  3. Truncate the WAL back to its magic header and fsync it.
+//
+// A crash between 2 and 3 leaves the full WAL alongside the new
+// snapshot; replay folds each record in with a version comparison
+// (highest wins), so re-applying the already-snapshotted records is
+// harmless. The shard lock is held throughout — a checkpoint briefly
+// blocks that shard's writers (the other 31 shards are untouched).
+
+// checkpointLocked snapshots the shard and truncates its WAL. Callers
+// hold sh.mu. On failure the old snapshot + WAL remain authoritative.
+func (sh *diskShard) checkpointLocked() error {
+	if sh.wal == nil {
+		return nil
+	}
+	start := time.Now()
+	tmpPath := filepath.Join(sh.dir, snapName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := w.Write(snapMagic[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	newIndex := make(map[string]docLoc, len(sh.index))
+	off := int64(magicLen)
+	for docID, loc := range sh.index {
+		src := sh.snap
+		if loc.inWAL {
+			src = sh.wal
+		}
+		raw := make([]byte, loc.rlen)
+		if _, err := src.ReadAt(raw, loc.off); err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := w.Write(raw); err != nil {
+			tmp.Close()
+			return err
+		}
+		newIndex[docID] = docLoc{inWAL: false, off: off, rlen: loc.rlen, version: loc.version}
+		off += int64(loc.rlen)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	finalPath := filepath.Join(sh.dir, snapName)
+	if err := os.Rename(tmpPath, finalPath); err != nil {
+		return err
+	}
+	if err := syncDir(sh.dir); err != nil {
+		return err
+	}
+	// Commit point passed: swap the read handle, then empty the WAL.
+	snap, err := os.Open(finalPath)
+	if err != nil {
+		return err
+	}
+	if sh.snap != nil {
+		sh.snap.Close()
+	}
+	sh.snap = snap
+	sh.index = newIndex
+	if err := initLog(sh.wal, walMagic); err != nil {
+		return err
+	}
+	metricWALBytes.Add(float64(magicLen - sh.walSize))
+	sh.walSize = magicLen
+	// Everything appended so far is durable via the snapshot.
+	sh.syncedSeq = sh.appendSeq
+	metricCheckpoints.Inc()
+	metricCheckpointSeconds.Observe(time.Since(start).Seconds())
+	sh.cond.Broadcast()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

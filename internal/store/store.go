@@ -1,0 +1,596 @@
+// Package store is the persistence layer behind the simulated service's
+// sharded document store: a per-shard append-only write-ahead log with
+// periodic snapshot + log truncation, built so the provider can durably
+// hold millions of ciphertext documents while the serving layer keeps
+// only a hot cache resident.
+//
+// Durability contract: Put returns only after the record is on stable
+// storage (fsync, group-committed across concurrent writers), so an
+// acknowledged save survives kill -9. Recovery replays the WAL over the
+// latest snapshot, keeping the highest version per document; a torn
+// final record — the half-written tail of the crash itself — is
+// discarded, while a CRC failure anywhere else is reported loudly as
+// corruption, never silently truncated.
+//
+// The store never interprets document text. When the mediating extension
+// is in play the text is Base32 ciphertext end to end, and the record
+// type's //taint:clean annotation turns that into a machine-checked
+// claim: the plaintext-flow analyzer rejects any write of tainted
+// (decrypted) data into the persisted content field.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"privedit/internal/obs"
+)
+
+// NumShards matches the serving store's lock-stripe width: document ids
+// hash onto shard directories with the same FNV-1a mapping, so one
+// serving stripe maps onto exactly one WAL.
+const NumShards = 32
+
+// Telemetry. No-ops until obs.Enable().
+var (
+	metricFsyncSeconds = obs.NewHistogram("privedit_store_wal_fsync_seconds",
+		"WAL fsync latency, seconds (one observation per group commit).", obs.TimeBuckets)
+	metricFsyncs = obs.NewCounter("privedit_store_wal_fsyncs_total",
+		"WAL group commits: each fsync may cover many concurrent Puts.")
+	metricPuts = obs.NewCounter("privedit_store_puts_total",
+		"Document states appended to the WAL.")
+	metricCheckpoints = obs.NewCounter("privedit_store_checkpoints_total",
+		"Snapshot + WAL-truncation cycles across all shards.")
+	metricCheckpointSeconds = obs.NewHistogram("privedit_store_checkpoint_seconds",
+		"Wall time of one shard checkpoint (snapshot write + WAL truncation).", obs.TimeBuckets)
+	metricWALBytes = obs.NewGauge("privedit_store_wal_bytes",
+		"Live WAL bytes across all shards (drops after each checkpoint).")
+	metricDocs = obs.NewGauge("privedit_store_documents",
+		"Documents durably held by the persistence layer.")
+	metricRecoverySeconds = obs.NewGauge("privedit_store_recovery_seconds",
+		"Wall time of the last crash recovery (snapshot load + WAL replay).")
+	metricTornBytes = obs.NewCounter("privedit_store_recovery_torn_bytes_total",
+		"Bytes of torn WAL tail discarded during recovery.")
+)
+
+// errBadCRC marks an integrity failure; recovery turns it into either a
+// discarded torn tail or a *CorruptError depending on where it sits.
+var errBadCRC = errors.New("store: record CRC mismatch")
+
+// CorruptError reports a record that failed its integrity check somewhere
+// a torn write cannot explain — mid-log, or inside a snapshot (which is
+// only ever published whole via fsync + rename). It deliberately carries
+// no record content, only the location.
+type CorruptError struct {
+	Path   string
+	Offset int64
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupted record in %s at offset %d (not a torn tail; refusing to truncate)", e.Path, e.Offset)
+}
+
+// SyncPolicy selects Put's durability behavior.
+type SyncPolicy int
+
+const (
+	// SyncAlways (the default) group-commits every Put: the call returns
+	// only after an fsync covers its record.
+	SyncAlways SyncPolicy = iota
+	// SyncNone leaves writes to the OS page cache — bulk-load mode for
+	// cold-population benchmarks. A crash may lose recent acks; Flush or
+	// Close restores durability of everything written so far.
+	SyncNone
+)
+
+// Options configure a Disk.
+type Options struct {
+	// CheckpointBytes is the per-shard WAL size that triggers a snapshot
+	// and log truncation. 0 means 4 MiB; negative disables automatic
+	// checkpoints (tests drive Checkpoint explicitly).
+	CheckpointBytes int64
+	// Sync is the Put durability policy.
+	Sync SyncPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 4 << 20
+	}
+	return o
+}
+
+// RecoveryStats describes what Open found and repaired.
+type RecoveryStats struct {
+	Docs            int64         // documents indexed after recovery
+	SnapshotRecords int64         // records loaded from snapshots
+	WALRecords      int64         // records replayed from WALs
+	TornBytes       int64         // torn-tail bytes discarded
+	Duration        time.Duration // wall time of the whole recovery
+}
+
+// Disk is the on-disk document store: NumShards shard directories, each
+// holding wal.log (append-only, CRC-checked records) and snap.db (the
+// last checkpoint). Safe for concurrent use.
+type Disk struct {
+	dir      string
+	opts     Options
+	shards   [NumShards]diskShard
+	recovery RecoveryStats
+}
+
+// docLoc locates a document's latest durable record inside its shard.
+type docLoc struct {
+	inWAL   bool
+	off     int64 // record start (header) offset
+	rlen    int32 // full record length, header included
+	version uint64
+}
+
+// diskShard is one WAL + snapshot pair. mu guards everything; the group
+// commit protocol releases it only around the fsync itself, so appends
+// from other writers proceed while the leader syncs.
+type diskShard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	dir   string
+	opts  Options
+	wal   *os.File
+	snap  *os.File // nil until the first checkpoint publishes one
+	index map[string]docLoc
+
+	walSize   int64 // logical WAL size including OS-buffered bytes
+	appendSeq uint64
+	syncedSeq uint64
+	syncing   bool
+	syncErr   error
+	encodeBuf []byte
+
+	// Recovery accounting, filled once by open().
+	recoveredSnap int64
+	recoveredWAL  int64
+	tornBytes     int64
+}
+
+// Open creates or recovers the store under dir. Recovery loads each
+// shard's snapshot, replays its WAL (discarding a torn tail, refusing
+// mid-log corruption), and leaves the WAL open for appends.
+func Open(dir string, opts Options) (*Disk, error) {
+	start := time.Now()
+	d := &Disk{dir: dir, opts: opts.withDefaults()}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for i := range d.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &d.shards[i]
+			sh.cond = sync.NewCond(&sh.mu)
+			sh.opts = d.opts
+			sh.dir = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+			err := sh.open()
+			mu.Lock()
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	var walBytes int64
+	for i := range d.shards {
+		sh := &d.shards[i]
+		d.recovery.Docs += int64(len(sh.index))
+		d.recovery.SnapshotRecords += sh.recoveredSnap
+		d.recovery.WALRecords += sh.recoveredWAL
+		d.recovery.TornBytes += sh.tornBytes
+		walBytes += sh.walSize
+	}
+	d.recovery.Duration = time.Since(start)
+	metricDocs.Set(float64(d.recovery.Docs))
+	metricWALBytes.Set(float64(walBytes))
+	metricRecoverySeconds.Set(d.recovery.Duration.Seconds())
+	metricTornBytes.Add(d.recovery.TornBytes)
+	return d, nil
+}
+
+// Recovery returns what Open found and repaired.
+func (d *Disk) Recovery() RecoveryStats { return d.recovery }
+
+// shardFor maps a document id onto its shard with the same FNV-1a hash
+// the serving store uses.
+func (d *Disk) shardFor(docID string) *diskShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(docID))
+	return &d.shards[h.Sum32()%NumShards]
+}
+
+// Put durably records a document state. Under SyncAlways it returns only
+// once an fsync covers the record (group-committed with concurrent Puts
+// to the same shard).
+func (d *Disk) Put(docID, content string, version int) error {
+	sh := d.shardFor(docID)
+	rec := record{op: opState, version: uint64(version), docID: docID}
+	rec.content = content
+	sh.mu.Lock()
+	if sh.wal == nil {
+		sh.mu.Unlock()
+		return errors.New("store: put on closed store")
+	}
+	buf, err := appendRecord(sh.encodeBuf[:0], &rec)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	sh.encodeBuf = buf[:0]
+	if _, err := sh.wal.Write(buf); err != nil {
+		sh.syncErr = err
+		sh.mu.Unlock()
+		return err
+	}
+	loc := docLoc{inWAL: true, off: sh.walSize, rlen: int32(len(buf)), version: rec.version}
+	if _, existed := sh.index[docID]; !existed {
+		metricDocs.Add(1)
+	}
+	sh.index[docID] = loc
+	sh.walSize += int64(len(buf))
+	metricWALBytes.Add(float64(len(buf)))
+	metricPuts.Inc()
+	sh.appendSeq++
+	seq := sh.appendSeq
+	needCkpt := sh.opts.CheckpointBytes > 0 && sh.walSize >= sh.opts.CheckpointBytes
+	if needCkpt {
+		if err := sh.checkpointLocked(); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+	}
+	sh.mu.Unlock()
+	if d.opts.Sync == SyncAlways {
+		return sh.waitDurable(seq)
+	}
+	return nil
+}
+
+// waitDurable blocks until an fsync covers append sequence seq, electing
+// a group-commit leader when none is in flight.
+func (sh *diskShard) waitDurable(seq uint64) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.syncedSeq < seq {
+		if sh.syncErr != nil {
+			return sh.syncErr
+		}
+		if sh.syncing {
+			sh.cond.Wait()
+			continue
+		}
+		sh.syncing = true
+		target := sh.appendSeq
+		f := sh.wal
+		sh.mu.Unlock()
+		start := time.Now()
+		err := f.Sync()
+		metricFsyncSeconds.Observe(time.Since(start).Seconds())
+		metricFsyncs.Inc()
+		sh.mu.Lock()
+		sh.syncing = false
+		if err != nil {
+			sh.syncErr = err
+			sh.cond.Broadcast()
+			return err
+		}
+		if target > sh.syncedSeq {
+			sh.syncedSeq = target
+		}
+		sh.cond.Broadcast()
+	}
+	return nil
+}
+
+// Get returns a document's durable content and version. ok is false when
+// the store has never seen the id.
+func (d *Disk) Get(docID string) (content string, version int, ok bool, err error) {
+	sh := d.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	loc, found := sh.index[docID]
+	if !found {
+		return "", 0, false, nil
+	}
+	rec, err := sh.readLocked(loc)
+	if err != nil {
+		return "", 0, false, err
+	}
+	return rec.content, int(rec.version), true, nil
+}
+
+// Has reports whether the store holds the document.
+func (d *Disk) Has(docID string) (bool, error) {
+	sh := d.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, found := sh.index[docID]
+	return found, nil
+}
+
+// Docs returns the number of documents durably held.
+func (d *Disk) Docs() int64 {
+	var n int64
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += int64(len(sh.index))
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// readLocked fetches and integrity-checks one record. Callers hold sh.mu.
+func (sh *diskShard) readLocked(loc docLoc) (record, error) {
+	f := sh.snap
+	path := filepath.Join(sh.dir, snapName)
+	if loc.inWAL {
+		f, path = sh.wal, filepath.Join(sh.dir, walName)
+	}
+	if f == nil {
+		return record{}, errors.New("store: read on closed store")
+	}
+	raw := make([]byte, loc.rlen)
+	if _, err := f.ReadAt(raw, loc.off); err != nil {
+		return record{}, fmt.Errorf("store: read %s at %d: %w", filepath.Base(path), loc.off, err)
+	}
+	rec, err := verifyRecord(raw)
+	if err != nil {
+		if errors.Is(err, errBadCRC) {
+			return record{}, &CorruptError{Path: path, Offset: loc.off}
+		}
+		return record{}, err
+	}
+	return rec, nil
+}
+
+// Flush forces everything appended so far onto stable storage (the
+// SyncNone catch-up; a no-op burden under SyncAlways).
+func (d *Disk) Flush() error {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		seq := sh.appendSeq
+		closed := sh.wal == nil
+		sh.mu.Unlock()
+		if closed {
+			continue
+		}
+		if err := sh.waitDurable(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint forces a snapshot + WAL truncation on every shard,
+// regardless of WAL size.
+func (d *Disk) Checkpoint() error {
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		err := sh.checkpointLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every shard. The store is unusable afterwards.
+func (d *Disk) Close() error {
+	err := d.Flush()
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		if sh.wal != nil {
+			if cerr := sh.wal.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			sh.wal = nil
+		}
+		if sh.snap != nil {
+			if cerr := sh.snap.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			sh.snap = nil
+		}
+		sh.mu.Unlock()
+	}
+	return err
+}
+
+const (
+	walName  = "wal.log"
+	snapName = "snap.db"
+)
+
+// open creates or recovers one shard directory.
+func (sh *diskShard) open() error {
+	if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+		return err
+	}
+	sh.index = make(map[string]docLoc)
+	if err := sh.loadSnapshot(); err != nil {
+		return err
+	}
+	return sh.replayWAL()
+}
+
+// loadSnapshot indexes snap.db when one exists. Snapshots are published
+// atomically (fsync, rename, dir fsync), so any integrity failure inside
+// one is corruption, never a torn tail.
+func (sh *diskShard) loadSnapshot() error {
+	path := filepath.Join(sh.dir, snapName)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	n, _, err := sh.scanRecords(f, path, snapMagic, false)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sh.recoveredSnap = n
+	sh.snap = f
+	return nil
+}
+
+// replayWAL scans wal.log over the snapshot index, truncates a torn
+// tail, and leaves the file open for appends.
+func (sh *diskShard) replayWAL() error {
+	path := filepath.Join(sh.dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if size < magicLen {
+		// Fresh file, or a crash beat the magic write: (re)initialize.
+		if err := initLog(f, walMagic); err != nil {
+			f.Close()
+			return err
+		}
+		if size > 0 {
+			sh.tornBytes += size
+		}
+		sh.wal, sh.walSize = f, magicLen
+		return nil
+	}
+	n, good, err := sh.scanRecords(f, path, walMagic, true)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sh.recoveredWAL = n
+	if good < size {
+		// Torn tail: the crash interrupted the final append. Everything
+		// acknowledged lies at or before good, so the tail is garbage by
+		// construction — drop it and continue appending from there.
+		sh.tornBytes += size - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	sh.wal, sh.walSize = f, good
+	return nil
+}
+
+// scanRecords walks a record file, verifying magic and every record CRC,
+// and folding states into the index (highest version per document wins,
+// which makes replay idempotent across the checkpoint crash window).
+// When tolerateTorn is set, a failure that only a half-written final
+// append can explain — a record cut off by EOF, or a CRC mismatch on the
+// very last record — ends the scan at the last good offset instead of
+// failing; anything else is a *CorruptError.
+func (sh *diskShard) scanRecords(f *os.File, path string, magic [magicLen]byte, tolerateTorn bool) (records int64, goodEnd int64, err error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size < magicLen {
+		return 0, 0, &CorruptError{Path: path, Offset: 0}
+	}
+	var m [magicLen]byte
+	if _, err := f.ReadAt(m[:], 0); err != nil {
+		return 0, 0, err
+	}
+	if m != magic {
+		return 0, 0, &CorruptError{Path: path, Offset: 0}
+	}
+	off := int64(magicLen)
+	var header [headerLen]byte
+	for off < size {
+		if size-off < headerLen {
+			if tolerateTorn {
+				return records, off, nil
+			}
+			return 0, 0, &CorruptError{Path: path, Offset: off}
+		}
+		if _, err := f.ReadAt(header[:], off); err != nil {
+			return 0, 0, err
+		}
+		plen := int64(uint32(header[0])<<24 | uint32(header[1])<<16 | uint32(header[2])<<8 | uint32(header[3]))
+		end := off + headerLen + plen
+		if plen > maxRecordBytes || end > size {
+			// The declared payload overruns the file: a torn final append
+			// when tolerated, corruption otherwise.
+			if tolerateTorn {
+				return records, off, nil
+			}
+			return 0, 0, &CorruptError{Path: path, Offset: off}
+		}
+		raw := make([]byte, headerLen+plen)
+		if _, err := f.ReadAt(raw, off); err != nil {
+			return 0, 0, err
+		}
+		rec, verr := verifyRecord(raw)
+		if verr != nil {
+			// A CRC failure on the final record can be the torn tail of a
+			// crashed append (pages land out of order). Followed by more
+			// data it cannot be: that is corruption, and truncating would
+			// silently erase acknowledged saves after it.
+			if tolerateTorn && end == size {
+				return records, off, nil
+			}
+			return 0, 0, &CorruptError{Path: path, Offset: off}
+		}
+		records++
+		loc := docLoc{inWAL: tolerateTorn, off: off, rlen: int32(headerLen + plen), version: rec.version}
+		if prev, ok := sh.index[rec.docID]; !ok || rec.version >= prev.version {
+			sh.index[rec.docID] = loc
+		}
+		off = end
+	}
+	return records, off, nil
+}
+
+// initLog truncates f and writes a fresh magic header.
+func initLog(f *os.File, magic [magicLen]byte) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(magic[:], 0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(magicLen, io.SeekStart); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,483 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shardDir returns the shard directory a document id maps to.
+func shardDir(root, docID string) string {
+	h := fnv.New32a()
+	h.Write([]byte(docID))
+	return filepath.Join(root, fmt.Sprintf("shard-%02d", h.Sum32()%NumShards))
+}
+
+func mustPut(t *testing.T, d *Disk, docID, content string, version int) {
+	t.Helper()
+	if err := d.Put(docID, content, version); err != nil {
+		t.Fatalf("Put(%q): %v", docID, err)
+	}
+}
+
+func wantDoc(t *testing.T, d *Disk, docID, content string, version int) {
+	t.Helper()
+	got, v, ok, err := d.Get(docID)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", docID, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%q): missing", docID)
+	}
+	if got != content || v != version {
+		t.Fatalf("Get(%q) = (%d bytes, v%d), want (%d bytes, v%d)", docID, len(got), v, len(content), version)
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	d, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	mustPut(t, d, "doc-a", "ciphertext one", 1)
+	mustPut(t, d, "doc-a", "ciphertext two", 2)
+	mustPut(t, d, "doc-b", "", 0)
+	wantDoc(t, d, "doc-a", "ciphertext two", 2)
+	wantDoc(t, d, "doc-b", "", 0)
+	if _, _, ok, _ := d.Get("doc-missing"); ok {
+		t.Fatal("Get of unknown doc reported ok")
+	}
+	if has, _ := d.Has("doc-a"); !has {
+		t.Fatal("Has(doc-a) = false")
+	}
+	if n := d.Docs(); n != 2 {
+		t.Fatalf("Docs() = %d, want 2", n)
+	}
+}
+
+// TestRecoverFreshDir covers the empty-WAL edge: opening a directory that
+// has never held data recovers zero documents and no torn bytes.
+func TestRecoverFreshDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := d.Recovery()
+	if rec.Docs != 0 || rec.WALRecords != 0 || rec.SnapshotRecords != 0 || rec.TornBytes != 0 {
+		t.Fatalf("fresh recovery = %+v, want zeroes", rec)
+	}
+	d.Close()
+	// Second open sees 32 empty WALs (magic only): still zero docs.
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.Docs != 0 || rec.TornBytes != 0 {
+		t.Fatalf("empty-WAL recovery = %+v, want zero docs and torn bytes", rec)
+	}
+}
+
+func TestRecoverAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		mustPut(t, d, fmt.Sprintf("doc-%03d", i), strings.Repeat("x", i), i+1)
+	}
+	mustPut(t, d, "doc-000", "rewritten", 7)
+	d.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Docs != 200 {
+		t.Fatalf("recovered %d docs, want 200", rec.Docs)
+	}
+	if rec.WALRecords != 201 {
+		t.Fatalf("replayed %d WAL records, want 201", rec.WALRecords)
+	}
+	wantDoc(t, d2, "doc-000", "rewritten", 7)
+	wantDoc(t, d2, "doc-199", strings.Repeat("x", 199), 200)
+}
+
+// TestRecoverSnapshotNoWAL covers the snapshot-with-empty-WAL edge: after a
+// checkpoint the WAL holds only its magic header and every read and every
+// recovery must come from the snapshot.
+func TestRecoverSnapshotNoWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		mustPut(t, d, fmt.Sprintf("snap-%02d", i), fmt.Sprintf("content %d", i), i)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Post-checkpoint the shard WALs are truncated back to the magic.
+	if fi, err := os.Stat(filepath.Join(shardDir(dir, "snap-00"), walName)); err != nil || fi.Size() != magicLen {
+		t.Fatalf("WAL after checkpoint: size=%v err=%v, want %d bytes", fi.Size(), err, magicLen)
+	}
+	wantDoc(t, d, "snap-33", "content 33", 33)
+	d.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.Docs != 64 || rec.WALRecords != 0 || rec.SnapshotRecords != 64 {
+		t.Fatalf("recovery = %+v, want 64 docs all from snapshots", rec)
+	}
+	wantDoc(t, d2, "snap-33", "content 33", 33)
+}
+
+// TestCheckpointThenMoreWrites exercises the full lifecycle: snapshot,
+// further WAL appends over it, recovery merging both (WAL wins on version).
+func TestCheckpointThenMoreWrites(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "life-a", "old a", 1)
+	mustPut(t, d, "life-b", "old b", 1)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "life-a", "new a", 2) // supersedes the snapshot record
+	mustPut(t, d, "life-c", "only wal", 1)
+	d.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	wantDoc(t, d2, "life-a", "new a", 2)
+	wantDoc(t, d2, "life-b", "old b", 1)
+	wantDoc(t, d2, "life-c", "only wal", 1)
+}
+
+func TestAutomaticCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{CheckpointBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := strings.Repeat("c", 1024)
+	for i := 0; i < 50; i++ {
+		mustPut(t, d, "auto-doc", content, i)
+	}
+	// The WAL crossed 4096 bytes many times over; automatic checkpoints
+	// must have kept it bounded.
+	if fi, err := os.Stat(filepath.Join(shardDir(dir, "auto-doc"), walName)); err != nil || fi.Size() > 4096+2048 {
+		t.Fatalf("WAL grew to %d bytes despite CheckpointBytes=4096 (err=%v)", fi.Size(), err)
+	}
+	wantDoc(t, d, "auto-doc", content, 49)
+	d.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	wantDoc(t, d2, "auto-doc", content, 49)
+}
+
+// TestTornTailDiscarded covers the crash-mid-append edge: a final record
+// cut off by EOF is discarded on recovery and every earlier record
+// survives.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "torn-keep", "acknowledged", 3)
+	d.Close()
+
+	// Simulate the crash: append half a record to the same shard's WAL.
+	walPath := filepath.Join(shardDir(dir, "torn-keep"), walName)
+	full, err := appendRecord(nil, &record{op: opState, version: 9, docID: "torn-keep", content: "never acked"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := full[:len(full)-5]
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery with torn tail failed: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if rec.TornBytes != int64(len(torn)) {
+		t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, len(torn))
+	}
+	wantDoc(t, d2, "torn-keep", "acknowledged", 3)
+	// The torn bytes are gone from disk: further appends start clean.
+	mustPut(t, d2, "torn-keep", "after recovery", 4)
+	wantDoc(t, d2, "torn-keep", "after recovery", 4)
+}
+
+// TestTornFinalCRC: a complete-length final record with a bad CRC is also a
+// legal torn tail (pages can land out of order), so recovery discards it.
+func TestTornFinalCRC(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "crc-keep", "good", 1)
+	d.Close()
+
+	walPath := filepath.Join(shardDir(dir, "crc-keep"), walName)
+	bad, err := appendRecord(nil, &record{op: opState, version: 2, docID: "crc-keep", content: "interrupted"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad[len(bad)-1] ^= 0xFF // corrupt the payload so the CRC fails
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery with CRC-failed final record failed: %v", err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.TornBytes != int64(len(bad)) {
+		t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, len(bad))
+	}
+	wantDoc(t, d2, "crc-keep", "good", 1)
+}
+
+// TestMidLogCorruptionFailsLoudly covers the must-not-silently-truncate
+// edge: a CRC failure on a record that is NOT the final one cannot be a
+// torn tail — truncating there would erase acknowledged saves after it —
+// so Open must refuse with a *CorruptError naming the spot.
+func TestMidLogCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records in the same shard WAL: corrupt the first.
+	mustPut(t, d, "mid-doc", "first record", 1)
+	mustPut(t, d, "mid-doc", "second record", 2)
+	d.Close()
+
+	walPath := filepath.Join(shardDir(dir, "mid-doc"), walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[magicLen+headerLen+3] ^= 0xFF // flip a byte inside the first payload
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open with mid-log corruption = %v, want *CorruptError", err)
+	}
+	if ce.Path != walPath || ce.Offset != magicLen {
+		t.Fatalf("CorruptError = %+v, want path %s offset %d", ce, walPath, magicLen)
+	}
+	if strings.Contains(ce.Error(), "first record") {
+		t.Fatal("CorruptError leaked record content")
+	}
+}
+
+// TestSnapshotCorruptionFailsLoudly: snapshots are published atomically,
+// so even a bad *final* record inside one is corruption, never torn.
+func TestSnapshotCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "snapcorrupt", "state", 1)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	snapPath := filepath.Join(shardDir(dir, "snapcorrupt"), snapName)
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Options{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open with corrupt snapshot = %v, want *CorruptError", err)
+	}
+	if ce.Path != snapPath {
+		t.Fatalf("CorruptError path = %s, want %s", ce.Path, snapPath)
+	}
+}
+
+// TestBadMagicFailsLoudly: a WAL whose header is not the magic is not a
+// torn tail either.
+func TestBadMagicFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, d, "magic-doc", "x", 1)
+	d.Close()
+
+	walPath := filepath.Join(shardDir(dir, "magic-doc"), walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 'X'
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptError
+	if _, err := Open(dir, Options{}); !errors.As(err, &ce) {
+		t.Fatalf("Open with bad magic = %v, want *CorruptError", err)
+	}
+}
+
+// TestShortWALReinitialized: a crash before the magic write leaves a
+// sub-header file; recovery counts it torn and reinitializes.
+func TestShortWALReinitialized(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	walPath := filepath.Join(dir, "shard-00", walName)
+	if err := os.WriteFile(walPath, []byte("PVW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with short WAL: %v", err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.TornBytes != 3 {
+		t.Fatalf("TornBytes = %d, want 3", rec.TornBytes)
+	}
+}
+
+func TestSyncNoneFlush(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		mustPut(t, d, fmt.Sprintf("bulk-%02d", i), "bulk content", 1)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.Docs != 100 {
+		t.Fatalf("recovered %d docs after SyncNone+Flush, want 100", rec.Docs)
+	}
+}
+
+func TestPutAfterClose(t *testing.T) {
+	d, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := d.Put("doc", "x", 1); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+// TestConcurrentPuts hammers one store from many goroutines (run under
+// -race in CI): group commit must keep every acknowledged write durable
+// and the per-doc index consistent.
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{CheckpointBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, writes = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				id := fmt.Sprintf("conc-%d-%d", w, i%5)
+				if err := d.Put(id, fmt.Sprintf("w%d i%d %s", w, i, strings.Repeat("z", 200)), i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after concurrent writes: %v", err)
+	}
+	defer d2.Close()
+	if got, want := d2.Docs(), int64(writers*5); got != want {
+		t.Fatalf("Docs() = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		for k := 0; k < 5; k++ {
+			if _, _, ok, err := d2.Get(fmt.Sprintf("conc-%d-%d", w, k)); !ok || err != nil {
+				t.Fatalf("Get(conc-%d-%d) after recovery: ok=%v err=%v", w, k, ok, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Bytes on disk. Both files in a shard directory — the append-only WAL
+// and the snapshot it periodically collapses into — carry the same
+// record stream after an 8-byte magic header:
+//
+//	file    = magic(8) record*
+//	record  = length(4, BE) crc(4, BE) payload
+//	payload = op(1) version(8, BE) docIDLen(2, BE) docID content
+//
+// length counts payload bytes only; crc is CRC-32C (Castagnoli) over the
+// payload. The two magics differ so a misplaced rename can never make a
+// snapshot replay as a WAL or vice versa. A record is self-contained:
+// replay is "decode payload, keep the highest version per document", so
+// the same decoder drives snapshot loads, WAL replay, and point reads.
+const (
+	magicLen  = 8
+	headerLen = 8 // length(4) + crc(4)
+
+	// maxRecordBytes bounds one record far above any legal document (the
+	// gdocs limit is 500 KB plus ciphertext expansion): a declared length
+	// beyond it is treated like any other integrity failure.
+	maxRecordBytes = 16 << 20
+
+	// opState is the only record op today: "this document now has this
+	// version and content". The byte exists so future ops (deletes,
+	// delta-encoded records) extend the format instead of breaking it.
+	opState = 1
+)
+
+var (
+	walMagic  = [magicLen]byte{'P', 'V', 'W', 'A', 'L', 0, 1, '\n'}
+	snapMagic = [magicLen]byte{'P', 'V', 'S', 'N', 'A', 'P', 1, '\n'}
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// record is one durable document state. It is the only shape that ever
+// reaches the WAL or snapshot files, which is what makes the //taint:clean
+// contract below checkable: every write into the persisted content field
+// is a declared ciphertext-only boundary.
+type record struct {
+	op      byte
+	version uint64
+	docID   string
+	//taint:clean ciphertext-only stored content: the untrusted server's WAL never holds plaintext
+	content string
+}
+
+// encodedLen returns the full on-disk size of the record, header included.
+func (r *record) encodedLen() int {
+	return headerLen + 1 + 8 + 2 + len(r.docID) + len(r.content)
+}
+
+// appendRecord serializes r (header + payload) onto buf.
+func appendRecord(buf []byte, r *record) ([]byte, error) {
+	if len(r.docID) > 0xFFFF {
+		return nil, fmt.Errorf("store: document id too long (%d bytes)", len(r.docID))
+	}
+	plen := 1 + 8 + 2 + len(r.docID) + len(r.content)
+	if plen > maxRecordBytes {
+		return nil, fmt.Errorf("store: record too large (%d bytes)", plen)
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, headerLen)...)
+	buf = append(buf, r.op)
+	buf = binary.BigEndian.AppendUint64(buf, r.version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.docID)))
+	buf = append(buf, r.docID...)
+	buf = append(buf, r.content...)
+	payload := buf[start+headerLen:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(plen))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// decodePayload parses a CRC-verified payload back into a record.
+func decodePayload(payload []byte) (record, error) {
+	if len(payload) < 1+8+2 {
+		return record{}, fmt.Errorf("store: short record payload (%d bytes)", len(payload))
+	}
+	r := record{op: payload[0], version: binary.BigEndian.Uint64(payload[1:9])}
+	idLen := int(binary.BigEndian.Uint16(payload[9:11]))
+	if len(payload) < 11+idLen {
+		return record{}, fmt.Errorf("store: record id overruns payload (%d of %d bytes)", 11+idLen, len(payload))
+	}
+	r.docID = string(payload[11 : 11+idLen])
+	r.content = string(payload[11+idLen:])
+	return r, nil
+}
+
+// verifyRecord checks a full on-disk record (header + payload) and returns
+// the decoded payload. The caller has already bounds-checked the slice.
+func verifyRecord(raw []byte) (record, error) {
+	plen := int(binary.BigEndian.Uint32(raw[:4]))
+	if plen != len(raw)-headerLen {
+		return record{}, fmt.Errorf("store: record length %d does not match read of %d", plen, len(raw)-headerLen)
+	}
+	payload := raw[headerLen:]
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(raw[4:8]) {
+		return record{}, errBadCRC
+	}
+	return decodePayload(payload)
+}

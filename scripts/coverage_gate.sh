@@ -1,8 +1,9 @@
 #!/bin/sh
 # Coverage gate: the packages that hold the correctness-critical logic —
 # the crypto core, the skip-list indices, the delta algebra, the
-# mediating extension (including the PR-4 resilience stack), and the
-# observability layer (metrics + request tracing) — must each
+# mediating extension (including the PR-4 resilience stack), the
+# observability layer (metrics + request tracing), the WAL/snapshot
+# persistence layer, and the serving store it backs — must each
 # keep at least MIN_COVER% statement coverage. CI fails the build below
 # the floor, so new code in these packages ships with tests or not at all.
 #
@@ -19,6 +20,8 @@ privedit/internal/delta
 privedit/internal/mediator
 privedit/internal/obs
 privedit/internal/trace
+privedit/internal/store
+privedit/internal/gdocs
 "
 
 fail=0
