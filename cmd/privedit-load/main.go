@@ -242,6 +242,22 @@ func main() {
 		*sessions, effDocs, *duration, *docChars, scheme, *blockChars,
 		parallel.Workers(*workers), runtime.GOMAXPROCS(0))
 
+	// The kernel microbench runs before the load phase so it measures the
+	// kernels in a fresh heap: the load phase leaves behind a large live
+	// set that inflates the GC goal, and the serial reference kernel —
+	// which allocates per block — is flattered most by that quiet-GC
+	// window, skewing the comparison run to run.
+	var encRows []bench.EncRow
+	if *jsonPath != "" && *encBench {
+		rows, err := bench.EncKernelBench(scheme, *blockChars, *workers,
+			[]int{1_000, 10_000, 100_000, 400_000}, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "privedit-load: enc bench:", err)
+			os.Exit(1)
+		}
+		encRows = rows
+	}
+
 	report, err := bench.RunLoad(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privedit-load:", err)
@@ -300,16 +316,10 @@ func main() {
 		Crossover: parallel.MinParallelBlocks,
 		Load:      report,
 	}
-	if *encBench {
-		rows, err := bench.EncKernelBench(scheme, *blockChars, *workers,
-			[]int{1_000, 10_000, 100_000, 400_000}, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "privedit-load: enc bench:", err)
-			os.Exit(1)
-		}
-		artifact.EncBench = rows
+	if encRows != nil {
+		artifact.EncBench = encRows
 		fmt.Println("  enc kernel serial vs parallel:")
-		for _, r := range rows {
+		for _, r := range encRows {
 			mode := "serial (below crossover)"
 			if r.UsedParallel {
 				mode = "parallel"

@@ -4,13 +4,18 @@
 // workload shaped like the paper's Figure 6 typing traces (runs of
 // single-character insertions and corrections at a moving cursor).
 //
-// Four variants replay the identical op tape on identically seeded
-// documents: baseline (both off), finger-only, coalesce-only, and full.
-// The finger cache must be invisible in the bytes — the finger-only
-// transport is asserted identical to the baseline's, and full to
-// coalesce-only. Coalescing legitimately changes which ciphertext deltas
-// produce the document (fewer splices consume fewer nonces), so across
-// that toggle only the final plaintext is asserted equal.
+// Five variants replay the identical op tape on identically seeded
+// documents: baseline (both off), finger-only, coalesce-only, and full —
+// all four pinned to the reference serial crypto kernel (Workers=1) so
+// the toggles are measured against a fixed kernel — plus batch, which is
+// full on the batched arena kernel (Workers=0). The finger cache must be
+// invisible in the bytes — the finger-only transport is asserted identical
+// to the baseline's, and full to coalesce-only. The kernel switch must
+// also be invisible — batch is asserted byte-identical to full, pinning
+// the serial/batched ciphertext equivalence on the editing hot path.
+// Coalescing legitimately changes which ciphertext deltas produce the
+// document (fewer splices consume fewer nonces), so across that toggle
+// only the final plaintext is asserted equal.
 package bench
 
 import (
@@ -67,6 +72,7 @@ type HotpathRow struct {
 	Variant     string  `json:"variant"`
 	FingerCache bool    `json:"finger_cache"`
 	Coalesce    bool    `json:"coalesce"`
+	Workers     int     `json:"workers"`
 	Ops         int     `json:"ops"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	P50Us       float64 `json:"p50_us"`
@@ -142,7 +148,9 @@ func hotpathTape(cfg HotpathConfig, docLen int) []hotpathOp {
 }
 
 // hotpathVariant replays the tape on a fresh, identically seeded document.
-func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, text string, tape []hotpathOp) (HotpathRow, string, error) {
+// workers selects the crypto kernel: 1 pins the reference serial kernel,
+// 0 the batched arena kernel.
+func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, workers int, text string, tape []hotpathOp) (HotpathRow, string, error) {
 	key := make([]byte, crypt.KeySize)
 	for i := range key {
 		key[i] = byte(i * 7)
@@ -151,12 +159,14 @@ func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, text 
 	if err != nil {
 		return HotpathRow{}, "", err
 	}
+	codec.SetWorkers(workers)
 	var salt [blockdoc.SaltLen]byte
 	copy(salt[:], "hotpath-salt-hot")
 	doc, err := blockdoc.New(codec, cfg.BlockChars, salt, [blockdoc.KeyCheckLen]byte{})
 	if err != nil {
 		return HotpathRow{}, "", err
 	}
+	doc.SetWorkers(workers)
 	if err := doc.LoadPlaintext(text); err != nil {
 		return HotpathRow{}, "", err
 	}
@@ -188,6 +198,7 @@ func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, text 
 		Variant:         name,
 		FingerCache:     finger,
 		Coalesce:        coalesce,
+		Workers:         workers,
 		Ops:             len(tape),
 		NsPerOp:         float64(total.Nanoseconds()) / float64(len(tape)),
 		P50Us:           lat.Percentile(0.50) * 1e6,
@@ -201,7 +212,7 @@ func hotpathVariant(cfg HotpathConfig, name string, finger, coalesce bool, text 
 	return row, doc.Plaintext(), nil
 }
 
-// Hotpath runs all four variants and cross-checks their equivalence.
+// Hotpath runs all five variants and cross-checks their equivalence.
 func Hotpath(cfg HotpathConfig) (HotpathArtifact, error) {
 	cfg = cfg.withDefaults()
 	gen := workload.NewGen(cfg.Seed)
@@ -211,11 +222,13 @@ func Hotpath(cfg HotpathConfig) (HotpathArtifact, error) {
 	variants := []struct {
 		name             string
 		finger, coalesce bool
+		workers          int
 	}{
-		{"baseline", false, false},
-		{"finger", true, false},
-		{"coalesce", false, true},
-		{"full", true, true},
+		{"baseline", false, false, 1},
+		{"finger", true, false, 1},
+		{"coalesce", false, true, 1},
+		{"full", true, true, 1},
+		{"batch", true, true, 0},
 	}
 	art := HotpathArtifact{
 		Title:      "Hot path: finger cache + delta coalescing on burst edits",
@@ -230,13 +243,13 @@ func Hotpath(cfg HotpathConfig) (HotpathArtifact, error) {
 	if len(warm) > 200 {
 		warm = warm[:200]
 	}
-	if _, _, err := hotpathVariant(cfg, "warmup", false, false, text, warm); err != nil {
+	if _, _, err := hotpathVariant(cfg, "warmup", false, false, 1, text, warm); err != nil {
 		return art, err
 	}
 
 	plains := make([]string, len(variants))
 	for i, v := range variants {
-		row, plain, err := hotpathVariant(cfg, v.name, v.finger, v.coalesce, text, tape)
+		row, plain, err := hotpathVariant(cfg, v.name, v.finger, v.coalesce, v.workers, text, tape)
 		if err != nil {
 			return art, err
 		}
@@ -258,6 +271,10 @@ func Hotpath(cfg HotpathConfig) (HotpathArtifact, error) {
 	if art.Rows[3].TransportSHA256 != art.Rows[2].TransportSHA256 {
 		return art, fmt.Errorf("hotpath: finger cache changed the coalesced ciphertext (%s vs %s)",
 			art.Rows[3].TransportSHA256, art.Rows[2].TransportSHA256)
+	}
+	if art.Rows[4].TransportSHA256 != art.Rows[3].TransportSHA256 {
+		return art, fmt.Errorf("hotpath: batched kernel changed the ciphertext (%s vs %s)",
+			art.Rows[4].TransportSHA256, art.Rows[3].TransportSHA256)
 	}
 
 	base, full := art.Rows[0], art.Rows[3]

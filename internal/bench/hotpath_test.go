@@ -9,8 +9,8 @@ func TestHotpathEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(art.Rows) != 4 {
-		t.Fatalf("expected 4 variants, got %d", len(art.Rows))
+	if len(art.Rows) != 5 {
+		t.Fatalf("expected 5 variants, got %d", len(art.Rows))
 	}
 	for _, r := range art.Rows {
 		if r.Ops != 150 {

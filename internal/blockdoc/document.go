@@ -154,6 +154,7 @@ func (d *Document) LoadPlaintext(text string) error {
 		return fmt.Errorf("blockdoc: encrypt all: %w", err)
 	}
 	builder := skiplist.NewBuilder[*Block](crypt.Uint64(d.header.Salt[:8]))
+	builder.Grow(len(blocks))
 	for _, b := range blocks {
 		builder.Append(b, len(b.Chars), d.recordChars)
 	}
@@ -206,23 +207,25 @@ func (d *Document) LoadTransport(transport string) error {
 	}
 	schemePrefix := prefixRaw[headerBytes:]
 
+	// Decode the record stream into one arena: each record is a strided
+	// sub-slice of a single backing array, decoded in place with the
+	// zero-allocation transport decoder (2n small allocations per load
+	// before the batched kernels).
 	n := len(body) / d.recordChars
+	rb := d.codec.RecordBytes()
 	records := make([][]byte, n)
+	raw := make([]byte, n*rb)
 	decodeRange := func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			rec, err := crypt.DecodeTransport(body[i*d.recordChars : (i+1)*d.recordChars])
-			if err != nil {
+			rec := raw[i*rb : (i+1)*rb : (i+1)*rb]
+			if err := crypt.DecodeTransportInto(rec, body[i*d.recordChars:(i+1)*d.recordChars]); err != nil {
 				return fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
 			}
 			records[i] = rec
 		}
 		return nil
 	}
-	if parallel.UseSerial(n, d.workers, parallel.MinParallelBlocks) {
-		if err := decodeRange(0, n); err != nil {
-			return err
-		}
-	} else if err := parallel.Range(n, d.workers, decodeRange); err != nil {
+	if err := parallel.Range(n, parallel.Plan(n, d.workers, parallel.MinParallelBlocks), decodeRange); err != nil {
 		return err
 	}
 
@@ -231,6 +234,7 @@ func (d *Document) LoadTransport(transport string) error {
 		return err
 	}
 	builder := skiplist.NewBuilder[*Block](crypt.Uint64(h.Salt[:8]))
+	builder.Grow(len(blocks))
 	for _, b := range blocks {
 		builder.Append(b, len(b.Chars), d.recordChars)
 	}
@@ -260,39 +264,36 @@ func (d *Document) Plaintext() string {
 //taint:sanitizer encodes encrypted records only
 func (d *Document) Transport() string {
 	n := d.list.Len()
-	if parallel.UseSerial(n, d.workers, parallel.MinParallelBlocks) {
-		var b strings.Builder
-		b.Grow(d.TransportLen())
-		prefixRaw := append(d.header.encode(), d.schemePrefix...)
-		b.WriteString(crypt.EncodeTransport(prefixRaw))
-		_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
-			b.WriteString(crypt.EncodeTransport(blk.Record))
-			return true
-		})
-		if d.trailerChars > 0 {
-			b.WriteString(crypt.EncodeTransport(d.trailer))
-		}
-		return b.String()
-	}
-
-	// Parallel path: gather the block pointers with one cheap list walk,
-	// then let each worker Base32-encode its record range directly into
-	// the record's fixed offset of the output buffer.
-	blocks := make([]*Block, 0, n)
-	_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
-		blocks = append(blocks, blk)
-		return true
-	})
 	buf := make([]byte, d.TransportLen())
 	prefixRaw := append(d.header.encode(), d.schemePrefix...)
 	crypt.EncodeTransportInto(buf[:d.prefixChars], prefixRaw)
-	_ = parallel.Range(n, d.workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
+	if w := parallel.Plan(n, d.workers, parallel.MinParallelBlocks); w > 1 {
+		// Parallel path: gather the block pointers with one cheap list
+		// walk, then let each worker Base32-encode its record range
+		// directly into the record's fixed offset of the output buffer.
+		blocks := make([]*Block, 0, n)
+		_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
+			blocks = append(blocks, blk)
+			return true
+		})
+		_ = parallel.Range(n, w, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				off := d.prefixChars + i*d.recordChars
+				crypt.EncodeTransportInto(buf[off:off+d.recordChars], blocks[i].Record)
+			}
+			return nil
+		})
+	} else {
+		// Serial path: encode each record into its fixed slot during the
+		// list walk itself — no per-record string, no gather.
+		i := 0
+		_ = d.list.Each(0, func(_ int, blk *Block, _, _ int) bool {
 			off := d.prefixChars + i*d.recordChars
-			crypt.EncodeTransportInto(buf[off:off+d.recordChars], blocks[i].Record)
-		}
-		return nil
-	})
+			crypt.EncodeTransportInto(buf[off:off+d.recordChars], blk.Record)
+			i++
+			return true
+		})
+	}
 	if d.trailerChars > 0 {
 		crypt.EncodeTransportInto(buf[len(buf)-d.trailerChars:], d.trailer)
 	}

@@ -1,0 +1,75 @@
+package blockdoc_test
+
+import (
+	"strings"
+	"testing"
+
+	"privedit/internal/blockdoc"
+	"privedit/internal/crypt"
+	"privedit/internal/recb"
+	"privedit/internal/rpcmode"
+)
+
+// newWorkerDoc builds a document of the given scheme with both the codec
+// kernels and the container serializer pinned to the same worker setting.
+func newWorkerDoc(t *testing.T, scheme string, workers int) *blockdoc.Document {
+	t.Helper()
+	var codec blockdoc.Codec
+	switch scheme {
+	case "rECB":
+		c, err := recb.New(testKey(), crypt.NewSeededNonceSource(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetWorkers(workers)
+		codec = c
+	default:
+		c, err := rpcmode.New(testKey(), crypt.NewSeededNonceSource(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetWorkers(workers)
+		codec = c
+	}
+	doc, err := blockdoc.New(codec, 8, testSalt(), testKC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetWorkers(workers)
+	return doc
+}
+
+// TestTransportIdenticalAcrossWorkers pins the container-level half of the
+// byte-equality invariant: a document loaded and serialized with the
+// serial kernels (workers=1), a forced 2-worker fan-out, and the default
+// (0) produces the same transport string — covering the parallel encode
+// path and the batched codec kernels together — and each worker setting
+// round-trips every other's transport through the parallel decode path.
+func TestTransportIdenticalAcrossWorkers(t *testing.T) {
+	// 40k chars at b=8 is 5000 blocks, past the parallel crossover.
+	text := strings.Repeat("cloud services are curious. ", 1500)
+	for _, scheme := range []string{"rECB", "RPC"} {
+		var ref string
+		for _, w := range []int{1, 2, 0} {
+			doc := newWorkerDoc(t, scheme, w)
+			if err := doc.LoadPlaintext(text); err != nil {
+				t.Fatalf("%s workers=%d: LoadPlaintext: %v", scheme, w, err)
+			}
+			tr := doc.Transport()
+			if ref == "" {
+				ref = tr
+			} else if tr != ref {
+				t.Fatalf("%s workers=%d: transport diverges from serial", scheme, w)
+			}
+		}
+		for _, w := range []int{1, 2, 0} {
+			doc := newWorkerDoc(t, scheme, w)
+			if err := doc.LoadTransport(ref); err != nil {
+				t.Fatalf("%s workers=%d: LoadTransport: %v", scheme, w, err)
+			}
+			if doc.Plaintext() != text {
+				t.Fatalf("%s workers=%d: decoded plaintext diverges", scheme, w)
+			}
+		}
+	}
+}

@@ -4,11 +4,21 @@
 // fixed-width blocks, so whole-document Enc/Dec is embarrassingly parallel
 // once the per-block nonces have been drawn in a deterministic order.
 //
-// The helpers here split an index range [0, n) into one contiguous chunk
-// per worker and run the chunks on their own goroutines. Callers keep the
-// serial path for small inputs: below a per-call-site crossover threshold
-// (picked by benchmark, see MinParallelBlocks) the fan-out overhead of a
-// few goroutines costs more than it saves.
+// The helpers here split an index range [0, n) into one contiguous batch
+// per worker and run the batches on their own goroutines. Each call site
+// keeps two kernels:
+//
+//   - a reference serial kernel (selected by pinning Workers to 1): the
+//     simple per-block implementation the batched kernels are tested
+//     against, and
+//   - a batched kernel (any other worker setting): per-worker contiguous
+//     block batches over arena-allocated output, which is faster even on a
+//     single worker because it amortizes allocation and cipher setup across
+//     the whole run.
+//
+// Fan-out to multiple goroutines only happens above a crossover threshold
+// (picked by benchmark, see MinParallelBlocks): below it the ~10µs cost of
+// spawning a handful of goroutines exceeds the work being split.
 package parallel
 
 import (
@@ -16,12 +26,13 @@ import (
 	"sync"
 )
 
-// MinParallelBlocks is the default crossover threshold: inputs with fewer
-// blocks than this run serially. The value was picked from the
-// serial-vs-parallel Enc benchmark in cmd/privedit-load (-enc-bench): with
-// AES-NI a block seals in well under a microsecond, so the ~10µs cost of
-// fanning out a handful of goroutines only amortizes once a call covers a
-// few thousand blocks (≈ a 10-20k character document at b=8).
+// MinParallelBlocks is the default fan-out crossover threshold: batched
+// kernels over fewer blocks than this run their batch loop inline on the
+// caller's goroutine instead of spawning workers. The value was picked from
+// the serial-vs-batched Enc benchmark in cmd/privedit-load (-enc-bench):
+// with AES-NI a block seals in well under a microsecond, so the ~10µs cost
+// of fanning out a handful of goroutines only amortizes once a call covers
+// a few thousand blocks (≈ a 10-20k character document at b=8).
 const MinParallelBlocks = 2048
 
 // Workers normalizes a requested worker count: n > 0 is used as given,
@@ -33,23 +44,45 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// UseSerial reports whether a call over n blocks with the given requested
-// worker count should take the serial path: either parallelism is disabled
-// (workers == 1), only one worker would receive work, or the input is below
-// the crossover threshold.
-func UseSerial(n, workers, threshold int) bool {
-	return Workers(workers) < 2 || n < 2 || n < threshold
+// UseSerial reports whether a call over n blocks should take the reference
+// serial kernel: the caller explicitly pinned workers to 1, or the input is
+// trivially small. Everything else takes the batched kernel, with Plan
+// deciding how many goroutines (if any) it fans out to.
+func UseSerial(n, workers int) bool {
+	return workers == 1 || n < 2
 }
 
-// Range runs fn over [0, n) split into one contiguous chunk per worker and
-// waits for all chunks. fn receives half-open [lo, hi) bounds and is called
-// concurrently, so it must only touch disjoint state per index. The first
-// non-nil error is returned; other chunks still run to completion.
+// Plan resolves the goroutine count for a batched kernel call over n
+// blocks: 1 (run the batch loop inline) below the fan-out threshold, and
+// min(Workers(workers), n) above it.
+func Plan(n, workers, threshold int) int {
+	if n < threshold {
+		return 1
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// BatchRange runs fn over [0, n) split into one contiguous batch per
+// worker and waits for all batches. fn receives the worker index — so
+// callers can hand each worker pre-allocated scratch — and half-open
+// [lo, hi) bounds; it is called concurrently and must only touch disjoint
+// state per index (or per worker). With one worker (or n < 2) fn runs
+// inline on the caller's goroutine.
 //
-// Range does not apply the crossover heuristic itself — callers decide with
-// UseSerial — but it degenerates gracefully: with one worker (or n < 2) fn
-// runs inline on the caller's goroutine.
-func Range(n, workers int, fn func(lo, hi int) error) error {
+// Errors are deterministic: every batch runs to completion, each batch's
+// error is collected separately, and the error of the lowest-indexed
+// failing batch is returned. Batches cover ascending index ranges, so for
+// kernels whose per-index errors identify the index (e.g. "record %d"),
+// the same corrupt input always yields the same diagnostic regardless of
+// goroutine scheduling.
+func BatchRange(n, workers int, fn func(worker, lo, hi int) error) error {
 	w := Workers(workers)
 	if w > n {
 		w = n
@@ -58,16 +91,13 @@ func Range(n, workers int, fn func(lo, hi int) error) error {
 		if n <= 0 {
 			return nil
 		}
-		return fn(0, n)
+		return fn(0, 0, n)
 	}
 
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	// Distribute n over w chunks as evenly as possible: the first `rem`
-	// chunks get one extra element.
+	var wg sync.WaitGroup
+	errs := make([]error, w)
+	// Distribute n over w batches as evenly as possible: the first `rem`
+	// batches get one extra element.
 	size := n / w
 	rem := n % w
 	lo := 0
@@ -77,14 +107,31 @@ func Range(n, workers int, fn func(lo, hi int) error) error {
 			hi++
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(worker, lo, hi int) {
 			defer wg.Done()
-			if err := fn(lo, hi); err != nil {
-				errOnce.Do(func() { firstErr = err })
-			}
-		}(lo, hi)
+			errs[worker] = fn(worker, lo, hi)
+		}(i, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
-	return firstErr
+	// Worker indices are assigned in ascending index order, so the first
+	// non-nil entry is the lowest-indexed failing batch.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Range runs fn over [0, n) split into one contiguous chunk per worker and
+// waits for all chunks. fn receives half-open [lo, hi) bounds and is called
+// concurrently, so it must only touch disjoint state per index. Like
+// BatchRange, the error of the lowest-indexed failing chunk is returned.
+//
+// Range does not apply the fan-out heuristic itself — callers decide with
+// UseSerial/Plan — but it degenerates gracefully: with one worker (or
+// n < 2) fn runs inline on the caller's goroutine.
+func Range(n, workers int, fn func(lo, hi int) error) error {
+	return BatchRange(n, workers, func(_, lo, hi int) error { return fn(lo, hi) })
 }

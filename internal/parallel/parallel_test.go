@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -29,6 +30,50 @@ func TestRangeCoversEveryIndexExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestBatchRangeCoversEveryIndexWithDisjointWorkers(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, w := range []int{0, 1, 2, 3, 8, 100} {
+			seen := make([]atomic.Int32, n)
+			var batches atomic.Int32
+			err := BatchRange(n, w, func(worker, lo, hi int) error {
+				batches.Add(1)
+				if worker < 0 || worker >= Workers(w) {
+					return fmt.Errorf("worker index %d out of range", worker)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, w, err)
+			}
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchRangeWorkerIndicesAreDistinct(t *testing.T) {
+	const n, w = 100, 4
+	var hits [w]atomic.Int32
+	err := BatchRange(n, w, func(worker, lo, hi int) error {
+		hits[worker].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("worker %d ran %d batches, want 1", i, got)
+		}
+	}
+}
+
 func TestRangeReturnsError(t *testing.T) {
 	boom := errors.New("boom")
 	err := Range(100, 4, func(lo, hi int) error {
@@ -39,6 +84,47 @@ func TestRangeReturnsError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+// TestRangeErrorIsDeterministic seeds two failing records far apart so they
+// land in different worker chunks, and requires every schedule to report
+// the lowest-indexed one. This pins the fix for the old errOnce race, where
+// whichever failing chunk's goroutine won reported its own "record %d" and
+// the same corrupt document produced a different diagnostic run to run.
+func TestRangeErrorIsDeterministic(t *testing.T) {
+	const n = 10_000
+	corrupt := map[int]bool{137: true, 9_411: true} // two seeded-corrupt records
+	for trial := 0; trial < 200; trial++ {
+		for _, w := range []int{2, 3, 8} {
+			err := Range(n, w, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					if corrupt[i] {
+						return fmt.Errorf("record %d: corrupt", i)
+					}
+				}
+				return nil
+			})
+			if err == nil {
+				t.Fatalf("w=%d: expected an error", w)
+			}
+			if got := err.Error(); got != "record 137: corrupt" {
+				t.Fatalf("w=%d trial %d: nondeterministic error %q, want the lowest-index record", w, trial, got)
+			}
+		}
+	}
+}
+
+// Even when the lowest-index failure is in the last-spawned chunk, it must
+// not be outraced by an error from a higher chunk.
+func TestBatchRangeErrorLowestBatchWins(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		err := BatchRange(100, 4, func(worker, lo, hi int) error {
+			return fmt.Errorf("batch %d failed", worker)
+		})
+		if err == nil || err.Error() != "batch 0 failed" {
+			t.Fatalf("trial %d: got %v, want batch 0's error", trial, err)
+		}
 	}
 }
 
@@ -70,21 +156,38 @@ func TestWorkers(t *testing.T) {
 
 func TestUseSerial(t *testing.T) {
 	cases := []struct {
-		n, workers, threshold int
-		want                  bool
+		n, workers int
+		want       bool
 	}{
-		{10, 1, 0, true},     // parallelism disabled
-		{1, 8, 0, true},      // single block
-		{100, 8, 1000, true}, // below crossover
-		{5000, 8, 1000, false},
-		{5000, 0, 1000, false}, // 0 workers -> GOMAXPROCS (assumed > 1 in CI)
+		{10, 1, true},   // reference kernel explicitly requested
+		{1, 8, true},    // single block
+		{1, 0, true},    // single block, auto workers
+		{100, 8, false}, // batched kernel, even below the fan-out threshold
+		{100, 0, false},
+		{5000, 8, false},
+		{5000, 0, false},
 	}
 	for _, c := range cases {
-		if runtime.GOMAXPROCS(0) == 1 && c.workers == 0 {
-			continue
+		if got := UseSerial(c.n, c.workers); got != c.want {
+			t.Errorf("UseSerial(%d,%d) = %v, want %v", c.n, c.workers, got, c.want)
 		}
-		if got := UseSerial(c.n, c.workers, c.threshold); got != c.want {
-			t.Errorf("UseSerial(%d,%d,%d) = %v, want %v", c.n, c.workers, c.threshold, got, c.want)
+	}
+}
+
+func TestPlan(t *testing.T) {
+	cases := []struct {
+		n, workers, threshold int
+		want                  int
+	}{
+		{100, 8, 2048, 1},  // below the crossover: inline batch loop
+		{5000, 8, 2048, 8}, // above: fan out
+		{5000, 4, 2048, 4},
+		{3, 8, 2, 3},              // never more workers than blocks
+		{5000, -1, 2048, Workers(0)}, // auto resolves to GOMAXPROCS
+	}
+	for _, c := range cases {
+		if got := Plan(c.n, c.workers, c.threshold); got != c.want {
+			t.Errorf("Plan(%d,%d,%d) = %d, want %d", c.n, c.workers, c.threshold, got, c.want)
 		}
 	}
 }

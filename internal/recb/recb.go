@@ -18,6 +18,7 @@ package recb
 
 import (
 	"fmt"
+	"sync"
 
 	"privedit/internal/blockdoc"
 	"privedit/internal/crypt"
@@ -37,11 +38,18 @@ const (
 type Codec struct {
 	prp    *crypt.PRP
 	nonces crypt.NonceSource
-	r0     uint64
+
+	// mu guards r0, the container-level nonce every block is bound to.
+	// The whole-document kernels work with a local copy and publish it
+	// once on success, so concurrent calls on one codec never observe a
+	// half-updated document state (and never race: each call's blocks are
+	// consistent with the prefix that call returns).
+	mu sync.Mutex
+	r0 uint64
 
 	// workers bounds the goroutines used by the whole-document kernels
-	// (0 = GOMAXPROCS, 1 = serial). Documents below threshold blocks
-	// always take the serial path.
+	// (0 = GOMAXPROCS, 1 = the reference serial per-block kernel).
+	// Documents below threshold blocks never fan out.
 	workers   int
 	threshold int
 }
@@ -58,9 +66,11 @@ func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
 	return &Codec{prp: prp, nonces: nonces, threshold: parallel.MinParallelBlocks}, nil
 }
 
-// SetWorkers bounds the worker goroutines used by EncryptAll/DecryptAll:
-// 0 selects GOMAXPROCS, 1 forces the serial path. The ciphertext is
-// identical either way — nonces are always drawn in document order.
+// SetWorkers selects the kernel used by EncryptAll/DecryptAll/Splice:
+// 1 pins the reference serial per-block kernel, anything else selects the
+// batched arena kernel (0 = fan out up to GOMAXPROCS above the crossover
+// threshold). The ciphertext is identical either way — nonces are always
+// drawn in document order.
 func (c *Codec) SetWorkers(n int) { c.workers = n }
 
 // Name implements blockdoc.Codec.
@@ -81,6 +91,21 @@ func (c *Codec) TrailerBytes() int { return 0 }
 // MaxChars implements blockdoc.Codec.
 func (c *Codec) MaxChars() int { return maxChars }
 
+// snapshotR0 reads the published container nonce.
+func (c *Codec) snapshotR0() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.r0
+}
+
+// publishR0 installs the container nonce a successful whole-document call
+// established.
+func (c *Codec) publishR0(r0 uint64) {
+	c.mu.Lock()
+	c.r0 = r0
+	c.mu.Unlock()
+}
+
 // padChars returns the 64-bit zero-padded data field for a block.
 func padChars(chars []byte) uint64 {
 	var d [8]byte
@@ -88,19 +113,40 @@ func padChars(chars []byte) uint64 {
 	return crypt.Uint64(d[:])
 }
 
-// encryptBlock encrypts one block of 1..8 characters under a fresh nonce.
-func (c *Codec) encryptBlock(chars []byte) (*blockdoc.Block, error) {
-	return c.encryptBlockNonce(chars, c.nonces.Nonce64())
+// padCharsFast is the batched kernel's padChars: full blocks — the
+// overwhelming majority at any b — skip the zero-pad staging copy. The
+// reference kernel keeps the staged padChars so the serial baseline
+// preserves the original per-block kernel's cost model.
+func padCharsFast(chars []byte) uint64 {
+	if len(chars) == maxChars {
+		return crypt.Uint64(chars)
+	}
+	return padChars(chars)
 }
 
-// encryptBlockNonce encrypts one block under the given nonce. It reads only
-// immutable codec state (prp, r0), so distinct calls may run concurrently.
-func (c *Codec) encryptBlockNonce(chars []byte, ri uint64) (*blockdoc.Block, error) {
+// risPool recycles the batched kernels' bulk nonce scratch. Every nonce is
+// copied into its output block during assembly, so the slice is dead by
+// the time a call returns and can be handed to the next one.
+var risPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func getRis(n int) *[]uint64 {
+	p := risPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// encryptBlockNonce encrypts one block under the given nonce: the
+// reference per-block kernel. It reads only immutable codec state (r0 is
+// threaded through as a parameter), so distinct calls may run concurrently.
+func (c *Codec) encryptBlockNonce(chars []byte, r0, ri uint64) (*blockdoc.Block, error) {
 	if len(chars) == 0 || len(chars) > maxChars {
 		return nil, fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(chars))
 	}
 	var pt [crypt.BlockSize]byte
-	crypt.PutUint64(pt[:8], c.r0^ri)
+	crypt.PutUint64(pt[:8], r0^ri)
 	crypt.PutUint64(pt[8:], ri^padChars(chars))
 	rec := make([]byte, recordBytes)
 	rec[0] = byte(len(chars))
@@ -112,8 +158,8 @@ func (c *Codec) encryptBlockNonce(chars []byte, ri uint64) (*blockdoc.Block, err
 	return &blockdoc.Block{Chars: own, Record: rec, Nonce: ri}, nil
 }
 
-// decryptBlock inverts encryptBlock.
-func (c *Codec) decryptBlock(rec []byte) (*blockdoc.Block, error) {
+// decryptBlock inverts encryptBlockNonce: the reference per-block kernel.
+func (c *Codec) decryptBlock(rec []byte, r0 uint64) (*blockdoc.Block, error) {
 	if len(rec) != recordBytes {
 		return nil, fmt.Errorf("%w: record of %d bytes", blockdoc.ErrCorrupt, len(rec))
 	}
@@ -125,7 +171,7 @@ func (c *Codec) decryptBlock(rec []byte) (*blockdoc.Block, error) {
 	if err := c.prp.Decrypt(pt[:], rec[1:]); err != nil {
 		return nil, err
 	}
-	ri := crypt.Uint64(pt[:8]) ^ c.r0
+	ri := crypt.Uint64(pt[:8]) ^ r0
 	d := crypt.Uint64(pt[8:]) ^ ri
 	var db [8]byte
 	crypt.PutUint64(db[:], d)
@@ -141,45 +187,132 @@ func (c *Codec) decryptBlock(rec []byte) (*blockdoc.Block, error) {
 	return &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: ri}, nil
 }
 
+// arena carries the per-call backing arrays of the batched kernels: one
+// allocation per array per call instead of two small makes per block. Each
+// block's record and character slices are strided sub-slices (capped with
+// full slice expressions, so a later append can never bleed into a
+// neighbor's region).
+type arena struct {
+	recs  []byte
+	chars []byte
+	slab  []blockdoc.Block
+}
+
+func newArena(n int) arena {
+	// One byte backing for records and characters; the record region comes
+	// first and is capacity-capped so record slicing can never reach the
+	// character region.
+	buf := make([]byte, n*(recordBytes+maxChars))
+	return arena{
+		recs:  buf[: n*recordBytes : n*recordBytes],
+		chars: buf[n*recordBytes:],
+		slab:  make([]blockdoc.Block, n),
+	}
+}
+
+func (a *arena) rec(i int) []byte {
+	return a.recs[i*recordBytes : (i+1)*recordBytes : (i+1)*recordBytes]
+}
+
+func (a *arena) charSlot(i, n int) []byte {
+	return a.chars[i*maxChars : i*maxChars+n : i*maxChars+n]
+}
+
+// encryptBatch is the batched Enc kernel: it seals blocks [lo, hi) into
+// the arena. The plaintext is assembled directly in each record's AES slot
+// and encrypted in place, so the kernel allocates nothing.
+func (c *Codec) encryptBatch(chunks [][]byte, ris []uint64, r0 uint64, a arena, blocks []*blockdoc.Block, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		ch := chunks[i]
+		if len(ch) == 0 || len(ch) > maxChars {
+			return fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(ch))
+		}
+		rec := a.rec(i)
+		rec[0] = byte(len(ch))
+		crypt.PutUint64(rec[1:9], r0^ris[i])
+		crypt.PutUint64(rec[9:17], ris[i]^padCharsFast(ch))
+		if err := c.prp.Encrypt(rec[1:], rec[1:]); err != nil {
+			return err
+		}
+		own := a.charSlot(i, len(ch))
+		copy(own, ch)
+		a.slab[i] = blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+		blocks[i] = &a.slab[i]
+	}
+	return nil
+}
+
+// decryptBatch is the batched Dec kernel over records [lo, hi). pt is the
+// worker's 16-byte decryption scratch.
+func (c *Codec) decryptBatch(records [][]byte, r0 uint64, pt []byte, a arena, blocks []*blockdoc.Block, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		rec := records[i]
+		if len(rec) != recordBytes {
+			return fmt.Errorf("record %d: %w: record of %d bytes", i, blockdoc.ErrCorrupt, len(rec))
+		}
+		count := int(rec[0])
+		if count < 1 || count > maxChars {
+			return fmt.Errorf("record %d: %w: block count %d", i, blockdoc.ErrCorrupt, count)
+		}
+		if err := c.prp.Decrypt(pt, rec[1:]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		ri := crypt.Uint64(pt[:8]) ^ r0
+		d := crypt.Uint64(pt[8:]) ^ ri
+		crypt.PutUint64(pt[8:], d)
+		for _, b := range pt[8+count : 16] {
+			if b != 0 {
+				return fmt.Errorf("record %d: %w: nonzero block padding", i, blockdoc.ErrCorrupt)
+			}
+		}
+		chars := a.charSlot(i, count)
+		copy(chars, pt[8:8+count])
+		recOwn := a.rec(i)
+		copy(recOwn, rec)
+		a.slab[i] = blockdoc.Block{Chars: chars, Record: recOwn, Nonce: ri}
+		blocks[i] = &a.slab[i]
+	}
+	return nil
+}
+
 // EncryptAll implements blockdoc.Codec: fresh r0, every chunk encrypted
 // independently. Nonces are drawn serially in document order (so the
 // ciphertext is deterministic for a given source); the per-block AES work —
-// the bulk of Enc — is fanned out across the worker pool for documents
-// above the crossover threshold.
+// the bulk of Enc — runs in the batched arena kernel, fanned out across
+// worker goroutines for documents above the crossover threshold.
 func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.Block, trailer []byte, err error) {
-	c.r0 = c.nonces.Nonce64()
+	n := len(chunks)
+	r0 := c.nonces.Nonce64()
 	prefix = make([]byte, prefixBytes)
 	var pt [crypt.BlockSize]byte
-	crypt.PutUint64(pt[:8], c.r0)
+	crypt.PutUint64(pt[:8], r0)
 	if err := c.prp.Encrypt(prefix, pt[:]); err != nil {
 		return nil, nil, nil, err
 	}
-	ris := make([]uint64, len(chunks))
-	for i := range ris {
-		ris[i] = c.nonces.Nonce64()
-	}
-	blocks = make([]*blockdoc.Block, len(chunks))
-	if parallel.UseSerial(len(chunks), c.workers, c.threshold) {
+	blocks = make([]*blockdoc.Block, n)
+	if parallel.UseSerial(n, c.workers) {
+		// Reference kernel: per-block nonce draw and seal, preserving the
+		// original serial shape (and cost model) exactly.
 		for i, ch := range chunks {
-			if blocks[i], err = c.encryptBlockNonce(ch, ris[i]); err != nil {
+			if blocks[i], err = c.encryptBlockNonce(ch, r0, c.nonces.Nonce64()); err != nil {
 				return nil, nil, nil, err
 			}
 		}
-		return prefix, blocks, nil, nil
-	}
-	err = parallel.Range(len(chunks), c.workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			b, err := c.encryptBlockNonce(chunks[i], ris[i])
-			if err != nil {
-				return err
-			}
-			blocks[i] = b
+	} else {
+		rp := getRis(n)
+		defer risPool.Put(rp)
+		ris := *rp
+		crypt.FillNonces(c.nonces, ris)
+		a := newArena(n)
+		w := parallel.Plan(n, c.workers, c.threshold)
+		err = parallel.BatchRange(n, w, func(_, lo, hi int) error {
+			return c.encryptBatch(chunks, ris, r0, a, blocks, lo, hi)
+		})
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, nil, err
 	}
+	c.publishR0(r0)
 	return prefix, blocks, nil, nil
 }
 
@@ -199,31 +332,30 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 	if crypt.Uint64(pt[8:]) != 0 {
 		return nil, fmt.Errorf("%w: nonzero r0 padding", blockdoc.ErrCorrupt)
 	}
-	c.r0 = crypt.Uint64(pt[:8])
-	blocks := make([]*blockdoc.Block, len(records))
-	if parallel.UseSerial(len(records), c.workers, c.threshold) {
+	r0 := crypt.Uint64(pt[:8])
+	n := len(records)
+	blocks := make([]*blockdoc.Block, n)
+	if parallel.UseSerial(n, c.workers) {
 		for i, rec := range records {
-			b, err := c.decryptBlock(rec)
+			b, err := c.decryptBlock(rec, r0)
 			if err != nil {
 				return nil, fmt.Errorf("record %d: %w", i, err)
 			}
 			blocks[i] = b
 		}
-		return blocks, nil
-	}
-	err := parallel.Range(len(records), c.workers, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			b, err := c.decryptBlock(records[i])
-			if err != nil {
-				return fmt.Errorf("record %d: %w", i, err)
-			}
-			blocks[i] = b
+	} else {
+		a := newArena(n)
+		w := parallel.Plan(n, c.workers, c.threshold)
+		pts := make([]byte, w*crypt.BlockSize)
+		err := parallel.BatchRange(n, w, func(worker, lo, hi int) error {
+			scratch := pts[worker*crypt.BlockSize : (worker+1)*crypt.BlockSize]
+			return c.decryptBatch(records, r0, scratch, a, blocks, lo, hi)
+		})
+		if err != nil {
+			return nil, err
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	c.publishR0(r0)
 	return blocks, nil
 }
 
@@ -233,13 +365,28 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 // edited block).
 func (c *Codec) Splice(left *blockdoc.Block, removed []*blockdoc.Block, chunks [][]byte, right *blockdoc.Block) (
 	added []*blockdoc.Block, newLeftRecord, newPrefix, newTrailer []byte, err error) {
-	added = make([]*blockdoc.Block, 0, len(chunks))
-	for _, ch := range chunks {
-		b, err := c.encryptBlock(ch)
-		if err != nil {
-			return nil, nil, nil, nil, err
+	n := len(chunks)
+	r0 := c.snapshotR0()
+	added = make([]*blockdoc.Block, n)
+	if parallel.UseSerial(n, c.workers) {
+		for i, ch := range chunks {
+			if added[i], err = c.encryptBlockNonce(ch, r0, c.nonces.Nonce64()); err != nil {
+				return nil, nil, nil, nil, err
+			}
 		}
-		added = append(added, b)
+		return added, nil, nil, nil, nil
+	}
+	rp := getRis(n)
+	defer risPool.Put(rp)
+	ris := *rp
+	crypt.FillNonces(c.nonces, ris)
+	a := newArena(n)
+	w := parallel.Plan(n, c.workers, c.threshold)
+	err = parallel.BatchRange(n, w, func(_, lo, hi int) error {
+		return c.encryptBatch(chunks, ris, r0, a, added, lo, hi)
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
 	}
 	return added, nil, nil, nil, nil
 }

@@ -22,6 +22,7 @@ package rpcmode
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"privedit/internal/blockdoc"
 	"privedit/internal/crypt"
@@ -38,6 +39,12 @@ const (
 	maxChars    = 8                   // 64-bit data field
 )
 
+// wideRunBlocks is the tile size of the batched kernels: the number of
+// records handed to one WidePRP Encrypt/DecryptRun call. 128 records is a
+// 4 KiB tile, small enough that the four round-major sweeps stay in L1 and
+// large enough to amortize the per-run dispatch.
+const wideRunBlocks = 128
+
 // Record field types stored in the meta field.
 const (
 	typeStart = 1
@@ -47,24 +54,32 @@ const (
 // alpha is the paper's arbitrary start-marker symbol α.
 var alpha = [8]byte{'R', 'P', 'C', '-', 'S', 'T', 'R', 'T'}
 
-// Codec is the RPC scheme. It implements blockdoc.Codec.
-type Codec struct {
-	wide   *crypt.WidePRP
-	nonces crypt.NonceSource
-
-	// Ring and aggregate state (rebuilt by EncryptAll/DecryptAll,
-	// maintained incrementally by Splice).
+// ringState is the ring and aggregate state of one container: rebuilt by
+// EncryptAll/DecryptAll, maintained incrementally by Splice. The
+// whole-document kernels compute on a local copy and publish it once on
+// success, so concurrent calls on one codec never race on it.
+type ringState struct {
 	r0       uint64
 	xorAllR  uint64 // ⊕ r_i for i = 0..n
 	xorD     uint64 // ⊕ padded d_i
 	xorRTail uint64 // ⊕ r_i for i = 1..n
 	count    uint64 // n
+}
+
+// Codec is the RPC scheme. It implements blockdoc.Codec.
+type Codec struct {
+	wide   *crypt.WidePRP
+	nonces crypt.NonceSource
+
+	// mu guards state between whole-document calls.
+	mu    sync.Mutex
+	state ringState
 
 	// workers bounds the goroutines used by the whole-document kernels
-	// (0 = GOMAXPROCS, 1 = serial). Documents below threshold blocks
-	// always take the serial path. The XOR aggregates reduce
-	// associatively, so the parallel kernels produce the same checksum
-	// block as the serial ones.
+	// (0 = GOMAXPROCS, 1 = the reference serial per-block kernel).
+	// Documents below threshold blocks never fan out. The XOR aggregates
+	// reduce associatively, so every kernel produces the same checksum
+	// block.
 	workers   int
 	threshold int
 }
@@ -81,9 +96,11 @@ func New(key []byte, nonces crypt.NonceSource) (*Codec, error) {
 	return &Codec{wide: wide, nonces: nonces, threshold: parallel.MinParallelBlocks}, nil
 }
 
-// SetWorkers bounds the worker goroutines used by EncryptAll/DecryptAll:
-// 0 selects GOMAXPROCS, 1 forces the serial path. The ciphertext is
-// identical either way — nonces are always drawn in document order.
+// SetWorkers selects the kernel used by EncryptAll/DecryptAll/Splice:
+// 1 pins the reference serial per-block kernel, anything else selects the
+// batched arena kernel (0 = fan out up to GOMAXPROCS above the crossover
+// threshold). The ciphertext is identical either way — nonces are always
+// drawn in document order.
 func (c *Codec) SetWorkers(n int) { c.workers = n }
 
 // Name implements blockdoc.Codec.
@@ -104,10 +121,50 @@ func (c *Codec) TrailerBytes() int { return trailerByts }
 // MaxChars implements blockdoc.Codec.
 func (c *Codec) MaxChars() int { return maxChars }
 
+// snapshot reads the published ring state.
+func (c *Codec) snapshot() ringState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// publish installs the ring state a successful whole-document call
+// established.
+func (c *Codec) publish(st ringState) {
+	c.mu.Lock()
+	c.state = st
+	c.mu.Unlock()
+}
+
 func padChars(chars []byte) uint64 {
 	var d [8]byte
 	copy(d[:], chars)
 	return crypt.Uint64(d[:])
+}
+
+// padCharsFast is the batched kernels' padChars: full blocks — the
+// overwhelming majority at any b — skip the zero-pad staging copy. The
+// reference kernel keeps the staged padChars so the serial baseline
+// preserves the original per-block kernel's cost model.
+func padCharsFast(chars []byte) uint64 {
+	if len(chars) == maxChars {
+		return crypt.Uint64(chars)
+	}
+	return padChars(chars)
+}
+
+// risPool recycles the batched kernels' bulk nonce scratch. Every nonce is
+// copied into its output block during assembly, so the slice is dead by
+// the time a call returns and can be handed to the next one.
+var risPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+func getRis(n int) *[]uint64 {
+	p := risPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, n)
+	}
+	*p = (*p)[:n]
+	return p
 }
 
 // sealRecord encrypts the four 64-bit fields of a record.
@@ -145,7 +202,8 @@ func unpackMeta(m uint64) (typ byte, count int, rest uint64) {
 	return byte(m >> 56), int(byte(m >> 48)), m & 0x0000FFFFFFFFFFFF
 }
 
-// encryptData builds the record W(r_i, d_i, meta, next) for a data block.
+// encryptData builds the record W(r_i, d_i, meta, next) for a data block:
+// the reference per-block kernel.
 func (c *Codec) encryptData(chars []byte, ri, next uint64) ([]byte, error) {
 	if len(chars) == 0 || len(chars) > maxChars {
 		return nil, fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(chars))
@@ -154,69 +212,192 @@ func (c *Codec) encryptData(chars []byte, ri, next uint64) ([]byte, error) {
 }
 
 // encryptStart builds the start block W(r0, α, meta, next).
-func (c *Codec) encryptStart(next uint64) ([]byte, error) {
-	return c.sealRecord(c.r0, crypt.Uint64(alpha[:]), meta(typeStart, 0), next)
+func (c *Codec) encryptStart(r0, next uint64) ([]byte, error) {
+	return c.sealRecord(r0, crypt.Uint64(alpha[:]), meta(typeStart, 0), next)
 }
 
-// encryptTrailer builds the checksum block from the current aggregates.
-func (c *Codec) encryptTrailer() ([]byte, error) {
-	return c.sealRecord(c.xorAllR, c.xorD, c.count, c.xorRTail)
+// encryptTrailer builds the checksum block from the given aggregates.
+func (c *Codec) encryptTrailer(st ringState) ([]byte, error) {
+	return c.sealRecord(st.xorAllR, st.xorD, st.count, st.xorRTail)
+}
+
+// arena carries the per-call backing arrays of the batched kernels: one
+// allocation per array per call instead of two small makes per block. Each
+// block's record and character slices are strided sub-slices (capped with
+// full slice expressions, so a later append can never bleed into a
+// neighbor's region).
+type arena struct {
+	recs  []byte
+	chars []byte
+	slab  []blockdoc.Block
+}
+
+func newArena(n int) arena {
+	// One byte backing for records and characters; the record region comes
+	// first and is capacity-capped so tile slicing can never reach the
+	// character region.
+	buf := make([]byte, n*(recordBytes+maxChars))
+	return arena{
+		recs:  buf[: n*recordBytes : n*recordBytes],
+		chars: buf[n*recordBytes:],
+		slab:  make([]blockdoc.Block, n),
+	}
+}
+
+func (a *arena) rec(i int) []byte {
+	return a.recs[i*recordBytes : (i+1)*recordBytes : (i+1)*recordBytes]
+}
+
+func (a *arena) charSlot(i, n int) []byte {
+	return a.chars[i*maxChars : i*maxChars+n : i*maxChars+n]
+}
+
+// aggPair is one worker's partial XOR aggregates. The ⊕r_i term feeds
+// both xorAllR and xorRTail (they differ only in r0, folded by the
+// caller); padding keeps workers on distinct cache lines.
+type aggPair struct {
+	xorR uint64 // ⊕ ris[i] over the worker's batch
+	xorD uint64 // ⊕ padded d_i over the worker's batch
+	_    [48]byte
+}
+
+// encryptBatch is the batched Enc kernel: it seals blocks [lo, hi) into
+// the arena. Plaintext fields are assembled tile by tile directly in the
+// record arena, then each 4 KiB tile is permuted in place by one
+// round-major EncryptRun — amortizing the four cipher dispatches across
+// the tile instead of paying them per block. The worker's checksum
+// contributions accumulate into agg as a side effect of the assembly pass,
+// so the caller never re-walks the chunks.
+func (c *Codec) encryptBatch(chunks [][]byte, ris []uint64, r0 uint64, a arena, blocks []*blockdoc.Block, lo, hi int, agg *aggPair) error {
+	for tile := lo; tile < hi; tile += wideRunBlocks {
+		end := tile + wideRunBlocks
+		if end > hi {
+			end = hi
+		}
+		for i := tile; i < end; i++ {
+			ch := chunks[i]
+			if len(ch) == 0 || len(ch) > maxChars {
+				return fmt.Errorf("%w: block of %d chars", blockdoc.ErrCorrupt, len(ch))
+			}
+			rec := a.rec(i)
+			next := r0
+			if i+1 < len(chunks) {
+				next = ris[i+1]
+			}
+			d := padCharsFast(ch)
+			agg.xorR ^= ris[i]
+			agg.xorD ^= d
+			crypt.PutUint64(rec[0:8], ris[i])
+			crypt.PutUint64(rec[8:16], d)
+			crypt.PutUint64(rec[16:24], meta(typeData, len(ch)))
+			crypt.PutUint64(rec[24:32], next)
+			// The Block only captures slice headers, so it can be built
+			// before the tile's in-place encryption turns rec into
+			// ciphertext — one pass over the tile instead of two.
+			own := a.charSlot(i, len(ch))
+			copy(own, ch)
+			a.slab[i] = blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+			blocks[i] = &a.slab[i]
+		}
+		if err := c.wide.EncryptRun(a.recs[tile*recordBytes : end*recordBytes]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openBatch is the batched half of Dec: it copies records [lo, hi) into
+// the retained record arena, and decrypts a second copy tile by tile into
+// pts, where the serial ring-verification pass reads the fields.
+func (c *Codec) openBatch(records [][]byte, pts []byte, a arena, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if len(records[i]) != recordBytes {
+			return fmt.Errorf("record %d: %w: record of %d bytes", i, blockdoc.ErrCorrupt, len(records[i]))
+		}
+		copy(a.recs[i*recordBytes:(i+1)*recordBytes], records[i])
+	}
+	copy(pts[lo*recordBytes:hi*recordBytes], a.recs[lo*recordBytes:hi*recordBytes])
+	for tile := lo; tile < hi; tile += wideRunBlocks {
+		end := tile + wideRunBlocks
+		if end > hi {
+			end = hi
+		}
+		if err := c.wide.DecryptRun(pts[tile*recordBytes : end*recordBytes]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EncryptAll implements blockdoc.Codec: fresh ring, all aggregates rebuilt.
+// Nonces are drawn serially in document order (so the ciphertext is
+// deterministic for a given source); the wide-block sealing — the bulk of
+// Enc — runs in the batched arena kernel, fanned out across worker
+// goroutines for documents above the crossover threshold.
 func (c *Codec) EncryptAll(chunks [][]byte) (prefix []byte, blocks []*blockdoc.Block, trailer []byte, err error) {
-	c.r0 = c.nonces.Nonce64()
-	c.xorAllR = c.r0
-	c.xorD = 0
-	c.xorRTail = 0
-	c.count = uint64(len(chunks))
+	n := len(chunks)
+	var st ringState
+	st.r0 = c.nonces.Nonce64()
+	st.xorAllR = st.r0
+	st.count = uint64(n)
 
-	ris := make([]uint64, len(chunks))
-	for i := range ris {
-		ris[i] = c.nonces.Nonce64()
-		c.xorAllR ^= ris[i]
-		c.xorRTail ^= ris[i]
-	}
-	blocks = make([]*blockdoc.Block, len(chunks))
-	sealRange := func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			ch := chunks[i]
-			next := c.r0
-			if i+1 < len(chunks) {
+	var ris []uint64
+	blocks = make([]*blockdoc.Block, n)
+	if parallel.UseSerial(n, c.workers) {
+		// Reference kernel: per-draw nonce acquisition and one sealRecord
+		// per block, preserving the original serial shape (and cost model)
+		// exactly. The aggregates fold inside the block loop.
+		ris = make([]uint64, n)
+		for i := range ris {
+			ris[i] = c.nonces.Nonce64()
+		}
+		for i, ch := range chunks {
+			next := st.r0
+			if i+1 < n {
 				next = ris[i+1]
 			}
 			rec, err := c.encryptData(ch, ris[i], next)
 			if err != nil {
-				return err
+				return nil, nil, nil, err
 			}
 			own := make([]byte, len(ch))
 			copy(own, ch)
 			blocks[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+			st.xorAllR ^= ris[i]
+			st.xorRTail ^= ris[i]
+			st.xorD ^= padChars(ch)
 		}
-		return nil
-	}
-	// The data aggregate is a cheap associative XOR; fold it serially so
-	// the parallel workers touch no shared codec state at all.
-	for _, ch := range chunks {
-		c.xorD ^= padChars(ch)
-	}
-	if parallel.UseSerial(len(chunks), c.workers, c.threshold) {
-		if err := sealRange(0, len(chunks)); err != nil {
+	} else {
+		rp := getRis(n)
+		defer risPool.Put(rp)
+		ris = *rp
+		crypt.FillNonces(c.nonces, ris)
+		a := newArena(n)
+		w := parallel.Plan(n, c.workers, c.threshold)
+		aggs := make([]aggPair, w)
+		err = parallel.BatchRange(n, w, func(worker, lo, hi int) error {
+			return c.encryptBatch(chunks, ris, st.r0, a, blocks, lo, hi, &aggs[worker])
+		})
+		if err != nil {
 			return nil, nil, nil, err
 		}
-	} else if err := parallel.Range(len(chunks), c.workers, sealRange); err != nil {
-		return nil, nil, nil, err
+		for i := range aggs {
+			st.xorAllR ^= aggs[i].xorR
+			st.xorRTail ^= aggs[i].xorR
+			st.xorD ^= aggs[i].xorD
+		}
 	}
-	first := c.r0
+	first := st.r0
 	if len(ris) > 0 {
 		first = ris[0]
 	}
-	if prefix, err = c.encryptStart(first); err != nil {
+	if prefix, err = c.encryptStart(st.r0, first); err != nil {
 		return nil, nil, nil, err
 	}
-	if trailer, err = c.encryptTrailer(); err != nil {
+	if trailer, err = c.encryptTrailer(st); err != nil {
 		return nil, nil, nil, err
 	}
+	c.publish(st)
 	return prefix, blocks, trailer, nil
 }
 
@@ -235,64 +416,69 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 	if typ != typeStart || cnt != 0 || rest != 0 || f1 != crypt.Uint64(alpha[:]) {
 		return nil, fmt.Errorf("%w: malformed start block", blockdoc.ErrIntegrity)
 	}
-	r0 := f0
+	var st ringState
+	st.r0 = f0
 	expected := f3
+	n := len(records)
 
-	// Opening a record — the wide-PRP inversion — is the expensive step
-	// and is independent per record; fan it out above the crossover
-	// threshold. The ring verification is inherently sequential (each
-	// record's nonce must equal the previous record's next pointer), so it
-	// runs as a serial pass over the opened fields.
-	type opened struct {
-		ri, d, m, next uint64
-	}
-	fields := make([]opened, len(records))
-	openRange := func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			ri, d, m, next, err := c.openRecord(records[i])
+	// Opening the records — the wide-PRP inversion — is the expensive step
+	// and is independent per record: the reference kernel inverts one
+	// record at a time, the batched kernel one tile at a time, fanned out
+	// above the crossover threshold. The ring verification is inherently
+	// sequential (each record's nonce must equal the previous record's
+	// next pointer), so it runs as a serial pass over the opened fields.
+	a := newArena(n)
+	pts := make([]byte, n*recordBytes)
+	if parallel.UseSerial(n, c.workers) {
+		for i, rec := range records {
+			g0, g1, g2, g3, err := c.openRecord(rec)
 			if err != nil {
-				return fmt.Errorf("record %d: %w", i, err)
+				return nil, fmt.Errorf("record %d: %w", i, err)
 			}
-			fields[i] = opened{ri, d, m, next}
+			pt := pts[i*recordBytes : (i+1)*recordBytes]
+			crypt.PutUint64(pt[0:8], g0)
+			crypt.PutUint64(pt[8:16], g1)
+			crypt.PutUint64(pt[16:24], g2)
+			crypt.PutUint64(pt[24:32], g3)
+			copy(a.recs[i*recordBytes:(i+1)*recordBytes], rec)
 		}
-		return nil
-	}
-	if parallel.UseSerial(len(records), c.workers, c.threshold) {
-		if err := openRange(0, len(records)); err != nil {
+	} else {
+		w := parallel.Plan(n, c.workers, c.threshold)
+		err := parallel.BatchRange(n, w, func(_, lo, hi int) error {
+			return c.openBatch(records, pts, a, lo, hi)
+		})
+		if err != nil {
 			return nil, err
 		}
-	} else if err := parallel.Range(len(records), c.workers, openRange); err != nil {
-		return nil, err
 	}
 
-	var xorAllR, xorD, xorRTail uint64
-	xorAllR = r0
-	blocks := make([]*blockdoc.Block, 0, len(records))
-	for i, rec := range records {
-		f := fields[i]
-		typ, count, rest := unpackMeta(f.m)
+	st.xorAllR = st.r0
+	blocks := make([]*blockdoc.Block, n)
+	for i := 0; i < n; i++ {
+		pt := pts[i*recordBytes : (i+1)*recordBytes]
+		ri := crypt.Uint64(pt[0:8])
+		d := crypt.Uint64(pt[8:16])
+		typ, count, rest := unpackMeta(crypt.Uint64(pt[16:24]))
+		next := crypt.Uint64(pt[24:32])
 		if typ != typeData || rest != 0 || count < 1 || count > maxChars {
 			return nil, fmt.Errorf("%w: record %d malformed", blockdoc.ErrIntegrity, i)
 		}
-		if f.ri != expected {
+		if ri != expected {
 			return nil, fmt.Errorf("%w: record %d breaks the nonce chain", blockdoc.ErrIntegrity, i)
 		}
-		var db [8]byte
-		crypt.PutUint64(db[:], f.d)
-		if !bytes.Equal(db[count:], make([]byte, 8-count)) {
+		if !bytes.Equal(pt[8+count:16], zeroPad[:8-count]) {
 			return nil, fmt.Errorf("%w: record %d has nonzero padding", blockdoc.ErrIntegrity, i)
 		}
-		chars := make([]byte, count)
-		copy(chars, db[:count])
-		recOwn := make([]byte, recordBytes)
-		copy(recOwn, rec)
-		blocks = append(blocks, &blockdoc.Block{Chars: chars, Record: recOwn, Nonce: f.ri})
-		xorAllR ^= f.ri
-		xorRTail ^= f.ri
-		xorD ^= f.d
-		expected = f.next
+		chars := a.charSlot(i, count)
+		copy(chars, pt[8:8+count])
+		a.slab[i] = blockdoc.Block{Chars: chars, Record: a.rec(i), Nonce: ri}
+		blocks[i] = &a.slab[i]
+		st.xorAllR ^= ri
+		st.xorRTail ^= ri
+		st.xorD ^= d
+		expected = next
 	}
-	if expected != r0 {
+	if expected != st.r0 {
 		return nil, fmt.Errorf("%w: nonce ring does not close", blockdoc.ErrIntegrity)
 	}
 	if trailer == nil {
@@ -302,17 +488,17 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 	if err != nil {
 		return nil, err
 	}
-	if t0 != xorAllR || t1 != xorD || t2 != uint64(len(records)) || t3 != xorRTail {
+	if t0 != st.xorAllR || t1 != st.xorD || t2 != uint64(n) || t3 != st.xorRTail {
 		return nil, fmt.Errorf("%w: checksum block mismatch", blockdoc.ErrIntegrity)
 	}
 
-	c.r0 = r0
-	c.xorAllR = xorAllR
-	c.xorD = xorD
-	c.xorRTail = xorRTail
-	c.count = uint64(len(records))
+	st.count = uint64(n)
+	c.publish(st)
 	return blocks, nil
 }
+
+// zeroPad backs the constant zero-padding comparisons of the verify pass.
+var zeroPad [8]byte
 
 // Splice implements blockdoc.Codec. The replacement blocks are chained
 // between the surviving neighbors: the left neighbor (or the start block,
@@ -322,56 +508,85 @@ func (c *Codec) DecryptAll(prefix []byte, records [][]byte, trailer []byte) ([]*
 // XOR-ing the removed blocks out and the new blocks in.
 func (c *Codec) Splice(left *blockdoc.Block, removed []*blockdoc.Block, chunks [][]byte, right *blockdoc.Block) (
 	added []*blockdoc.Block, newLeftRecord, newPrefix, newTrailer []byte, err error) {
+	st := c.snapshot()
 	for _, b := range removed {
-		c.xorAllR ^= b.Nonce
-		c.xorRTail ^= b.Nonce
-		c.xorD ^= padChars(b.Chars)
-		c.count--
+		st.xorAllR ^= b.Nonce
+		st.xorRTail ^= b.Nonce
+		st.xorD ^= padChars(b.Chars)
+		st.count--
 	}
 
-	rightNonce := c.r0
+	rightNonce := st.r0
 	if right != nil {
 		rightNonce = right.Nonce
 	}
 
-	ris := make([]uint64, len(chunks))
-	for i := range ris {
-		ris[i] = c.nonces.Nonce64()
-		c.xorAllR ^= ris[i]
-		c.xorRTail ^= ris[i]
-	}
-	added = make([]*blockdoc.Block, len(chunks))
-	for i, ch := range chunks {
-		next := rightNonce
-		if i+1 < len(chunks) {
-			next = ris[i+1]
+	n := len(chunks)
+	var ris []uint64
+	st.count += uint64(n)
+
+	added = make([]*blockdoc.Block, n)
+	if parallel.UseSerial(n, c.workers) {
+		ris = make([]uint64, n)
+		for i := range ris {
+			ris[i] = c.nonces.Nonce64()
 		}
-		rec, err := c.encryptData(ch, ris[i], next)
+		for i, ch := range chunks {
+			next := rightNonce
+			if i+1 < n {
+				next = ris[i+1]
+			}
+			rec, err := c.encryptData(ch, ris[i], next)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			own := make([]byte, len(ch))
+			copy(own, ch)
+			added[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
+			st.xorAllR ^= ris[i]
+			st.xorRTail ^= ris[i]
+			st.xorD ^= padChars(ch)
+		}
+	} else {
+		rp := getRis(n)
+		defer risPool.Put(rp)
+		ris = *rp
+		crypt.FillNonces(c.nonces, ris)
+		a := newArena(n)
+		w := parallel.Plan(n, c.workers, c.threshold)
+		aggs := make([]aggPair, w)
+		// encryptBatch chains block i to ris[i+1] and closes the run on
+		// r0; here the run must close on the right neighbor instead, so
+		// splice the neighbor's nonce in via the r0 parameter.
+		err = parallel.BatchRange(n, w, func(worker, lo, hi int) error {
+			return c.encryptBatch(chunks, ris, rightNonce, a, added, lo, hi, &aggs[worker])
+		})
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		own := make([]byte, len(ch))
-		copy(own, ch)
-		added[i] = &blockdoc.Block{Chars: own, Record: rec, Nonce: ris[i]}
-		c.xorD ^= padChars(ch)
-		c.count++
+		for i := range aggs {
+			st.xorAllR ^= aggs[i].xorR
+			st.xorRTail ^= aggs[i].xorR
+			st.xorD ^= aggs[i].xorD
+		}
 	}
 
 	first := rightNonce
-	if len(added) > 0 {
-		first = added[0].Nonce
+	if n > 0 {
+		first = ris[0]
 	}
 	if left != nil {
 		if newLeftRecord, err = c.encryptData(left.Chars, left.Nonce, first); err != nil {
 			return nil, nil, nil, nil, err
 		}
 	} else {
-		if newPrefix, err = c.encryptStart(first); err != nil {
+		if newPrefix, err = c.encryptStart(st.r0, first); err != nil {
 			return nil, nil, nil, nil, err
 		}
 	}
-	if newTrailer, err = c.encryptTrailer(); err != nil {
+	if newTrailer, err = c.encryptTrailer(st); err != nil {
 		return nil, nil, nil, nil, err
 	}
+	c.publish(st)
 	return added, newLeftRecord, newPrefix, newTrailer, nil
 }

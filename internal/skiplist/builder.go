@@ -1,10 +1,21 @@
 package skiplist
 
+// Slab sizing for Builder's node and tower-link arenas. With p = 1/2 tower
+// heights the expected total links for n nodes is 2n, so the link chunk is
+// twice the node chunk.
+const (
+	builderNodeChunk = 512
+	builderLinkChunk = 2 * builderNodeChunk
+)
+
 // Builder constructs a List by appending elements in order, in O(1)
 // amortized time per element (the incremental InsertAt pays O(log n) per
 // element, which matters when a whole document is loaded: §VII's
 // initial-load cost). The builder keeps the rightmost node and prefix sums
-// at every level, so each append only touches the new node's tower.
+// at every level, so each append only touches the new node's tower. Nodes
+// and tower links come from slab arenas — two allocations per chunk of
+// elements instead of two per element; call Grow with the expected element
+// count to size the slabs in one step.
 type Builder[V any] struct {
 	list *List[V]
 
@@ -12,6 +23,9 @@ type Builder[V any] struct {
 	tailPos [MaxLevel]int // ordinal of tails[i] (-1 for head)
 	tailW1  [MaxLevel]int // prefix W1 through tails[i]
 	tailW2  [MaxLevel]int // prefix W2 through tails[i]
+
+	nodeSlab []node[V]      // spare capacity for upcoming nodes
+	linkSlab []towerLink[V] // spare capacity for upcoming towers
 }
 
 // NewBuilder starts building a list with the given structure seed.
@@ -24,6 +38,35 @@ func NewBuilder[V any](seed uint64) *Builder[V] {
 	return b
 }
 
+// Grow pre-sizes the slab arenas for n upcoming appends, so a bulk load
+// allocates its nodes and links in one step each. A hint, not a limit:
+// appending more than n elements just falls back to chunked slab growth.
+func (b *Builder[V]) Grow(n int) {
+	if n > len(b.nodeSlab) {
+		b.nodeSlab = make([]node[V], n)
+	}
+	// 2n is only the expected total height; MaxLevel of headroom makes an
+	// unlucky draw cheap to absorb.
+	if want := 2*n + MaxLevel; want > len(b.linkSlab) {
+		b.linkSlab = make([]towerLink[V], want)
+	}
+}
+
+// newNode carves a node with a height-h tower out of the slabs.
+func (b *Builder[V]) newNode(h int) *node[V] {
+	if len(b.nodeSlab) == 0 {
+		b.nodeSlab = make([]node[V], builderNodeChunk)
+	}
+	z := &b.nodeSlab[0]
+	b.nodeSlab = b.nodeSlab[1:]
+	if len(b.linkSlab) < h {
+		b.linkSlab = make([]towerLink[V], builderLinkChunk)
+	}
+	z.tower = b.linkSlab[:h:h]
+	b.linkSlab = b.linkSlab[h:]
+	return z
+}
+
 // Append adds an element after all existing ones.
 func (b *Builder[V]) Append(value V, w1, w2 int) {
 	l := b.list
@@ -32,23 +75,20 @@ func (b *Builder[V]) Append(value V, w1, w2 int) {
 	if h > l.level {
 		l.level = h
 	}
-	z := &node[V]{
-		value:     value,
-		w1:        w1,
-		w2:        w2,
-		forward:   make([]*node[V], h),
-		spanElems: make([]int, h),
-		spanW1:    make([]int, h),
-		spanW2:    make([]int, h),
-	}
+	z := b.newNode(h)
+	z.value = value
+	z.w1 = w1
+	z.w2 = w2
 	newW1 := l.sumW1 + w1
 	newW2 := l.sumW2 + w2
 	for i := 0; i < h; i++ {
 		t := b.tails[i]
-		t.forward[i] = z
-		t.spanElems[i] = n - b.tailPos[i]
-		t.spanW1[i] = newW1 - b.tailW1[i]
-		t.spanW2[i] = newW2 - b.tailW2[i]
+		t.tower[i] = towerLink[V]{
+			to:    z,
+			elems: n - b.tailPos[i],
+			w1:    newW1 - b.tailW1[i],
+			w2:    newW2 - b.tailW2[i],
+		}
 		b.tails[i] = z
 		b.tailPos[i] = n
 		b.tailW1[i] = newW1

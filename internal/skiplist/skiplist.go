@@ -56,17 +56,24 @@ const MaxLevel = 32
 // ErrIndexRange reports an out-of-range ordinal or weight index.
 var ErrIndexRange = errors.New("skiplist: index out of range")
 
+// towerLink is one level of a node's tower: the forward pointer together
+// with the aggregate over the elements in (this, to] — everything the
+// pointer skips including its destination. Keeping the pointer and its
+// three counts in one struct slice (instead of four parallel slices) means
+// one allocation per node and one cache line per level on the descent.
+type towerLink[V any] struct {
+	to    *node[V]
+	elems int
+	w1    int
+	w2    int
+}
+
 type node[V any] struct {
 	value V
 	w1    int // primary weight (plaintext characters)
 	w2    int // secondary weight (ciphertext units)
 
-	forward []*node[V]
-	// Parallel to forward: aggregate over the elements in (this, forward[i]],
-	// i.e. everything the pointer skips including its destination.
-	spanElems []int
-	spanW1    []int
-	spanW2    []int
+	tower []towerLink[V]
 }
 
 // finger caches the outcome of the last positional search: the element at
@@ -95,6 +102,9 @@ type List[V any] struct {
 	// cached prefix sums intact.
 	fingerOff bool
 	fg        finger[V]
+
+	// sp is the reusable pathTo scratch (see searchPath).
+	sp searchPath[V]
 }
 
 // New returns an empty list. Tower heights are drawn from a deterministic
@@ -102,12 +112,7 @@ type List[V any] struct {
 // reproducible; the seed has no security role.
 func New[V any](seed uint64) *List[V] {
 	return &List[V]{
-		head: &node[V]{
-			forward:   make([]*node[V], MaxLevel),
-			spanElems: make([]int, MaxLevel),
-			spanW1:    make([]int, MaxLevel),
-			spanW2:    make([]int, MaxLevel),
-		},
+		head: &node[V]{tower: make([]towerLink[V], MaxLevel)},
 		level: 1,
 		rng:   seed ^ 0x9e3779b97f4a7c15,
 	}
@@ -178,7 +183,7 @@ func (l *List[V]) fingerSeek(p int) (Pos[V], bool) {
 		b1 += x.w1
 		b2 += x.w2
 		ord++
-		x = x.forward[0]
+		x = x.tower[0].to
 	}
 	return Pos[V]{}, false
 }
@@ -233,17 +238,21 @@ func (l *List[V]) FindPrimary(p int) (Pos[V], error) {
 	ordinal, beforeW1, beforeW2 := 0, 0, 0
 	steps := 0
 	for i := l.level - 1; i >= 0; i-- {
-		for x.forward[i] != nil && rem >= x.spanW1[i] {
-			rem -= x.spanW1[i]
-			beforeW1 += x.spanW1[i]
-			beforeW2 += x.spanW2[i]
-			ordinal += x.spanElems[i]
-			x = x.forward[i]
+		for {
+			lnk := &x.tower[i]
+			if lnk.to == nil || rem < lnk.w1 {
+				break
+			}
+			rem -= lnk.w1
+			beforeW1 += lnk.w1
+			beforeW2 += lnk.w2
+			ordinal += lnk.elems
+			x = lnk.to
 			steps++
 		}
 	}
 	metricSeekSteps.Observe(float64(steps))
-	target := x.forward[0]
+	target := x.tower[0].to
 	if target == nil {
 		// Unreachable while invariants hold (p < sumW1 guarantees a
 		// containing element); guard against corruption anyway.
@@ -272,14 +281,18 @@ func (l *List[V]) FindOrdinal(k int) (Pos[V], error) {
 	rem := k
 	beforeW1, beforeW2 := 0, 0
 	for i := l.level - 1; i >= 0; i-- {
-		for x.forward[i] != nil && rem >= x.spanElems[i] {
-			rem -= x.spanElems[i]
-			beforeW1 += x.spanW1[i]
-			beforeW2 += x.spanW2[i]
-			x = x.forward[i]
+		for {
+			lnk := &x.tower[i]
+			if lnk.to == nil || rem < lnk.elems {
+				break
+			}
+			rem -= lnk.elems
+			beforeW1 += lnk.w1
+			beforeW2 += lnk.w2
+			x = lnk.to
 		}
 	}
-	target := x.forward[0]
+	target := x.tower[0].to
 	if target == nil {
 		return Pos[V]{}, fmt.Errorf("%w: ordinal %d fell off the list", ErrIndexRange, k)
 	}
@@ -299,31 +312,33 @@ func (l *List[V]) FindOrdinal(k int) (Pos[V], error) {
 // searchPath captures the descent toward element ordinal k: for each level,
 // the last node strictly before ordinal k, its element rank, and the prefix
 // weight sums accumulated when leaving that level. bottomW1/bottomW2 are the
-// weight sums of all elements strictly before ordinal k.
+// weight sums of all elements strictly before ordinal k. The arrays are
+// inline so a List can keep one reusable instance (a List is single-threaded
+// by contract) and pathTo allocates nothing.
 type searchPath[V any] struct {
-	update             []*node[V]
-	ranks              []int
-	prefW1, prefW2     []int
+	update             [MaxLevel]*node[V]
+	ranks              [MaxLevel]int
+	prefW1, prefW2     [MaxLevel]int
 	bottomW1, bottomW2 int
 }
 
-// pathTo computes the search path toward element ordinal k
-// (so inserting after update[0] places a node at ordinal k).
-func (l *List[V]) pathTo(k int) searchPath[V] {
-	p := searchPath[V]{
-		update: make([]*node[V], MaxLevel),
-		ranks:  make([]int, MaxLevel),
-		prefW1: make([]int, MaxLevel),
-		prefW2: make([]int, MaxLevel),
-	}
+// pathTo computes the search path toward element ordinal k (so inserting
+// after update[0] places a node at ordinal k). The returned path is the
+// list's reusable scratch: it is valid only until the next pathTo call.
+func (l *List[V]) pathTo(k int) *searchPath[V] {
+	p := &l.sp
 	x := l.head
 	rank, aw1, aw2 := 0, 0, 0
 	for i := l.level - 1; i >= 0; i-- {
-		for x.forward[i] != nil && rank+x.spanElems[i] <= k {
-			rank += x.spanElems[i]
-			aw1 += x.spanW1[i]
-			aw2 += x.spanW2[i]
-			x = x.forward[i]
+		for {
+			lnk := &x.tower[i]
+			if lnk.to == nil || rank+lnk.elems > k {
+				break
+			}
+			rank += lnk.elems
+			aw1 += lnk.w1
+			aw2 += lnk.w2
+			x = lnk.to
 		}
 		p.update[i] = x
 		p.ranks[i] = rank
@@ -353,13 +368,10 @@ func (l *List[V]) InsertAt(k int, value V, w1, w2 int) error {
 		l.level = h
 	}
 	z := &node[V]{
-		value:     value,
-		w1:        w1,
-		w2:        w2,
-		forward:   make([]*node[V], h),
-		spanElems: make([]int, h),
-		spanW1:    make([]int, h),
-		spanW2:    make([]int, h),
+		value: value,
+		w1:    w1,
+		w2:    w2,
+		tower: make([]towerLink[V], h),
 	}
 
 	for i := 0; i < h; i++ {
@@ -370,23 +382,24 @@ func (l *List[V]) InsertAt(k int, value V, w1, w2 int) error {
 		bw1 := p.bottomW1 - p.prefW1[i]
 		bw2 := p.bottomW2 - p.prefW2[i]
 
-		old := up.forward[i]
-		z.forward[i] = old
-		up.forward[i] = z
+		upl := &up.tower[i]
+		old := upl.to
+		z.tower[i].to = old
+		upl.to = z
 		if old != nil {
-			z.spanElems[i] = up.spanElems[i] - between
-			z.spanW1[i] = up.spanW1[i] - bw1
-			z.spanW2[i] = up.spanW2[i] - bw2
+			z.tower[i].elems = upl.elems - between
+			z.tower[i].w1 = upl.w1 - bw1
+			z.tower[i].w2 = upl.w2 - bw2
 		}
-		up.spanElems[i] = between + 1
-		up.spanW1[i] = bw1 + w1
-		up.spanW2[i] = bw2 + w2
+		upl.elems = between + 1
+		upl.w1 = bw1 + w1
+		upl.w2 = bw2 + w2
 	}
 	for i := h; i < l.level; i++ {
-		if p.update[i].forward[i] != nil {
-			p.update[i].spanElems[i]++
-			p.update[i].spanW1[i] += w1
-			p.update[i].spanW2[i] += w2
+		if upl := &p.update[i].tower[i]; upl.to != nil {
+			upl.elems++
+			upl.w1 += w1
+			upl.w2 += w2
 		}
 	}
 
@@ -404,21 +417,22 @@ func (l *List[V]) DeleteAt(k int) (value V, w1, w2 int, err error) {
 		return zero, 0, 0, fmt.Errorf("%w: delete ordinal %d, length %d", ErrIndexRange, k, l.length)
 	}
 	p := l.pathTo(k)
-	target := p.update[0].forward[0]
+	target := p.update[0].tower[0].to
 	for i := 0; i < l.level; i++ {
-		up := p.update[i]
-		if up.forward[i] == target {
-			up.spanElems[i] += target.spanElems[i] - 1
-			up.spanW1[i] += target.spanW1[i] - target.w1
-			up.spanW2[i] += target.spanW2[i] - target.w2
-			up.forward[i] = target.forward[i]
-		} else if up.forward[i] != nil {
-			up.spanElems[i]--
-			up.spanW1[i] -= target.w1
-			up.spanW2[i] -= target.w2
+		upl := &p.update[i].tower[i]
+		if upl.to == target {
+			tl := &target.tower[i]
+			upl.elems += tl.elems - 1
+			upl.w1 += tl.w1 - target.w1
+			upl.w2 += tl.w2 - target.w2
+			upl.to = tl.to
+		} else if upl.to != nil {
+			upl.elems--
+			upl.w1 -= target.w1
+			upl.w2 -= target.w2
 		}
 	}
-	for l.level > 1 && l.head.forward[l.level-1] == nil {
+	for l.level > 1 && l.head.tower[l.level-1].to == nil {
 		l.level--
 	}
 	l.length--
@@ -438,15 +452,15 @@ func (l *List[V]) SetAt(k int, value V, w1, w2 int) error {
 		return fmt.Errorf("%w: negative weight (%d, %d)", ErrIndexRange, w1, w2)
 	}
 	p := l.pathTo(k)
-	target := p.update[0].forward[0]
+	target := p.update[0].tower[0].to
 	d1 := w1 - target.w1
 	d2 := w2 - target.w2
 	for i := 0; i < l.level; i++ {
-		if p.update[i].forward[i] != nil {
-			// The span (update[i], forward[i]] always contains ordinal k:
-			// update[i] sits strictly before it, forward[i] at or after it.
-			p.update[i].spanW1[i] += d1
-			p.update[i].spanW2[i] += d2
+		if upl := &p.update[i].tower[i]; upl.to != nil {
+			// The span (update[i], to] always contains ordinal k:
+			// update[i] sits strictly before it, its target at or after it.
+			upl.w1 += d1
+			upl.w2 += d2
 		}
 	}
 	target.value = value
@@ -465,13 +479,12 @@ func (l *List[V]) Each(from int, fn func(ordinal int, value V, w1, w2 int) bool)
 	if from < 0 || from > l.length {
 		return fmt.Errorf("%w: each from %d, length %d", ErrIndexRange, from, l.length)
 	}
-	p := l.pathTo(from)
-	x := p.update[0].forward[0]
+	x := l.pathTo(from).update[0].tower[0].to
 	for k := from; x != nil; k++ {
 		if !fn(k, x.value, x.w1, x.w2) {
 			break
 		}
-		x = x.forward[0]
+		x = x.tower[0].to
 	}
 	return nil
 }
@@ -482,7 +495,7 @@ func (l *List[V]) Each(from int, fn func(ordinal int, value V, w1, w2 int) bool)
 func (l *List[V]) Validate() error {
 	// Bottom-level truth: ordered nodes with their weights.
 	var nodes []*node[V]
-	for x := l.head.forward[0]; x != nil; x = x.forward[0] {
+	for x := l.head.tower[0].to; x != nil; x = x.tower[0].to {
 		nodes = append(nodes, x)
 	}
 	if len(nodes) != l.length {
@@ -501,8 +514,8 @@ func (l *List[V]) Validate() error {
 	for lev := 0; lev < l.level; lev++ {
 		x := l.head
 		at := -1 // ordinal of x; head = -1
-		for x.forward[lev] != nil {
-			y := x.forward[lev]
+		for x.tower[lev].to != nil {
+			y := x.tower[lev].to
 			j, ok := index[y]
 			if !ok {
 				return fmt.Errorf("skiplist: level %d points to unknown node", lev)
@@ -516,9 +529,9 @@ func (l *List[V]) Validate() error {
 				want1 += nodes[t].w1
 				want2 += nodes[t].w2
 			}
-			if x.spanElems[lev] != wantElems || x.spanW1[lev] != want1 || x.spanW2[lev] != want2 {
+			if lnk := x.tower[lev]; lnk.elems != wantElems || lnk.w1 != want1 || lnk.w2 != want2 {
 				return fmt.Errorf("skiplist: level %d span at ordinal %d = (%d,%d,%d), want (%d,%d,%d)",
-					lev, at, x.spanElems[lev], x.spanW1[lev], x.spanW2[lev], wantElems, want1, want2)
+					lev, at, lnk.elems, lnk.w1, lnk.w2, wantElems, want1, want2)
 			}
 			x = y
 			at = j
@@ -533,8 +546,8 @@ func (l *List[V]) String() string {
 	var b strings.Builder
 	for i := l.level - 1; i >= 0; i-- {
 		fmt.Fprintf(&b, "L%-2d head", i)
-		for x := l.head; x != nil && x.forward[i] != nil; x = x.forward[i] {
-			fmt.Fprintf(&b, " -(%d,%d,%d)-> %v", x.spanElems[i], x.spanW1[i], x.spanW2[i], x.forward[i].value)
+		for x := l.head; x != nil && x.tower[i].to != nil; x = x.tower[i].to {
+			fmt.Fprintf(&b, " -(%d,%d,%d)-> %v", x.tower[i].elems, x.tower[i].w1, x.tower[i].w2, x.tower[i].to.value)
 		}
 		b.WriteByte('\n')
 	}

@@ -8,8 +8,14 @@
 # Usage: scripts/bench_compare.sh <baseline_dir> <current_dir> [threshold_pct]
 #
 # Gated series:
-#   BENCH_load.json     load.ops_per_sec (down is bad), load.p95_ms (up is bad)
-#   BENCH_hotpath.json  per-variant ns_per_op and p95_us (up is bad)
+#   BENCH_load.json     load.ops_per_sec (down is bad), load.p95_ms (up is bad),
+#                       and the enc_kernel_serial_vs_parallel rows: per-size
+#                       batched-kernel parallel_ms (up is bad) and speedup
+#                       (down is bad), so a kernel regression fails the lane
+#                       even when the mediated load numbers hold steady
+#   BENCH_hotpath.json  per-variant ns_per_op, p95_us, and allocs_per_op
+#                       (up is bad — allocation regressions on the hot path
+#                       are exactly how the overhead-bound kernels decayed)
 #   BENCH_store.json    store.sustained_ops_per_sec (down), store.p95_ms (up)
 set -eu
 
@@ -55,6 +61,18 @@ b, c = load(base_dir, "BENCH_load.json"), load(cur_dir, "BENCH_load.json")
 if b and c:
     check("BENCH_load", "ops_per_sec", b["load"]["ops_per_sec"], c["load"]["ops_per_sec"], True)
     check("BENCH_load", "p95_ms", b["load"]["p95_ms"], c["load"]["p95_ms"], False)
+    # Enc kernel rows, matched by document size. .get() keeps the gate
+    # tolerant of baselines that predate the kernel rows or sampled
+    # different sizes.
+    base_rows = {r["chars"]: r for r in b.get("enc_kernel_serial_vs_parallel") or []}
+    for row in c.get("enc_kernel_serial_vs_parallel") or []:
+        bb = base_rows.get(row["chars"])
+        if not bb:
+            continue
+        check(f"BENCH_load[enc_kernel {row['chars']}ch]", "parallel_ms",
+              bb["parallel_ms"], row["parallel_ms"], False)
+        check(f"BENCH_load[enc_kernel {row['chars']}ch]", "speedup",
+              bb["speedup"], row["speedup"], True)
 
 # BENCH_hotpath.json: per-variant hot-path cost.
 b, c = load(base_dir, "BENCH_hotpath.json"), load(cur_dir, "BENCH_hotpath.json")
@@ -66,6 +84,9 @@ if b and c:
             continue
         check(f"BENCH_hotpath[{row['variant']}]", "ns_per_op", bb["ns_per_op"], row["ns_per_op"], False)
         check(f"BENCH_hotpath[{row['variant']}]", "p95_us", bb["p95_us"], row["p95_us"], False)
+        if bb.get("allocs_per_op") and row.get("allocs_per_op") is not None:
+            check(f"BENCH_hotpath[{row['variant']}]", "allocs_per_op",
+                  bb["allocs_per_op"], row["allocs_per_op"], False)
 
 # BENCH_store.json: persistence-layer sustained rate and tail latency.
 b, c = load(base_dir, "BENCH_store.json"), load(cur_dir, "BENCH_store.json")
